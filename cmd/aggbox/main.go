@@ -1,0 +1,70 @@
+// Command aggbox runs a standalone NetAgg aggregation middlebox: it listens
+// for partial-result streams from shim layers (or upstream boxes), executes
+// the configured aggregation functions on its cooperative task scheduler,
+// and forwards aggregated results along the routes the streams carry
+// (§3.2.1). The built-in aggregation functions cover the paper's workloads:
+//
+//	wordcount    key/value sum combiner (Hadoop-style)
+//	kvmax,kvmin  key/value max/min combiners
+//	topk         top-k search result merge (k=10)
+//	sample       random-subset search aggregation (α=0.05)
+//	categorise   CPU-intensive per-category top-k classification
+//	concat       identity concatenation (no reduction)
+//
+// Usage:
+//
+//	aggbox [-addr :7100] [-id 1] [-workers 8] [-fixed-wfq]
+//
+// Multiple boxes can be chained by shims that put several box addresses on
+// a stream's route.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"netagg/internal/agg"
+	"netagg/internal/core"
+	"netagg/internal/corpus"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7100", "listen address")
+	id := flag.Uint64("id", 1, "box identifier (must be unique per deployment)")
+	workers := flag.Int("workers", 8, "scheduler thread pool size")
+	fixed := flag.Bool("fixed-wfq", false, "disable adaptive weighted fair queuing")
+	flag.Parse()
+
+	reg := agg.NewRegistry()
+	reg.Register("wordcount", agg.KVCombiner{Op: agg.OpSum})
+	reg.Register("kvmax", agg.KVCombiner{Op: agg.OpMax})
+	reg.Register("kvmin", agg.KVCombiner{Op: agg.OpMin})
+	reg.Register("topk", agg.TopK{K: 10})
+	reg.Register("sample", agg.Sample{Ratio: 0.05})
+	reg.Register("categorise", agg.Categorise{K: 10, Categories: corpus.Categories()})
+	reg.Register("concat", agg.Concat{})
+
+	box, err := core.Start(core.Config{
+		ID:           *id << 32,
+		Addr:         *addr,
+		Workers:      *workers,
+		FixedWeights: *fixed,
+		Registry:     reg,
+	})
+	if err != nil {
+		log.Fatalf("aggbox: %v", err)
+	}
+	fmt.Printf("aggbox %d listening on %s (apps: %v)\n", *id, box.Addr(), reg.Apps())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	st := box.Stats()
+	fmt.Printf("aggbox shutting down: %d requests, %.1f MB in, %.1f MB out, %d combines\n",
+		st.Requests, float64(st.BytesIn)/1e6, float64(st.BytesOut)/1e6, st.Combines)
+	box.Close()
+}

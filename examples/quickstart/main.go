@@ -1,0 +1,78 @@
+// Quickstart: the smallest complete NetAgg deployment — four workers in two
+// racks, three agg boxes (one per ToR switch, one at the aggregation
+// switch), worker shims, and a master shim. The workers each hold a
+// word-count partial result; NetAgg aggregates them on-path so the master
+// receives a single combined result instead of four raw ones.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"netagg/internal/agg"
+	"netagg/internal/testbed"
+)
+
+func main() {
+	// An aggregation function registry: the boxes will run the word-count
+	// combiner for the application named "wc".
+	reg := agg.NewRegistry()
+	reg.Register("wc", agg.KVCombiner{Op: agg.OpSum})
+
+	// Two racks × two workers, one agg box per switch (2 ToRs + 1 agg).
+	tb, err := testbed.New(testbed.Config{
+		Racks:          2,
+		WorkersPerRack: 2,
+		BoxesPerSwitch: 1,
+		Registry:       reg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tb.Close()
+
+	// The master registers the request: NetAgg plans the aggregation tree
+	// and tells each box how many sources to expect.
+	const reqID = 1
+	workers := tb.WorkerHosts()
+	pending, err := tb.Master.Submit("wc", reqID, workers, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Each worker ships its partial result through its shim layer, which
+	// transparently redirects it to the first agg box on the path to the
+	// master.
+	for i, host := range workers {
+		partial := agg.EncodeKVs([]agg.KV{
+			{Key: "hello", Val: int64(i + 1)},
+			{Key: "from-" + host, Val: 1},
+		})
+		if err := tb.Workers[host].SendPartials("wc", reqID, i, testbed.MasterHost, [][]byte{partial}, 1); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The master shim delivers the aggregated result: one part, because a
+	// box sits on every path and the chains converge at the master's ToR.
+	res := <-pending.C
+	if res.Err != nil {
+		log.Fatal(res.Err)
+	}
+	fmt.Printf("master received %d aggregated part(s)\n", len(res.Parts))
+	for _, part := range res.Parts {
+		kvs, err := agg.DecodeKVs(part)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, kv := range kvs {
+			fmt.Printf("  %-16s %d\n", kv.Key, kv.Val)
+		}
+	}
+
+	st := tb.BoxStats()
+	fmt.Printf("agg boxes processed %d bytes across %d requests (%d combines)\n",
+		st.BytesIn, st.Requests, st.Combines)
+}

@@ -1,0 +1,3 @@
+module netagg
+
+go 1.22

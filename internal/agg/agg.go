@@ -1,0 +1,61 @@
+// Package agg defines the aggregation function interface that agg boxes
+// execute (§3.2.1 "Aggregation tasks") and the built-in aggregators used by
+// the evaluation: key/value combiners for map/reduce workloads (WordCount,
+// AdPredictor, PageRank, UserVisits), top-k merging for search, the paper's
+// two Solr functions — the cheap `sample` and the CPU-intensive
+// `categorise` — and an identity concatenation for non-reducible data
+// (TeraSort).
+//
+// Aggregators operate on serialised partial results ([]byte) so boxes can
+// host unmodified application functions behind a thin wrapper, mirroring
+// the paper's aggregation wrappers. Every aggregator must be associative
+// and commutative (§2.1): Combine(a, Combine(b, c)) must equal
+// Combine(Combine(a, b), c) for any grouping and order.
+package agg
+
+import "fmt"
+
+// Aggregator merges two serialised partial results into one.
+type Aggregator interface {
+	// Name identifies the function in logs and scheduling stats.
+	Name() string
+	// Combine merges two partial results. It must be associative and
+	// commutative up to the codec's canonical form, and must not retain or
+	// modify its inputs.
+	Combine(a, b []byte) ([]byte, error)
+}
+
+// Registry maps application names to their aggregator, the box-side
+// counterpart of deploying an application's aggregation function.
+type Registry struct {
+	byName map[string]Aggregator
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]Aggregator)}
+}
+
+// Register adds an aggregator under the application name. It panics on a
+// duplicate name, which indicates a deployment configuration error.
+func (r *Registry) Register(app string, a Aggregator) {
+	if _, dup := r.byName[app]; dup {
+		panic(fmt.Sprintf("agg: duplicate application %q", app))
+	}
+	r.byName[app] = a
+}
+
+// Lookup returns the application's aggregator.
+func (r *Registry) Lookup(app string) (Aggregator, bool) {
+	a, ok := r.byName[app]
+	return a, ok
+}
+
+// Apps lists the registered application names.
+func (r *Registry) Apps() []string {
+	out := make([]string, 0, len(r.byName))
+	for name := range r.byName {
+		out = append(out, name)
+	}
+	return out
+}

@@ -1,0 +1,290 @@
+package agg
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"netagg/internal/stats"
+)
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Register("wc", KVCombiner{Op: OpSum})
+	if _, ok := r.Lookup("wc"); !ok {
+		t.Fatal("registered app not found")
+	}
+	if _, ok := r.Lookup("nope"); ok {
+		t.Fatal("unknown app found")
+	}
+	if got := r.Apps(); len(got) != 1 || got[0] != "wc" {
+		t.Fatalf("Apps = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration must panic")
+		}
+	}()
+	r.Register("wc", KVCombiner{})
+}
+
+func TestKVRoundTrip(t *testing.T) {
+	in := []KV{{"b", 2}, {"a", -1}, {"c", 1 << 40}}
+	enc := EncodeKVs(in)
+	out, err := DecodeKVs(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []KV{{"a", -1}, {"b", 2}, {"c", 1 << 40}}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("got %v, want %v", out, want)
+	}
+}
+
+func TestKVDecodeRejectsGarbage(t *testing.T) {
+	for _, p := range [][]byte{nil, {0xff}, {5, 1, 'a'}, append(EncodeKVs([]KV{{"a", 1}}), 0)} {
+		if _, err := DecodeKVs(p); err == nil {
+			t.Fatalf("expected error for %v", p)
+		}
+	}
+}
+
+func TestKVCombinerSum(t *testing.T) {
+	a := EncodeKVs([]KV{{"x", 1}, {"y", 2}})
+	b := EncodeKVs([]KV{{"y", 3}, {"z", 4}})
+	out, err := KVCombiner{Op: OpSum}.Combine(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := DecodeKVs(out)
+	want := []KV{{"x", 1}, {"y", 5}, {"z", 4}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestKVCombinerMaxMin(t *testing.T) {
+	a := EncodeKVs([]KV{{"k", 5}})
+	b := EncodeKVs([]KV{{"k", 9}})
+	for _, c := range []struct {
+		op   KVOp
+		want int64
+	}{{OpMax, 9}, {OpMin, 5}} {
+		out, err := KVCombiner{Op: c.op}.Combine(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := DecodeKVs(out)
+		if got[0].Val != c.want {
+			t.Fatalf("%v: got %d, want %d", c.op, got[0].Val, c.want)
+		}
+	}
+}
+
+func TestItemsRoundTrip(t *testing.T) {
+	in := [][]byte{[]byte("row1"), []byte(""), []byte("row2")}
+	out, err := DecodeItems(EncodeItems(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || string(out[0]) != "row1" || len(out[1]) != 0 {
+		t.Fatalf("round trip mismatch: %q", out)
+	}
+}
+
+func TestConcatPreservesEverything(t *testing.T) {
+	a := EncodeItems([][]byte{[]byte("b"), []byte("a")})
+	b := EncodeItems([][]byte{[]byte("c")})
+	out, err := Concat{}.Combine(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, _ := DecodeItems(out)
+	if len(items) != 3 {
+		t.Fatalf("concat lost items: %q", items)
+	}
+}
+
+func TestDocsRoundTrip(t *testing.T) {
+	in := []Doc{{ID: 2, Score: 0.5, Text: "hello"}, {ID: 1, Score: 0.9, Text: ""}}
+	out, err := DecodeDocs(EncodeDocs(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Canonical order: score descending.
+	if out[0].ID != 1 || out[1].ID != 2 || out[1].Text != "hello" {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestTopKKeepsBest(t *testing.T) {
+	a := EncodeDocs([]Doc{{ID: 1, Score: 0.9}, {ID: 2, Score: 0.1}})
+	b := EncodeDocs([]Doc{{ID: 3, Score: 0.5}, {ID: 4, Score: 0.8}})
+	out, err := TopK{K: 2}.Combine(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs, _ := DecodeDocs(out)
+	if len(docs) != 2 || docs[0].ID != 1 || docs[1].ID != 4 {
+		t.Fatalf("topk mismatch: %+v", docs)
+	}
+}
+
+func TestSampleReducesAndIsIdempotent(t *testing.T) {
+	var docs []Doc
+	for i := 0; i < 2000; i++ {
+		docs = append(docs, Doc{ID: uint64(i), Score: float64(i)})
+	}
+	s := Sample{Ratio: 0.05}
+	out, err := s.Combine(EncodeDocs(docs[:1000]), EncodeDocs(docs[1000:]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, _ := DecodeDocs(out)
+	if frac := float64(len(kept)) / 2000; frac < 0.02 || frac > 0.10 {
+		t.Fatalf("sample kept %.3f, want ≈0.05", frac)
+	}
+	// Sampling an already sampled payload must not reduce further.
+	again, err := s.Combine(out, EncodeDocs(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, out) {
+		t.Fatal("sample is not idempotent")
+	}
+}
+
+func testCategorise() Categorise {
+	return Categorise{
+		K: 3,
+		Categories: []Category{
+			{Name: "science", Terms: []string{"atom", "energy", "quantum"}},
+			{Name: "sport", Terms: []string{"goal", "match", "team"}},
+		},
+	}
+}
+
+func TestCategoriseClassifiesAndKeepsTopK(t *testing.T) {
+	c := testCategorise()
+	var docs []Doc
+	for i := 0; i < 10; i++ {
+		docs = append(docs, Doc{ID: uint64(i), Text: "atom atom energy"})
+	}
+	docs = append(docs, Doc{ID: 100, Text: "goal match team goal"})
+	docs = append(docs, Doc{ID: 101, Text: "nothing relevant"})
+	out, err := c.Combine(TagDocs(EncodeDocs(docs[:6])), TagDocs(EncodeDocs(docs[6:])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	per, err := c.TopPerCategory(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(per["science"]) != 3 {
+		t.Fatalf("science docs = %d, want K=3", len(per["science"]))
+	}
+	if len(per["sport"]) != 1 || per["sport"][0].ID != 100 {
+		t.Fatalf("sport docs = %+v", per["sport"])
+	}
+}
+
+func TestCategoriseRejectsGarbage(t *testing.T) {
+	c := testCategorise()
+	if _, err := c.Combine([]byte{9, 9, 9}, TagDocs(EncodeDocs(nil))); err == nil {
+		t.Fatal("expected error on bad tag")
+	}
+	if _, err := c.Combine(nil, TagDocs(EncodeDocs(nil))); err == nil {
+		t.Fatal("expected error on empty payload")
+	}
+}
+
+// randomKVPayload builds a random KV payload with keys from a small
+// alphabet so merges collide.
+func randomKVPayload(rn *stats.Rand) []byte {
+	n := rn.Intn(8)
+	kvs := make([]KV, 0, n)
+	seen := map[string]bool{}
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("k%d", rn.Intn(6))
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		kvs = append(kvs, KV{Key: k, Val: int64(rn.Intn(100)) - 50})
+	}
+	return EncodeKVs(kvs)
+}
+
+func randomDocsPayload(rn *stats.Rand, tagged bool) []byte {
+	n := rn.Intn(6)
+	docs := make([]Doc, 0, n)
+	for i := 0; i < n; i++ {
+		docs = append(docs, Doc{
+			ID:    rn.Uint64() % 1000,
+			Score: rn.Float64(),
+			Text:  []string{"atom energy", "goal team", "plain text"}[rn.Intn(3)],
+		})
+	}
+	enc := EncodeDocs(docs)
+	if tagged {
+		return TagDocs(enc)
+	}
+	return enc
+}
+
+// Property: every built-in aggregator is associative and commutative
+// (§2.1), the correctness requirement for on-path aggregation.
+func TestAggregatorsAssociativeCommutative(t *testing.T) {
+	cases := []struct {
+		name string
+		agg  Aggregator
+		gen  func(*stats.Rand) []byte
+	}{
+		{"kv-sum", KVCombiner{Op: OpSum}, randomKVPayload},
+		{"kv-max", KVCombiner{Op: OpMax}, randomKVPayload},
+		{"kv-min", KVCombiner{Op: OpMin}, randomKVPayload},
+		{"concat", Concat{}, func(rn *stats.Rand) []byte {
+			n := rn.Intn(5)
+			items := make([][]byte, n)
+			for i := range items {
+				items[i] = []byte(fmt.Sprintf("item%d", rn.Intn(10)))
+			}
+			return EncodeItems(items)
+		}},
+		{"topk", TopK{K: 4}, func(rn *stats.Rand) []byte { return randomDocsPayload(rn, false) }},
+		{"sample", Sample{Ratio: 0.5}, func(rn *stats.Rand) []byte { return randomDocsPayload(rn, false) }},
+		{"categorise", testCategorise(), func(rn *stats.Rand) []byte { return randomDocsPayload(rn, true) }},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			check := func(seed int64) bool {
+				rn := stats.NewRand(seed)
+				a, b, d := c.gen(rn), c.gen(rn), c.gen(rn)
+				ab, err1 := c.agg.Combine(a, b)
+				ba, err2 := c.agg.Combine(b, a)
+				if err1 != nil || err2 != nil {
+					return false
+				}
+				if !bytes.Equal(ab, ba) {
+					return false // not commutative
+				}
+				abd, err1 := c.agg.Combine(ab, d)
+				bd, err2 := c.agg.Combine(b, d)
+				if err1 != nil || err2 != nil {
+					return false
+				}
+				abd2, err3 := c.agg.Combine(a, bd)
+				if err3 != nil {
+					return false
+				}
+				return bytes.Equal(abd, abd2) // associative
+			}
+			if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

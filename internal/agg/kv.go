@@ -1,0 +1,221 @@
+package agg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// KV is one key/value pair of a map/reduce-style partial result.
+type KV struct {
+	Key string
+	Val int64
+}
+
+// ErrBadPayload reports an undecodable partial result.
+var ErrBadPayload = errors.New("agg: malformed payload")
+
+// EncodeKVs serialises pairs in canonical (key-sorted) order: a varint
+// count followed by length-prefixed keys and zig-zag varint values. The
+// input is sorted in place.
+func EncodeKVs(kvs []KV) []byte {
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key })
+	size := binary.MaxVarintLen64
+	for i := range kvs {
+		size += binary.MaxVarintLen64*2 + len(kvs[i].Key)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.AppendUvarint(buf, uint64(len(kvs)))
+	for i := range kvs {
+		buf = binary.AppendUvarint(buf, uint64(len(kvs[i].Key)))
+		buf = append(buf, kvs[i].Key...)
+		buf = binary.AppendVarint(buf, kvs[i].Val)
+	}
+	return buf
+}
+
+// DecodeKVs parses a payload produced by EncodeKVs.
+func DecodeKVs(p []byte) ([]KV, error) {
+	count, n := binary.Uvarint(p)
+	if n <= 0 {
+		return nil, ErrBadPayload
+	}
+	p = p[n:]
+	if count > uint64(len(p))+1 {
+		return nil, ErrBadPayload
+	}
+	kvs := make([]KV, 0, count)
+	for i := uint64(0); i < count; i++ {
+		klen, n := binary.Uvarint(p)
+		if n <= 0 || uint64(len(p[n:])) < klen {
+			return nil, ErrBadPayload
+		}
+		p = p[n:]
+		key := string(p[:klen])
+		p = p[klen:]
+		val, n := binary.Varint(p)
+		if n <= 0 {
+			return nil, ErrBadPayload
+		}
+		p = p[n:]
+		kvs = append(kvs, KV{Key: key, Val: val})
+	}
+	if len(p) != 0 {
+		return nil, ErrBadPayload
+	}
+	return kvs, nil
+}
+
+// KVOp is the per-key reduction of a KVCombiner.
+type KVOp int
+
+const (
+	// OpSum adds values per key (WordCount, UserVisits revenue,
+	// AdPredictor click counts, PageRank contributions).
+	OpSum KVOp = iota
+	// OpMax keeps the per-key maximum.
+	OpMax
+	// OpMin keeps the per-key minimum.
+	OpMin
+)
+
+// String names the operation.
+func (op KVOp) String() string {
+	switch op {
+	case OpSum:
+		return "sum"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	default:
+		return fmt.Sprintf("op(%d)", int(op))
+	}
+}
+
+// KVCombiner merges sorted key/value payloads with a per-key reduction, the
+// agg box counterpart of a Hadoop combiner (§3.2.1: "a Hadoop aggregation
+// wrapper exposes the standard interface of combiner functions").
+type KVCombiner struct {
+	Op KVOp
+}
+
+// Name implements Aggregator.
+func (c KVCombiner) Name() string { return "kv-" + c.Op.String() }
+
+// Combine implements Aggregator by merge-joining the two sorted payloads.
+func (c KVCombiner) Combine(a, b []byte) ([]byte, error) {
+	av, err := DecodeKVs(a)
+	if err != nil {
+		return nil, err
+	}
+	bv, err := DecodeKVs(b)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]KV, 0, len(av)+len(bv))
+	i, j := 0, 0
+	for i < len(av) && j < len(bv) {
+		switch {
+		case av[i].Key < bv[j].Key:
+			out = append(out, av[i])
+			i++
+		case av[i].Key > bv[j].Key:
+			out = append(out, bv[j])
+			j++
+		default:
+			out = append(out, KV{Key: av[i].Key, Val: c.reduce(av[i].Val, bv[j].Val)})
+			i++
+			j++
+		}
+	}
+	out = append(out, av[i:]...)
+	out = append(out, bv[j:]...)
+	return EncodeKVs(out), nil
+}
+
+func (c KVCombiner) reduce(a, b int64) int64 {
+	switch c.Op {
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	default:
+		return a + b
+	}
+}
+
+// Concat appends payloads without any reduction: the aggregator of
+// non-reducible data such as TeraSort rows (identity reduce, Fig 22's TS
+// bar shows no benefit). Payload format: varint count + length-prefixed
+// items.
+type Concat struct{}
+
+// Name implements Aggregator.
+func (Concat) Name() string { return "concat" }
+
+// Combine implements Aggregator.
+func (Concat) Combine(a, b []byte) ([]byte, error) {
+	av, err := DecodeItems(a)
+	if err != nil {
+		return nil, err
+	}
+	bv, err := DecodeItems(b)
+	if err != nil {
+		return nil, err
+	}
+	// Canonical order keeps Combine commutative.
+	out := append(av, bv...)
+	sort.Slice(out, func(i, j int) bool { return string(out[i]) < string(out[j]) })
+	return EncodeItems(out), nil
+}
+
+// EncodeItems serialises opaque items: varint count + length-prefixed blobs.
+func EncodeItems(items [][]byte) []byte {
+	size := binary.MaxVarintLen64
+	for _, it := range items {
+		size += binary.MaxVarintLen64 + len(it)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.AppendUvarint(buf, uint64(len(items)))
+	for _, it := range items {
+		buf = binary.AppendUvarint(buf, uint64(len(it)))
+		buf = append(buf, it...)
+	}
+	return buf
+}
+
+// DecodeItems parses a payload produced by EncodeItems.
+func DecodeItems(p []byte) ([][]byte, error) {
+	count, n := binary.Uvarint(p)
+	if n <= 0 {
+		return nil, ErrBadPayload
+	}
+	p = p[n:]
+	if count > uint64(len(p))+1 {
+		return nil, ErrBadPayload
+	}
+	items := make([][]byte, 0, count)
+	for i := uint64(0); i < count; i++ {
+		ilen, n := binary.Uvarint(p)
+		if n <= 0 || uint64(len(p[n:])) < ilen {
+			return nil, ErrBadPayload
+		}
+		p = p[n:]
+		item := make([]byte, ilen)
+		copy(item, p[:ilen])
+		p = p[ilen:]
+		items = append(items, item)
+	}
+	if len(p) != 0 {
+		return nil, ErrBadPayload
+	}
+	return items, nil
+}

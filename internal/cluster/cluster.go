@@ -1,0 +1,327 @@
+// Package cluster holds the NetAgg deployment state shared by shim layers
+// and agg boxes: which hosts exist and where they sit in the physical
+// topology, which switches have agg boxes attached, and how a request's
+// aggregation tree is planned over them (§3.1). Planning is a pure function
+// of the deployment and the request identifier, so worker shims, the master
+// shim, and agg boxes independently compute consistent routes without any
+// per-request coordination — the same trick as the paper's hashing of
+// application/request identifiers.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"netagg/internal/topology"
+)
+
+// Host is a server's position in the testbed topology.
+type Host struct {
+	// Name is the unique host name.
+	Name string
+	// Rack and Pod locate the host; hosts in the same rack share a ToR
+	// switch, racks in a pod share an aggregation switch.
+	Rack int
+	Pod  int
+}
+
+// UpPath lists the switch identifiers from the host towards the core tier.
+func (h Host) UpPath() []string {
+	return []string{
+		fmt.Sprintf("tor:%d", h.Rack),
+		fmt.Sprintf("agg:%d", h.Pod),
+		"core",
+	}
+}
+
+// BoxInfo describes one deployed agg box.
+type BoxInfo struct {
+	// ID is the cluster-unique box identifier (≥ 1<<32 by convention, so it
+	// never collides with worker indices on the wire).
+	ID uint64
+	// Addr is the box's data listen address.
+	Addr string
+	// Switch is the switch the box is attached to ("tor:2", "agg:0",
+	// "core").
+	Switch string
+}
+
+// Deployment is the cluster configuration: hosts, boxes and liveness.
+// It is safe for concurrent use.
+type Deployment struct {
+	mu      sync.RWMutex
+	hosts   map[string]Host
+	control map[string]string // host name → worker shim control address
+	results map[string]string // host name → master shim result address
+	boxes   map[string][]BoxInfo
+	byID    map[uint64]BoxInfo
+	dead    map[uint64]bool
+}
+
+// NewDeployment returns an empty deployment.
+func NewDeployment() *Deployment {
+	return &Deployment{
+		hosts:   make(map[string]Host),
+		control: make(map[string]string),
+		results: make(map[string]string),
+		boxes:   make(map[string][]BoxInfo),
+		byID:    make(map[uint64]BoxInfo),
+		dead:    make(map[uint64]bool),
+	}
+}
+
+// AddHost registers a server.
+func (d *Deployment) AddHost(h Host) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.hosts[h.Name]; dup {
+		panic(fmt.Sprintf("cluster: duplicate host %q", h.Name))
+	}
+	d.hosts[h.Name] = h
+}
+
+// Host looks a server up by name.
+func (d *Deployment) Host(name string) (Host, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	h, ok := d.hosts[name]
+	return h, ok
+}
+
+// SetControlAddr records the control address of a host's worker shim, used
+// for failure/straggler redirection (§3.1).
+func (d *Deployment) SetControlAddr(host, addr string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.control[host] = addr
+}
+
+// ControlAddr returns a host's worker shim control address.
+func (d *Deployment) ControlAddr(host string) (string, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	a, ok := d.control[host]
+	return a, ok
+}
+
+// SetResultAddr records where a master host's shim receives aggregated
+// results; worker shims and agg boxes terminate routes there.
+func (d *Deployment) SetResultAddr(host, addr string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.results[host] = addr
+}
+
+// ResultAddr returns a master host's result address.
+func (d *Deployment) ResultAddr(host string) (string, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	a, ok := d.results[host]
+	return a, ok
+}
+
+// AddBox attaches an agg box to a switch. Multiple boxes per switch scale
+// the switch's aggregation capacity out (§3.1).
+func (d *Deployment) AddBox(b BoxInfo) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.byID[b.ID]; dup {
+		panic(fmt.Sprintf("cluster: duplicate box id %d", b.ID))
+	}
+	d.boxes[b.Switch] = append(d.boxes[b.Switch], b)
+	d.byID[b.ID] = b
+}
+
+// Box returns a box by ID.
+func (d *Deployment) Box(id uint64) (BoxInfo, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	b, ok := d.byID[id]
+	return b, ok
+}
+
+// Boxes lists every deployed box, ordered by ID.
+func (d *Deployment) Boxes() []BoxInfo {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]BoxInfo, 0, len(d.byID))
+	for _, b := range d.byID {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// MarkDead removes a box from future plans (failure handling, §3.1).
+func (d *Deployment) MarkDead(id uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dead[id] = true
+}
+
+// MarkAlive restores a box.
+func (d *Deployment) MarkAlive(id uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.dead, id)
+}
+
+// Dead reports whether a box has been marked failed.
+func (d *Deployment) Dead(id uint64) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.dead[id]
+}
+
+// aliveBoxesAt returns the live boxes on a switch (callers hold no lock).
+func (d *Deployment) aliveBoxesAt(sw string) []BoxInfo {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var out []BoxInfo
+	for _, b := range d.boxes[sw] {
+		if !d.dead[b.ID] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// PathSwitches returns the switches on the up-down path from a worker to
+// the master: up the worker's side to the lowest tier shared with the
+// master, then down the master's side.
+func PathSwitches(worker, master Host) []string {
+	if worker.Name == master.Name {
+		return nil
+	}
+	wu, mu := worker.UpPath(), master.UpPath()
+	// Find the first tier at which the two paths meet.
+	meet := len(wu) - 1
+	for i := range wu {
+		if wu[i] == mu[i] {
+			meet = i
+			break
+		}
+	}
+	path := append([]string(nil), wu[:meet+1]...)
+	for i := meet - 1; i >= 0; i-- {
+		path = append(path, mu[i])
+	}
+	return path
+}
+
+// Chain returns the agg boxes a worker's partial results traverse towards
+// the master for one aggregation tree: at each equipped switch on the path,
+// the box selected by the request/tree hash (§3.1: "The next agg box
+// on-path is determined by hashing an application/request identifier").
+// Dead boxes are skipped, which is how replanning after a failure works.
+func (d *Deployment) Chain(worker, master Host, req uint64, tree int) []BoxInfo {
+	h := topology.FlowHash(0xC4A1, req, uint64(tree)+1)
+	var chain []BoxInfo
+	for _, sw := range PathSwitches(worker, master) {
+		boxes := d.aliveBoxesAt(sw)
+		if len(boxes) == 0 {
+			continue
+		}
+		chain = append(chain, boxes[h%uint64(len(boxes))])
+	}
+	return chain
+}
+
+// TreePlan is one aggregation tree of a request. Each tree is an
+// independent wire-level request (see WireReq), so trees can safely share
+// agg boxes — e.g. the box in the master's rack, which every tree's chain
+// ends at (§3.1).
+type TreePlan struct {
+	// Routes[worker] is the box chain the worker's shim uses (an empty
+	// chain means: send directly to the master).
+	Routes map[string][]BoxInfo
+	// Expect[box ID] counts the distinct direct sources (workers and
+	// upstream boxes) the box must hear an end-of-stream from.
+	Expect map[uint64]int
+	// Finals counts the sources that deliver results to the master shim
+	// for this tree (chain roots plus workers with no on-path box).
+	Finals int
+}
+
+// RequestPlan is the master-side view of a request's aggregation trees.
+type RequestPlan struct {
+	Trees []TreePlan
+}
+
+// TotalFinals counts result deliveries the master waits for across trees.
+func (p *RequestPlan) TotalFinals() int {
+	n := 0
+	for i := range p.Trees {
+		n += p.Trees[i].Finals
+	}
+	return n
+}
+
+// Plan computes the request's aggregation trees. It panics on unknown
+// hosts, which indicates a deployment configuration error.
+func (d *Deployment) Plan(req uint64, master string, workers []string, trees int) *RequestPlan {
+	if trees < 1 {
+		trees = 1
+	}
+	m, ok := d.Host(master)
+	if !ok {
+		panic(fmt.Sprintf("cluster: unknown master host %q", master))
+	}
+	plan := &RequestPlan{Trees: make([]TreePlan, trees)}
+	for tr := 0; tr < trees; tr++ {
+		tp := TreePlan{
+			Routes: make(map[string][]BoxInfo, len(workers)),
+			Expect: make(map[uint64]int),
+		}
+		type edge struct{ up, down uint64 }
+		boxEdges := make(map[edge]bool)
+		roots := make(map[uint64]bool)
+		for _, wname := range workers {
+			w, ok := d.Host(wname)
+			if !ok {
+				panic(fmt.Sprintf("cluster: unknown worker host %q", wname))
+			}
+			chain := d.Chain(w, m, req, tr)
+			tp.Routes[wname] = chain
+			if len(chain) == 0 {
+				tp.Finals++
+				continue
+			}
+			tp.Expect[chain[0].ID]++ // one direct worker stream
+			for i := 0; i+1 < len(chain); i++ {
+				boxEdges[edge{up: chain[i].ID, down: chain[i+1].ID}] = true
+			}
+			roots[chain[len(chain)-1].ID] = true
+		}
+		for e := range boxEdges {
+			tp.Expect[e.down]++
+		}
+		tp.Finals += len(roots)
+		plan.Trees[tr] = tp
+	}
+	return plan
+}
+
+// WireReq encodes a request identifier, aggregation tree index, and
+// recovery attempt into the request id carried on the wire, so every
+// (tree, attempt) is an independent aggregation at the boxes. Trees and
+// attempts are limited to 16 each.
+func WireReq(req uint64, tree, attempt int) uint64 {
+	return req<<8 | uint64(tree&0xF)<<4 | uint64(attempt&0xF)
+}
+
+// DecodeWireReq splits a wire request id.
+func DecodeWireReq(wr uint64) (req uint64, tree, attempt int) {
+	return wr >> 8, int(wr >> 4 & 0xF), int(wr & 0xF)
+}
+
+// RouteAddrs converts a box chain plus the master result address into the
+// wire route carried by THello frames.
+func RouteAddrs(chain []BoxInfo, masterAddr string) []string {
+	out := make([]string, 0, len(chain)+1)
+	for _, b := range chain {
+		out = append(out, b.Addr)
+	}
+	return append(out, masterAddr)
+}

@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"netagg/internal/agg"
+	"netagg/internal/core"
+)
+
+// twoRackDeployment builds the paper's testbed shape: two racks in one pod,
+// one box per ToR plus one at the pod aggregation switch.
+func twoRackDeployment() *Deployment {
+	d := NewDeployment()
+	d.AddHost(Host{Name: "master", Rack: 0, Pod: 0})
+	for i := 0; i < 3; i++ {
+		d.AddHost(Host{Name: hostName(0, i), Rack: 0, Pod: 0})
+		d.AddHost(Host{Name: hostName(1, i), Rack: 1, Pod: 0})
+	}
+	d.AddBox(BoxInfo{ID: 1 << 32, Addr: "127.0.0.1:9001", Switch: "tor:0"})
+	d.AddBox(BoxInfo{ID: 2 << 32, Addr: "127.0.0.1:9002", Switch: "tor:1"})
+	d.AddBox(BoxInfo{ID: 3 << 32, Addr: "127.0.0.1:9003", Switch: "agg:0"})
+	return d
+}
+
+func hostName(rack, i int) string {
+	return string(rune('a'+rack)) + string(rune('0'+i))
+}
+
+func TestPathSwitches(t *testing.T) {
+	sameRack := PathSwitches(Host{Rack: 0, Pod: 0}, Host{Rack: 0, Pod: 0, Name: "x"})
+	if len(sameRack) != 1 || sameRack[0] != "tor:0" {
+		t.Fatalf("same rack path = %v", sameRack)
+	}
+	samePod := PathSwitches(Host{Rack: 0, Pod: 0}, Host{Rack: 1, Pod: 0, Name: "x"})
+	want := []string{"tor:0", "agg:0", "tor:1"}
+	if len(samePod) != 3 || samePod[0] != want[0] || samePod[1] != want[1] || samePod[2] != want[2] {
+		t.Fatalf("same pod path = %v", samePod)
+	}
+	crossPod := PathSwitches(Host{Rack: 0, Pod: 0}, Host{Rack: 2, Pod: 1, Name: "x"})
+	if len(crossPod) != 5 || crossPod[2] != "core" {
+		t.Fatalf("cross pod path = %v", crossPod)
+	}
+	if PathSwitches(Host{Name: "s"}, Host{Name: "s"}) != nil {
+		t.Fatal("same host has no path")
+	}
+}
+
+func TestChainSkipsUnequippedSwitches(t *testing.T) {
+	d := twoRackDeployment()
+	w, _ := d.Host("b0") // rack 1
+	m, _ := d.Host("master")
+	chain := d.Chain(w, m, 1, 0)
+	// Path tor:1 → agg:0 → tor:0, all equipped: 3 boxes.
+	if len(chain) != 3 {
+		t.Fatalf("chain = %v", chain)
+	}
+	if chain[0].Switch != "tor:1" || chain[1].Switch != "agg:0" || chain[2].Switch != "tor:0" {
+		t.Fatalf("chain order wrong: %v", chain)
+	}
+}
+
+func TestChainSkipsDeadBoxes(t *testing.T) {
+	d := twoRackDeployment()
+	w, _ := d.Host("b0")
+	m, _ := d.Host("master")
+	d.MarkDead(3 << 32) // agg box
+	chain := d.Chain(w, m, 1, 0)
+	if len(chain) != 2 {
+		t.Fatalf("chain should skip the dead box: %v", chain)
+	}
+	d.MarkAlive(3 << 32)
+	if len(d.Chain(w, m, 1, 0)) != 3 {
+		t.Fatal("revived box should reappear")
+	}
+}
+
+func TestChainDeterministicPerRequest(t *testing.T) {
+	d := twoRackDeployment()
+	// Scale out: second box at tor:0.
+	d.AddBox(BoxInfo{ID: 9 << 32, Addr: "127.0.0.1:9009", Switch: "tor:0"})
+	w, _ := d.Host("a1")
+	m, _ := d.Host("master")
+	c1 := d.Chain(w, m, 42, 0)
+	c2 := d.Chain(w, m, 42, 0)
+	if c1[0].ID != c2[0].ID {
+		t.Fatal("same request must pick the same box")
+	}
+	// Different requests eventually pick the other box.
+	saw := map[uint64]bool{}
+	for req := uint64(0); req < 32; req++ {
+		saw[d.Chain(w, m, req, 0)[0].ID] = true
+	}
+	if len(saw) != 2 {
+		t.Fatalf("scale-out should spread requests over boxes, saw %v", saw)
+	}
+}
+
+func TestPlanExpectCounts(t *testing.T) {
+	d := twoRackDeployment()
+	plan := d.Plan(5, "master", []string{"a0", "a1", "b0", "b1"}, 1)
+	if len(plan.Trees) != 1 {
+		t.Fatalf("trees = %d", len(plan.Trees))
+	}
+	tp := plan.Trees[0]
+	// a0, a1 (rack 0): chain [tor:0 box]; b0, b1 (rack 1): chain
+	// [tor:1, agg:0, tor:0].
+	tor0, tor1, agg0 := uint64(1<<32), uint64(2<<32), uint64(3<<32)
+	if tp.Expect[tor1] != 2 {
+		t.Fatalf("tor:1 expects %d, want 2 workers", tp.Expect[tor1])
+	}
+	if tp.Expect[agg0] != 1 {
+		t.Fatalf("agg:0 expects %d, want 1 upstream box", tp.Expect[agg0])
+	}
+	if tp.Expect[tor0] != 3 {
+		t.Fatalf("tor:0 expects %d, want 2 workers + 1 upstream box", tp.Expect[tor0])
+	}
+	if tp.Finals != 1 {
+		t.Fatalf("finals = %d, want a single fully aggregated result", tp.Finals)
+	}
+}
+
+func TestPlanNoBoxesDirectDelivery(t *testing.T) {
+	d := NewDeployment()
+	d.AddHost(Host{Name: "m", Rack: 0})
+	d.AddHost(Host{Name: "w1", Rack: 0})
+	d.AddHost(Host{Name: "w2", Rack: 1})
+	plan := d.Plan(1, "m", []string{"w1", "w2"}, 1)
+	tp := plan.Trees[0]
+	if tp.Finals != 2 {
+		t.Fatalf("finals = %d, want 2 direct deliveries", tp.Finals)
+	}
+	if len(tp.Expect) != 0 {
+		t.Fatalf("no boxes should be planned: %v", tp.Expect)
+	}
+}
+
+func TestPlanMultipleTrees(t *testing.T) {
+	d := twoRackDeployment()
+	plan := d.Plan(5, "master", []string{"a0", "b0"}, 2)
+	if len(plan.Trees) != 2 {
+		t.Fatalf("trees = %d", len(plan.Trees))
+	}
+	if plan.TotalFinals() != 2 {
+		t.Fatalf("total finals = %d, want one per tree", plan.TotalFinals())
+	}
+}
+
+func TestWireReqCodec(t *testing.T) {
+	wr := WireReq(12345, 3, 2)
+	req, tree, attempt := DecodeWireReq(wr)
+	if req != 12345 || tree != 3 || attempt != 2 {
+		t.Fatalf("decode = (%d, %d, %d)", req, tree, attempt)
+	}
+}
+
+func TestMonitorDetectsDeadBox(t *testing.T) {
+	reg := agg.NewRegistry()
+	reg.Register("x", agg.Concat{})
+	box, err := core.Start(core.Config{ID: 1 << 32, Registry: reg, Workers: 1, SchedSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := NewDeployment()
+	d.AddBox(BoxInfo{ID: 1 << 32, Addr: box.Addr(), Switch: "tor:0"})
+
+	failed := make(chan BoxInfo, 1)
+	m := NewMonitor(d, 30*time.Millisecond, 2, func(b BoxInfo) { failed <- b })
+	m.Start()
+	defer m.Stop()
+
+	// Healthy at first.
+	select {
+	case b := <-failed:
+		t.Fatalf("healthy box %d reported failed", b.ID)
+	case <-time.After(200 * time.Millisecond):
+	}
+	box.Close()
+	select {
+	case b := <-failed:
+		if b.ID != 1<<32 {
+			t.Fatalf("wrong box failed: %d", b.ID)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("failure not detected")
+	}
+	if !d.Dead(1 << 32) {
+		t.Fatal("box should be marked dead in the deployment")
+	}
+}

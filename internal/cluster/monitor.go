@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"netagg/internal/wire"
+)
+
+// Monitor is the lightweight failure detection service (§3.1 "Handling
+// failures"): it keeps a heartbeat connection to every agg box and marks a
+// box dead in the deployment — removing it from future plans — after a run
+// of missed heartbeats, notifying the registered callback so in-flight
+// requests can be redirected.
+type Monitor struct {
+	dep      *Deployment
+	interval time.Duration
+	misses   int
+	onFail   func(BoxInfo)
+
+	mu      sync.Mutex
+	stopped bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// NewMonitor creates a monitor probing every box each interval and
+// declaring failure after `misses` consecutive missed heartbeats. onFail
+// may be nil.
+func NewMonitor(dep *Deployment, interval time.Duration, misses int, onFail func(BoxInfo)) *Monitor {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	if misses <= 0 {
+		misses = 3
+	}
+	return &Monitor{
+		dep:      dep,
+		interval: interval,
+		misses:   misses,
+		onFail:   onFail,
+		stop:     make(chan struct{}),
+	}
+}
+
+// Start launches one prober per currently deployed box.
+func (m *Monitor) Start() {
+	for _, b := range m.dep.Boxes() {
+		m.wg.Add(1)
+		go m.probe(b)
+	}
+}
+
+// Stop terminates all probers.
+func (m *Monitor) Stop() {
+	m.mu.Lock()
+	if !m.stopped {
+		m.stopped = true
+		close(m.stop)
+	}
+	m.mu.Unlock()
+	m.wg.Wait()
+}
+
+// probe heartbeats one box until failure or Stop.
+func (m *Monitor) probe(b BoxInfo) {
+	defer m.wg.Done()
+	var conn net.Conn
+	var w *wire.Writer
+	var r *wire.Reader
+	missed := 0
+	seq := uint64(0)
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	ticker := time.NewTicker(m.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-ticker.C:
+		}
+		ok := func() bool {
+			if conn == nil {
+				c, err := net.DialTimeout("tcp", b.Addr, m.interval)
+				if err != nil {
+					return false
+				}
+				conn = c
+				w = wire.NewWriter(conn)
+				r = wire.NewReader(conn)
+			}
+			seq++
+			if err := w.Write(&wire.Msg{Type: wire.THeartbeat, Seq: seq}); err != nil {
+				conn.Close()
+				conn = nil
+				return false
+			}
+			if err := w.Flush(); err != nil {
+				conn.Close()
+				conn = nil
+				return false
+			}
+			conn.SetReadDeadline(time.Now().Add(m.interval))
+			msg, err := r.Read()
+			if err != nil || msg.Type != wire.THeartbeat {
+				conn.Close()
+				conn = nil
+				return false
+			}
+			return true
+		}()
+		if ok {
+			missed = 0
+			continue
+		}
+		missed++
+		if missed >= m.misses {
+			m.dep.MarkDead(b.ID)
+			if m.onFail != nil {
+				m.onFail(b)
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,446 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"netagg/internal/agg"
+	"netagg/internal/netem"
+	"netagg/internal/wire"
+)
+
+// Config configures an agg box.
+type Config struct {
+	// ID identifies the box cluster-wide (used as the wire Source of its
+	// forwarded results). Box IDs live above 1<<32 to stay disjoint from
+	// worker indices.
+	ID uint64
+	// Addr is the listen address (":0" picks a free port).
+	Addr string
+	// Workers is the scheduler thread pool size.
+	Workers int
+	// FixedWeights disables the adaptive WFQ correction (Fig 25's
+	// baseline); the default (false) is the paper's adaptive scheduler.
+	FixedWeights bool
+	// Registry supplies each application's aggregation function.
+	Registry *agg.Registry
+	// Shares are per-application target resource shares s_i; missing
+	// applications default to 1.
+	Shares map[string]float64
+	// NIC optionally emulates the box's access link (10 Gbps in the paper).
+	NIC *netem.NIC
+	// MaxPending bounds buffered parts per request (back-pressure).
+	MaxPending int
+	// IdleTimeout garbage-collects requests with no traffic (default 30s).
+	IdleTimeout time.Duration
+	// SchedSeed seeds the WFQ random pick (0 = time-based).
+	SchedSeed int64
+	// MaxCrashes quarantines an application after this many aggregation
+	// panics (default 3); the paper leaves fault isolation to future work,
+	// this is the straightforward realisation.
+	MaxCrashes int
+}
+
+// Box is a running agg box.
+type Box struct {
+	cfg   Config
+	ln    net.Listener
+	sched *Scheduler
+
+	guard *faultGuard
+
+	mu       sync.Mutex
+	requests map[reqKey]*boxRequest
+	pool     *wire.Pool
+	inbound  map[net.Conn]struct{}
+	closed   bool
+
+	stats BoxStats
+
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+// BoxStats aggregates counters across the box's lifetime.
+type BoxStats struct {
+	// BytesIn counts partial-result payload bytes received.
+	BytesIn int64
+	// BytesOut counts forwarded payload bytes.
+	BytesOut int64
+	// Requests counts requests completed.
+	Requests int64
+	// Combines counts aggregation tasks executed.
+	Combines int64
+	// FanoutCopies counts per-next-hop copies made for one-to-many
+	// distribution (the §5 extension).
+	FanoutCopies int64
+}
+
+type reqKey struct {
+	app string
+	req uint64
+}
+
+// boxRequest is the per-request aggregation state.
+type boxRequest struct {
+	key      reqKey
+	tree     *LocalTree
+	route    []string // remaining hops; last entry is the master
+	expected int      // direct sources; -1 until TExpect arrives
+	ends     map[uint64]bool
+	lastSeen time.Time
+	closed   bool
+}
+
+// Start launches a box.
+func Start(cfg Config) (*Box, error) {
+	if cfg.Registry == nil {
+		return nil, errors.New("core: box requires an aggregator registry")
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 64
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 30 * time.Second
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.NIC != nil {
+		ln = netem.NewListener(ln, cfg.NIC)
+	}
+	b := &Box{
+		cfg: cfg,
+		ln:  ln,
+		sched: NewScheduler(SchedulerConfig{
+			Workers:  cfg.Workers,
+			Adaptive: !cfg.FixedWeights,
+			Seed:     cfg.SchedSeed,
+		}),
+		guard:    newFaultGuard(cfg.MaxCrashes),
+		requests: make(map[reqKey]*boxRequest),
+		pool:     newPool(cfg.NIC),
+		inbound:  make(map[net.Conn]struct{}),
+		stop:     make(chan struct{}),
+	}
+	for _, app := range cfg.Registry.Apps() {
+		share := cfg.Shares[app]
+		if share <= 0 {
+			share = 1
+		}
+		b.sched.Register(app, share)
+	}
+	b.wg.Add(2)
+	go b.acceptLoop()
+	go b.janitor()
+	return b, nil
+}
+
+// Addr returns the box's listen address.
+func (b *Box) Addr() string { return b.ln.Addr().String() }
+
+// Scheduler exposes the task scheduler for resource-share measurements
+// (Figs 25-26).
+func (b *Box) Scheduler() *Scheduler { return b.sched }
+
+// Stats returns a snapshot of the box counters.
+func (b *Box) Stats() BoxStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// Close shuts the box down.
+func (b *Box) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	close(b.stop)
+	b.pool.Close()
+	for conn := range b.inbound {
+		conn.Close()
+	}
+	b.mu.Unlock()
+	b.ln.Close()
+	b.sched.Close()
+	b.wg.Wait()
+}
+
+func (b *Box) acceptLoop() {
+	defer b.wg.Done()
+	for {
+		conn, err := b.ln.Accept()
+		if err != nil {
+			return
+		}
+		b.wg.Add(1)
+		go b.serveConn(conn)
+	}
+}
+
+// serveConn handles one inbound persistent connection from a shim or an
+// upstream box.
+func (b *Box) serveConn(conn net.Conn) {
+	defer b.wg.Done()
+	defer conn.Close()
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.inbound[conn] = struct{}{}
+	b.mu.Unlock()
+	defer func() {
+		b.mu.Lock()
+		delete(b.inbound, conn)
+		b.mu.Unlock()
+	}()
+	r := wire.NewReader(conn)
+	w := wire.NewWriter(conn)
+	var wmu sync.Mutex
+	for {
+		m, err := r.Read()
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				b.logf("box %d: read: %v", b.cfg.ID, err)
+			}
+			return
+		}
+		switch m.Type {
+		case wire.THeartbeat:
+			wmu.Lock()
+			if err := w.Write(&wire.Msg{Type: wire.THeartbeat, Source: b.cfg.ID, Seq: m.Seq}); err == nil {
+				err = w.Flush()
+			}
+			wmu.Unlock()
+		case wire.THello, wire.TData, wire.TEnd, wire.TExpect:
+			if err := b.handle(m); err != nil {
+				b.logf("box %d: %s: %v", b.cfg.ID, m.Type, err)
+			}
+		case wire.TFanout:
+			if err := b.handleFanout(m); err != nil {
+				b.logf("box %d: fanout: %v", b.cfg.ID, err)
+			}
+		default:
+			b.logf("box %d: unexpected frame %s", b.cfg.ID, m.Type)
+		}
+	}
+}
+
+// handle processes one aggregation frame. It may block on back-pressure.
+func (b *Box) handle(m *wire.Msg) error {
+	key := reqKey{app: m.App, req: m.Req}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return errors.New("box closed")
+	}
+	req, ok := b.requests[key]
+	if !ok {
+		if m.Type != wire.THello && m.Type != wire.TExpect {
+			// Data for an unknown request: the request may have been
+			// garbage collected after completion (duplicate delivery during
+			// recovery); drop it.
+			b.mu.Unlock()
+			return nil
+		}
+		aggregator, found := b.cfg.Registry.Lookup(m.App)
+		if !found {
+			b.mu.Unlock()
+			return fmt.Errorf("unknown application %q", m.App)
+		}
+		if b.guard.Quarantined(m.App) {
+			b.mu.Unlock()
+			return fmt.Errorf("application %q is quarantined", m.App)
+		}
+		req = &boxRequest{
+			key:      key,
+			expected: -1,
+			ends:     make(map[uint64]bool),
+			lastSeen: time.Now(),
+		}
+		guarded := guardedAggregator{app: m.App, inner: aggregator, guard: b.guard}
+		req.tree = NewLocalTree(b.sched, m.App, guarded, b.cfg.MaxPending, func(result []byte, err error) {
+			b.finishRequest(req, result, err)
+		})
+		b.requests[key] = req
+	}
+	req.lastSeen = time.Now()
+
+	switch m.Type {
+	case wire.THello:
+		route, err := wire.DecodeStrings(m.Payload)
+		if err != nil {
+			b.mu.Unlock()
+			return err
+		}
+		if len(route) == 0 {
+			b.mu.Unlock()
+			return errors.New("empty route")
+		}
+		if req.route == nil {
+			req.route = route
+		} else if !equalRoute(req.route, route) {
+			b.mu.Unlock()
+			return fmt.Errorf("conflicting routes for request %d", m.Req)
+		}
+		b.mu.Unlock()
+		return nil
+
+	case wire.TExpect:
+		count, err := wire.DecodeCount(m.Payload)
+		if err != nil {
+			b.mu.Unlock()
+			return err
+		}
+		req.expected = count
+		b.maybeCloseInputsLocked(req)
+		b.mu.Unlock()
+		return nil
+
+	case wire.TEnd:
+		req.ends[m.Source] = true
+		b.maybeCloseInputsLocked(req)
+		b.mu.Unlock()
+		return nil
+
+	case wire.TData:
+		b.stats.BytesIn += int64(len(m.Payload))
+		tree := req.tree
+		b.mu.Unlock()
+		// Add may block (back-pressure); it must run without b.mu held.
+		tree.Add(m.Payload)
+		return nil
+
+	default:
+		b.mu.Unlock()
+		return fmt.Errorf("unexpected frame %s", m.Type)
+	}
+}
+
+// maybeCloseInputsLocked closes the local tree when every expected source
+// has delivered its end-of-stream.
+func (b *Box) maybeCloseInputsLocked(req *boxRequest) {
+	if req.closed || req.expected < 0 || len(req.ends) < req.expected {
+		return
+	}
+	req.closed = true
+	go req.tree.CloseInputs()
+}
+
+// finishRequest forwards the aggregated result down the route.
+func (b *Box) finishRequest(req *boxRequest, result []byte, err error) {
+	b.mu.Lock()
+	route := req.route
+	delete(b.requests, req.key)
+	b.stats.Requests++
+	b.stats.Combines += req.tree.Combines()
+	if err == nil {
+		b.stats.BytesOut += int64(len(result))
+	}
+	closed := b.closed
+	b.mu.Unlock()
+	if closed {
+		return
+	}
+	if route == nil {
+		b.logf("box %d: request %d completed without a route", b.cfg.ID, req.key.req)
+		return
+	}
+	if err != nil {
+		b.sendError(req.key, route, err)
+		return
+	}
+	if len(route) == 1 {
+		// Next hop is the master: deliver the final result.
+		b.send(route[0], &wire.Msg{
+			Type: wire.TResult, App: req.key.app, Req: req.key.req,
+			Source: b.cfg.ID, Payload: result,
+		})
+		return
+	}
+	// Forward to the next box, chunked under the frame limit.
+	next := route[0]
+	b.send(next, &wire.Msg{
+		Type: wire.THello, App: req.key.app, Req: req.key.req,
+		Source: b.cfg.ID, Payload: wire.EncodeStrings(route[1:]),
+	})
+	const chunk = 1 << 20
+	for off, seq := 0, uint64(0); off < len(result) || seq == 0; seq++ {
+		end := off + chunk
+		if end > len(result) {
+			end = len(result)
+		}
+		b.send(next, &wire.Msg{
+			Type: wire.TData, App: req.key.app, Req: req.key.req,
+			Source: b.cfg.ID, Seq: seq, Payload: result[off:end],
+		})
+		off = end
+		if off >= len(result) {
+			break
+		}
+	}
+	b.send(next, &wire.Msg{
+		Type: wire.TEnd, App: req.key.app, Req: req.key.req, Source: b.cfg.ID,
+	})
+}
+
+// sendError reports a fatal aggregation error to the master.
+func (b *Box) sendError(key reqKey, route []string, err error) {
+	b.send(route[len(route)-1], &wire.Msg{
+		Type: wire.TError, App: key.app, Req: key.req,
+		Source: b.cfg.ID, Payload: []byte(err.Error()),
+	})
+}
+
+// janitor garbage-collects idle requests (lost senders, duplicate state
+// left behind by recovery).
+func (b *Box) janitor() {
+	defer b.wg.Done()
+	tick := time.NewTicker(b.cfg.IdleTimeout / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-b.stop:
+			return
+		case <-tick.C:
+			now := time.Now()
+			b.mu.Lock()
+			for key, req := range b.requests {
+				if now.Sub(req.lastSeen) > b.cfg.IdleTimeout {
+					delete(b.requests, key)
+				}
+			}
+			b.mu.Unlock()
+		}
+	}
+}
+
+func (b *Box) logf(format string, args ...interface{}) {
+	log.Printf(format, args...)
+}
+
+func equalRoute(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

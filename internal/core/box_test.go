@@ -1,0 +1,278 @@
+package core
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"netagg/internal/agg"
+	"netagg/internal/wire"
+)
+
+// testRegistry registers the word-count combiner under "wc".
+func testRegistry() *agg.Registry {
+	r := agg.NewRegistry()
+	r.Register("wc", agg.KVCombiner{Op: agg.OpSum})
+	return r
+}
+
+// resultSink is a minimal master-side result listener.
+type resultSink struct {
+	ln      net.Listener
+	results chan *wire.Msg
+}
+
+func newResultSink(t *testing.T) *resultSink {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &resultSink{ln: ln, results: make(chan *wire.Msg, 64)}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				r := wire.NewReader(conn)
+				for {
+					m, err := r.Read()
+					if err != nil {
+						conn.Close()
+						return
+					}
+					s.results <- m
+				}
+			}()
+		}
+	}()
+	return s
+}
+
+func (s *resultSink) addr() string { return s.ln.Addr().String() }
+
+func (s *resultSink) wait(t *testing.T) *wire.Msg {
+	t.Helper()
+	select {
+	case m := <-s.results:
+		return m
+	case <-time.After(5 * time.Second):
+		t.Fatal("no result received")
+		return nil
+	}
+}
+
+func (s *resultSink) close() { s.ln.Close() }
+
+// sendStream writes a worker's partial-result stream to addr. It reports
+// failures with t.Error so it is safe to run on its own goroutine.
+func sendStream(t *testing.T, addr string, app string, req, source uint64, route []string, parts [][]byte) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	defer conn.Close()
+	w := wire.NewWriter(conn)
+	msgs := []*wire.Msg{{Type: wire.THello, App: app, Req: req, Source: source, Payload: wire.EncodeStrings(route)}}
+	for i, p := range parts {
+		msgs = append(msgs, &wire.Msg{Type: wire.TData, App: app, Req: req, Source: source, Seq: uint64(i), Payload: p})
+	}
+	msgs = append(msgs, &wire.Msg{Type: wire.TEnd, App: app, Req: req, Source: source})
+	for _, m := range msgs {
+		if err := w.Write(m); err != nil {
+			t.Error(err)
+			return
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Error(err)
+	}
+}
+
+func sendExpect(t *testing.T, addr, app string, req uint64, count int) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	w := wire.NewWriter(conn)
+	if err := w.Write(&wire.Msg{Type: wire.TExpect, App: app, Req: req, Payload: wire.EncodeCount(count)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxAggregatesAndDelivers(t *testing.T) {
+	box, err := Start(Config{ID: 1 << 32, Registry: testRegistry(), Workers: 2, SchedSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer box.Close()
+	sink := newResultSink(t)
+	defer sink.close()
+
+	route := []string{sink.addr()}
+	sendExpect(t, box.Addr(), "wc", 7, 3)
+	for w := 0; w < 3; w++ {
+		go sendStream(t, box.Addr(), "wc", 7, uint64(w), route, [][]byte{
+			agg.EncodeKVs([]agg.KV{{Key: "a", Val: 1}}),
+			agg.EncodeKVs([]agg.KV{{Key: "b", Val: 2}}),
+		})
+	}
+	m := sink.wait(t)
+	if m.Type != wire.TResult || m.App != "wc" || m.Req != 7 {
+		t.Fatalf("unexpected result frame %+v", m)
+	}
+	kvs, err := agg.DecodeKVs(m.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 2 || kvs[0].Val != 3 || kvs[1].Val != 6 {
+		t.Fatalf("bad aggregation: %v", kvs)
+	}
+	st := box.Stats()
+	if st.Requests != 1 || st.BytesIn == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBoxChainsToNextBox(t *testing.T) {
+	reg := testRegistry()
+	box2, err := Start(Config{ID: 2 << 32, Registry: reg, Workers: 2, SchedSeed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer box2.Close()
+	box1, err := Start(Config{ID: 1 << 32, Registry: reg, Workers: 2, SchedSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer box1.Close()
+	sink := newResultSink(t)
+	defer sink.close()
+
+	// Two workers feed box1; box1 forwards to box2; a third worker feeds
+	// box2 directly; box2 delivers to the master.
+	sendExpect(t, box1.Addr(), "wc", 9, 2)
+	sendExpect(t, box2.Addr(), "wc", 9, 2) // box1 + the direct worker
+	routeViaBox2 := []string{box2.Addr(), sink.addr()}
+	for w := 0; w < 2; w++ {
+		go sendStream(t, box1.Addr(), "wc", 9, uint64(w), routeViaBox2, [][]byte{
+			agg.EncodeKVs([]agg.KV{{Key: "k", Val: 10}}),
+		})
+	}
+	go sendStream(t, box2.Addr(), "wc", 9, 5, []string{sink.addr()}, [][]byte{
+		agg.EncodeKVs([]agg.KV{{Key: "k", Val: 100}}),
+	})
+
+	m := sink.wait(t)
+	if m.Type != wire.TResult {
+		t.Fatalf("unexpected frame %s", m.Type)
+	}
+	kvs, err := agg.DecodeKVs(m.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 1 || kvs[0].Val != 120 {
+		t.Fatalf("bad chained aggregation: %v", kvs)
+	}
+}
+
+func TestBoxReportsCombineError(t *testing.T) {
+	box, err := Start(Config{ID: 1 << 32, Registry: testRegistry(), Workers: 1, SchedSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer box.Close()
+	sink := newResultSink(t)
+	defer sink.close()
+
+	sendExpect(t, box.Addr(), "wc", 11, 1)
+	sendStream(t, box.Addr(), "wc", 11, 0, []string{sink.addr()}, [][]byte{
+		{0xde, 0xad}, {0xbe, 0xef}, // undecodable pair forces a combine error
+	})
+	m := sink.wait(t)
+	if m.Type != wire.TError {
+		t.Fatalf("expected TError, got %s", m.Type)
+	}
+}
+
+func TestBoxHeartbeatEcho(t *testing.T) {
+	box, err := Start(Config{ID: 1 << 32, Registry: testRegistry(), Workers: 1, SchedSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer box.Close()
+	conn, err := net.Dial("tcp", box.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	w, r := wire.NewWriter(conn), wire.NewReader(conn)
+	if err := w.Write(&wire.Msg{Type: wire.THeartbeat, Seq: 42}); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	m, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != wire.THeartbeat || m.Seq != 42 {
+		t.Fatalf("bad heartbeat echo %+v", m)
+	}
+}
+
+func TestBoxEmptyRequest(t *testing.T) {
+	// A request whose only input sends End with no Data yields an empty
+	// result (the master shim emulates empty partials, §3.2.2).
+	box, err := Start(Config{ID: 1 << 32, Registry: testRegistry(), Workers: 1, SchedSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer box.Close()
+	sink := newResultSink(t)
+	defer sink.close()
+	sendExpect(t, box.Addr(), "wc", 13, 1)
+	sendStream(t, box.Addr(), "wc", 13, 0, []string{sink.addr()}, nil)
+	m := sink.wait(t)
+	if m.Type != wire.TResult || len(m.Payload) != 0 {
+		t.Fatalf("expected empty result, got %+v", m)
+	}
+}
+
+func TestBoxIgnoresLateData(t *testing.T) {
+	box, err := Start(Config{ID: 1 << 32, Registry: testRegistry(), Workers: 1, SchedSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer box.Close()
+	sink := newResultSink(t)
+	defer sink.close()
+	sendExpect(t, box.Addr(), "wc", 17, 1)
+	sendStream(t, box.Addr(), "wc", 17, 0, []string{sink.addr()}, [][]byte{
+		agg.EncodeKVs([]agg.KV{{Key: "x", Val: 1}}),
+	})
+	sink.wait(t)
+	// Late duplicate data (recovery scenario) must not produce a second
+	// result or crash the box.
+	conn, err := net.Dial("tcp", box.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := wire.NewWriter(conn)
+	w.Write(&wire.Msg{Type: wire.TData, App: "wc", Req: 17, Source: 0, Payload: agg.EncodeKVs(nil)})
+	w.Flush()
+	conn.Close()
+	select {
+	case m := <-sink.results:
+		t.Fatalf("unexpected second result %+v", m)
+	case <-time.After(200 * time.Millisecond):
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"errors"
+
+	"netagg/internal/wire"
+)
+
+// handleFanout implements the box side of the one-to-many extension (§5):
+// the box forwards exactly one copy of the payload towards each distinct
+// next hop. Targets whose route ends here-next (a single remaining address)
+// receive the inner payload as a TData frame on their own listener; longer
+// routes are re-bundled into one TFanout per next-hop box.
+func (b *Box) handleFanout(m *wire.Msg) error {
+	f, err := wire.DecodeFanout(m.Payload)
+	if err != nil {
+		return err
+	}
+	byNext := make(map[string][][]string)
+	for _, route := range f.Routes {
+		if len(route) == 0 {
+			return errors.New("fanout route is empty")
+		}
+		byNext[route[0]] = append(byNext[route[0]], route[1:])
+	}
+	for next, rests := range byNext {
+		// A target is a route that ends at this hop.
+		var onward [][]string
+		deliver := false
+		for _, rest := range rests {
+			if len(rest) == 0 {
+				deliver = true
+			} else {
+				onward = append(onward, rest)
+			}
+		}
+		if deliver {
+			b.send(next, &wire.Msg{
+				Type: wire.TData, App: m.App, Req: m.Req,
+				Source: b.cfg.ID, Payload: f.Inner,
+			})
+		}
+		if len(onward) > 0 {
+			sub := wire.FanoutPayload{Inner: f.Inner, Routes: onward}
+			b.send(next, &wire.Msg{
+				Type: wire.TFanout, App: m.App, Req: m.Req,
+				Source: b.cfg.ID, Payload: sub.Encode(),
+			})
+		}
+	}
+	b.mu.Lock()
+	b.stats.FanoutCopies += int64(len(byNext))
+	b.mu.Unlock()
+	return nil
+}

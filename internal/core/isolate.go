@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The paper leaves "mechanisms for isolating faulty or malicious
+// aggregation tasks to future work" (§3.2.1). This file implements the
+// straightforward part: aggregation functions run inside a panic guard, and
+// an application whose function keeps crashing is quarantined — the box
+// stops accepting its requests and reports errors upstream instead of
+// taking the whole middlebox down with it.
+
+// faultGuard tracks per-application crash counts.
+type faultGuard struct {
+	mu          sync.Mutex
+	maxCrashes  int
+	crashes     map[string]int
+	quarantined map[string]bool
+}
+
+func newFaultGuard(maxCrashes int) *faultGuard {
+	if maxCrashes <= 0 {
+		maxCrashes = 3
+	}
+	return &faultGuard{
+		maxCrashes:  maxCrashes,
+		crashes:     make(map[string]int),
+		quarantined: make(map[string]bool),
+	}
+}
+
+// Quarantined reports whether an application has been disabled.
+func (g *faultGuard) Quarantined(app string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.quarantined[app]
+}
+
+// recordCrash counts one crash and returns true if the application just
+// crossed the quarantine threshold.
+func (g *faultGuard) recordCrash(app string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.quarantined[app] {
+		return false
+	}
+	g.crashes[app]++
+	if g.crashes[app] >= g.maxCrashes {
+		g.quarantined[app] = true
+		return true
+	}
+	return false
+}
+
+// guardedAggregator wraps an application's aggregation function with panic
+// isolation: a panicking Combine becomes an error on the request instead of
+// crashing the box, and repeated panics quarantine the application.
+type guardedAggregator struct {
+	app   string
+	inner interface {
+		Name() string
+		Combine(a, b []byte) ([]byte, error)
+	}
+	guard *faultGuard
+}
+
+// Name implements agg.Aggregator.
+func (g guardedAggregator) Name() string { return g.inner.Name() }
+
+// Combine implements agg.Aggregator with panic isolation.
+func (g guardedAggregator) Combine(a, b []byte) (out []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if g.guard.recordCrash(g.app) {
+				err = fmt.Errorf("core: application %q quarantined after repeated crashes (last: %v)", g.app, r)
+			} else {
+				err = fmt.Errorf("core: aggregation function %q panicked: %v", g.app, r)
+			}
+		}
+	}()
+	return g.inner.Combine(a, b)
+}
+
+// Quarantined reports whether the box has disabled an application's
+// aggregation function after repeated crashes.
+func (b *Box) Quarantined(app string) bool {
+	return b.guard.Quarantined(app)
+}

@@ -1,0 +1,30 @@
+package core
+
+import (
+	"net"
+
+	"netagg/internal/netem"
+	"netagg/internal/wire"
+)
+
+// newPool builds the box's outbound connection pool, pacing through the
+// box's NIC when one is configured.
+func newPool(nic *netem.NIC) *wire.Pool {
+	if nic == nil {
+		return &wire.Pool{}
+	}
+	return &wire.Pool{Dial: func(addr string) (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return netem.Wrap(conn, nic), nil
+	}}
+}
+
+// send routes a frame through the box's pooled connection for addr.
+func (b *Box) send(addr string, m *wire.Msg) {
+	if err := b.pool.Send(addr, m); err != nil {
+		b.logf("box %d: send %s to %s: %v", b.cfg.ID, m.Type, addr, err)
+	}
+}

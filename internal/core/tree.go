@@ -1,0 +1,173 @@
+package core
+
+import (
+	"sync"
+
+	"netagg/internal/agg"
+)
+
+// LocalTree is the in-box aggregation structure for one request (§3.2.1
+// "Local aggregation trees"): partial results stream in from the network
+// layer, pairs are combined by aggregation tasks running in parallel on the
+// scheduler, and intermediate results propagate until a single final result
+// remains. Because the aggregation function is associative and commutative,
+// greedily combining any two available parts executes the same computation
+// as a static binary tree with maximal pipelining. A bounded pending-part
+// buffer provides back-pressure: Add blocks when the tree cannot keep up,
+// which in turn stops the network reader and lets TCP throttle the sender
+// ("a back-pressure mechanism ensures that the workers reduce the rate at
+// which they produce partial results").
+type LocalTree struct {
+	app        string
+	aggregator agg.Aggregator
+	sched      *Scheduler
+	maxPending int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	parts    [][]byte
+	inflight int
+	closed   bool
+	finished bool
+	err      error
+	result   []byte
+	onDone   func([]byte, error)
+
+	// BytesIn counts external payload bytes, for throughput measurements.
+	bytesIn int64
+	// combines counts executed aggregation tasks.
+	combines int64
+}
+
+// NewLocalTree creates a tree executing app's aggregation function on
+// sched. onDone is called exactly once, with the final aggregated result
+// (nil if no parts were added) or the first combine error; it must not
+// block. maxPending bounds buffered parts; values < 4 are raised to 4 so a
+// combine can always be scheduled.
+func NewLocalTree(sched *Scheduler, app string, aggregator agg.Aggregator, maxPending int, onDone func([]byte, error)) *LocalTree {
+	if maxPending < 4 {
+		maxPending = 4
+	}
+	t := &LocalTree{
+		app:        app,
+		aggregator: aggregator,
+		sched:      sched,
+		maxPending: maxPending,
+		onDone:     onDone,
+	}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+// Add feeds one partial result. It blocks while the tree's buffer is full
+// (back-pressure) and returns false if the tree already failed or was
+// closed.
+func (t *LocalTree) Add(part []byte) bool {
+	t.mu.Lock()
+	// The budget counts buffered parts and the two inputs of every combine
+	// still queued or running, so a slow aggregator applies back-pressure
+	// instead of letting the scheduler queue grow without bound.
+	for len(t.parts)+2*t.inflight >= t.maxPending && t.err == nil && !t.closed {
+		t.cond.Wait()
+	}
+	if t.err != nil || t.closed {
+		t.mu.Unlock()
+		return false
+	}
+	t.parts = append(t.parts, part)
+	t.bytesIn += int64(len(part))
+	t.scheduleLocked()
+	t.mu.Unlock()
+	return true
+}
+
+// CloseInputs declares that no further parts will be added; once inflight
+// combines drain and a single part remains, onDone fires.
+func (t *LocalTree) CloseInputs() {
+	t.mu.Lock()
+	t.closed = true
+	t.maybeFinishLocked()
+	t.mu.Unlock()
+}
+
+// scheduleLocked starts combine tasks while at least two parts are buffered.
+func (t *LocalTree) scheduleLocked() {
+	for len(t.parts) >= 2 && t.err == nil {
+		a := t.parts[len(t.parts)-1]
+		b := t.parts[len(t.parts)-2]
+		t.parts = t.parts[:len(t.parts)-2]
+		t.inflight++
+		if err := t.sched.Submit(t.app, func() { t.combine(a, b) }); err != nil {
+			t.inflight--
+			t.failLocked(err)
+			return
+		}
+	}
+	t.cond.Broadcast()
+}
+
+// combine is the body of one aggregation task.
+func (t *LocalTree) combine(a, b []byte) {
+	out, err := t.aggregator.Combine(a, b)
+	t.mu.Lock()
+	t.inflight--
+	t.combines++
+	if err != nil {
+		t.failLocked(err)
+		t.mu.Unlock()
+		return
+	}
+	if t.err == nil {
+		t.parts = append(t.parts, out)
+		t.scheduleLocked()
+	}
+	t.maybeFinishLocked()
+	t.mu.Unlock()
+}
+
+// failLocked records the first error and releases waiters.
+func (t *LocalTree) failLocked(err error) {
+	if t.err == nil {
+		t.err = err
+	}
+	t.cond.Broadcast()
+	t.maybeFinishLocked()
+}
+
+// maybeFinishLocked fires onDone when the tree has fully drained.
+func (t *LocalTree) maybeFinishLocked() {
+	if t.finished || t.inflight > 0 {
+		return
+	}
+	if t.err == nil && (!t.closed || len(t.parts) > 1) {
+		return
+	}
+	t.finished = true
+	if t.err == nil && len(t.parts) == 1 {
+		t.result = t.parts[0]
+	}
+	t.parts = nil
+	if t.onDone != nil {
+		// Fire on a fresh goroutine so the callback can safely use the
+		// scheduler or take locks without risking re-entrancy.
+		res, err := t.result, t.err
+		cb := t.onDone
+		t.onDone = nil
+		go cb(res, err)
+	}
+	t.cond.Broadcast()
+}
+
+// BytesIn reports external bytes added so far.
+func (t *LocalTree) BytesIn() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.bytesIn
+}
+
+// Combines reports the number of aggregation tasks executed.
+func (t *LocalTree) Combines() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.combines
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"netagg/internal/agg"
+)
+
+// waitResult collects the onDone callback.
+type waitResult struct {
+	ch chan struct {
+		result []byte
+		err    error
+	}
+}
+
+func newWaitResult() *waitResult {
+	return &waitResult{ch: make(chan struct {
+		result []byte
+		err    error
+	}, 1)}
+}
+
+func (w *waitResult) done(result []byte, err error) {
+	w.ch <- struct {
+		result []byte
+		err    error
+	}{result, err}
+}
+
+func (w *waitResult) wait(t *testing.T) ([]byte, error) {
+	t.Helper()
+	select {
+	case r := <-w.ch:
+		return r.result, r.err
+	case <-time.After(5 * time.Second):
+		t.Fatal("local tree did not complete")
+		return nil, nil
+	}
+}
+
+func TestLocalTreeAggregatesKVs(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{Workers: 4, Seed: 1})
+	defer s.Close()
+	s.Register("wc", 1)
+	wr := newWaitResult()
+	tree := NewLocalTree(s, "wc", agg.KVCombiner{Op: agg.OpSum}, 16, wr.done)
+	for i := 0; i < 50; i++ {
+		if !tree.Add(agg.EncodeKVs([]agg.KV{{Key: "k", Val: 1}, {Key: "x", Val: 2}})) {
+			t.Fatal("Add refused")
+		}
+	}
+	tree.CloseInputs()
+	result, err := wr.wait(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kvs, err := agg.DecodeKVs(result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 2 || kvs[0].Val != 50 || kvs[1].Val != 100 {
+		t.Fatalf("unexpected result %v", kvs)
+	}
+	if tree.Combines() != 49 {
+		t.Fatalf("combines = %d, want 49 (n-1 merges)", tree.Combines())
+	}
+}
+
+func TestLocalTreeSinglePartPassesThrough(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{Workers: 2, Seed: 1})
+	defer s.Close()
+	s.Register("wc", 1)
+	wr := newWaitResult()
+	tree := NewLocalTree(s, "wc", agg.KVCombiner{Op: agg.OpSum}, 8, wr.done)
+	payload := agg.EncodeKVs([]agg.KV{{Key: "solo", Val: 7}})
+	tree.Add(payload)
+	tree.CloseInputs()
+	result, err := wr.wait(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(result) != string(payload) {
+		t.Fatal("single part must pass through unchanged")
+	}
+	if tree.Combines() != 0 {
+		t.Fatal("no combine should run for a single part")
+	}
+}
+
+func TestLocalTreeEmptyInputs(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{Workers: 2, Seed: 1})
+	defer s.Close()
+	s.Register("wc", 1)
+	wr := newWaitResult()
+	tree := NewLocalTree(s, "wc", agg.KVCombiner{Op: agg.OpSum}, 8, wr.done)
+	tree.CloseInputs()
+	result, err := wr.wait(t)
+	if err != nil || result != nil {
+		t.Fatalf("empty tree should yield nil result, got %v / %v", result, err)
+	}
+}
+
+func TestLocalTreeReportsCombineError(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{Workers: 2, Seed: 1})
+	defer s.Close()
+	s.Register("wc", 1)
+	wr := newWaitResult()
+	tree := NewLocalTree(s, "wc", agg.KVCombiner{Op: agg.OpSum}, 8, wr.done)
+	tree.Add([]byte{0xff, 0xff}) // garbage
+	tree.Add([]byte{0xff})
+	tree.CloseInputs()
+	_, err := wr.wait(t)
+	if err == nil {
+		t.Fatal("expected combine error")
+	}
+	// Further adds must be refused.
+	if tree.Add(agg.EncodeKVs(nil)) {
+		t.Fatal("Add should refuse after failure")
+	}
+}
+
+func TestLocalTreeConcurrentFeeders(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{Workers: 8, Seed: 1})
+	defer s.Close()
+	s.Register("wc", 1)
+	wr := newWaitResult()
+	tree := NewLocalTree(s, "wc", agg.KVCombiner{Op: agg.OpSum}, 8, wr.done)
+	const feeders, perFeeder = 16, 100
+	var wg sync.WaitGroup
+	for f := 0; f < feeders; f++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perFeeder; i++ {
+				tree.Add(agg.EncodeKVs([]agg.KV{{Key: "n", Val: 1}}))
+			}
+		}()
+	}
+	wg.Wait()
+	tree.CloseInputs()
+	result, err := wr.wait(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kvs, _ := agg.DecodeKVs(result)
+	if len(kvs) != 1 || kvs[0].Val != feeders*perFeeder {
+		t.Fatalf("lost updates: %v", kvs)
+	}
+	if tree.BytesIn() == 0 {
+		t.Fatal("BytesIn not counted")
+	}
+}
+
+// Back-pressure: with a tiny pending budget and a slow aggregator, Add must
+// block rather than buffer unboundedly.
+func TestLocalTreeBackpressure(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{Workers: 1, Seed: 1})
+	defer s.Close()
+	s.Register("slow", 1)
+	slow := slowAggregator{delay: 20 * time.Millisecond}
+	wr := newWaitResult()
+	tree := NewLocalTree(s, "slow", slow, 4, wr.done)
+
+	start := time.Now()
+	for i := 0; i < 12; i++ {
+		tree.Add(agg.EncodeKVs([]agg.KV{{Key: "k", Val: 1}}))
+	}
+	// 12 adds with a budget of 4 and ~20ms per combine must take at least a
+	// few combine rounds of wall time.
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("adds returned too quickly (%v); back-pressure not applied", elapsed)
+	}
+	tree.CloseInputs()
+	if _, err := wr.wait(t); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type slowAggregator struct {
+	delay time.Duration
+}
+
+func (slowAggregator) Name() string { return "slow" }
+
+func (sa slowAggregator) Combine(a, b []byte) ([]byte, error) {
+	time.Sleep(sa.delay)
+	return agg.KVCombiner{Op: agg.OpSum}.Combine(a, b)
+}
+
+var _ = errors.New

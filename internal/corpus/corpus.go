@@ -1,0 +1,123 @@
+// Package corpus generates the synthetic document collection that stands in
+// for the paper's Wikipedia snapshot (§4.2.1): documents with Zipf-
+// distributed vocabulary drawn from per-category term pools, so both
+// full-text search (top-k / sample) and the CPU-intensive categorise
+// aggregation function have realistic material to work on.
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"netagg/internal/agg"
+	"netagg/internal/stats"
+)
+
+// Config parameterises the generator.
+type Config struct {
+	// Seed makes the corpus reproducible.
+	Seed int64
+	// Docs is the number of documents to generate.
+	Docs int
+	// WordsPerDoc is the mean document length in words.
+	WordsPerDoc int
+	// VocabularySize is the number of distinct common words.
+	VocabularySize int
+	// ZipfS skews word frequencies (1.1 ≈ natural text).
+	ZipfS float64
+}
+
+// DefaultConfig returns a small but non-trivial corpus configuration.
+func DefaultConfig() Config {
+	return Config{
+		Seed:           1,
+		Docs:           2000,
+		WordsPerDoc:    120,
+		VocabularySize: 5000,
+		ZipfS:          1.1,
+	}
+}
+
+// Categories returns the base categories used by the categorise aggregation
+// function, mirroring the paper's Wikipedia base categories.
+func Categories() []agg.Category {
+	return []agg.Category{
+		{Name: "science", Terms: []string{"atom", "energy", "quantum", "theory", "experiment"}},
+		{Name: "history", Terms: []string{"empire", "war", "century", "dynasty", "revolution"}},
+		{Name: "sport", Terms: []string{"match", "team", "goal", "league", "champion"}},
+		{Name: "arts", Terms: []string{"painting", "novel", "symphony", "gallery", "poem"}},
+	}
+}
+
+// Document is one generated document.
+type Document struct {
+	ID    uint64
+	Title string
+	Text  string
+	// Category is the dominant category seeded into the text, for checking
+	// classification results.
+	Category string
+}
+
+// Generate builds the corpus.
+func Generate(cfg Config) []Document {
+	if cfg.Docs <= 0 || cfg.WordsPerDoc <= 0 || cfg.VocabularySize <= 0 {
+		panic(fmt.Sprintf("corpus: invalid config %+v", cfg))
+	}
+	rn := stats.NewRand(cfg.Seed)
+	cats := Categories()
+	vocab := make([]string, cfg.VocabularySize)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("w%04d", i)
+	}
+
+	docs := make([]Document, cfg.Docs)
+	var sb strings.Builder
+	for i := range docs {
+		cat := cats[rn.Intn(len(cats))]
+		sb.Reset()
+		n := cfg.WordsPerDoc/2 + rn.Intn(cfg.WordsPerDoc)
+		for wi := 0; wi < n; wi++ {
+			if wi > 0 {
+				sb.WriteByte(' ')
+			}
+			// Roughly one in eight words comes from the document's category
+			// pool, so classification has a clear but noisy signal.
+			if rn.Intn(8) == 0 {
+				sb.WriteString(cat.Terms[rn.Intn(len(cat.Terms))])
+			} else {
+				sb.WriteString(vocab[rn.Zipf(len(vocab), cfg.ZipfS)])
+			}
+		}
+		docs[i] = Document{
+			ID:       uint64(i + 1),
+			Title:    fmt.Sprintf("doc-%06d", i+1),
+			Text:     sb.String(),
+			Category: cat.Name,
+		}
+	}
+	return docs
+}
+
+// Shard splits documents round-robin over n shards, the way the paper's
+// backends each hold a portion of the index.
+func Shard(docs []Document, n int) [][]Document {
+	if n <= 0 {
+		panic("corpus: shard count must be > 0")
+	}
+	shards := make([][]Document, n)
+	for i, d := range docs {
+		shards[i%n] = append(shards[i%n], d)
+	}
+	return shards
+}
+
+// QueryWords picks q random vocabulary words for a search query (§4.2.1:
+// "each client continuously submits a query for three random words").
+func QueryWords(rn *stats.Rand, vocabSize, q int) []string {
+	out := make([]string, q)
+	for i := range out {
+		out[i] = fmt.Sprintf("w%04d", rn.Zipf(vocabSize, 1.1))
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"netagg/internal/stats"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultConfig())
+	b := Generate(DefaultConfig())
+	if len(a) != len(b) {
+		t.Fatal("same config must give same corpus size")
+	}
+	for i := range a {
+		if a[i].Text != b[i].Text || a[i].Category != b[i].Category {
+			t.Fatalf("doc %d differs between runs", i)
+		}
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	cfg := Config{Seed: 2, Docs: 500, WordsPerDoc: 80, VocabularySize: 300, ZipfS: 1.1}
+	docs := Generate(cfg)
+	if len(docs) != 500 {
+		t.Fatalf("docs = %d", len(docs))
+	}
+	ids := map[uint64]bool{}
+	cats := map[string]int{}
+	for _, d := range docs {
+		if ids[d.ID] {
+			t.Fatalf("duplicate ID %d", d.ID)
+		}
+		ids[d.ID] = true
+		cats[d.Category]++
+		n := len(strings.Fields(d.Text))
+		if n < cfg.WordsPerDoc/2 || n > cfg.WordsPerDoc*2 {
+			t.Fatalf("doc length %d out of range", n)
+		}
+	}
+	if len(cats) != len(Categories()) {
+		t.Fatalf("only %d categories used", len(cats))
+	}
+}
+
+func TestCategorySignalPresent(t *testing.T) {
+	docs := Generate(Config{Seed: 3, Docs: 200, WordsPerDoc: 120, VocabularySize: 400, ZipfS: 1.1})
+	catTerms := map[string][]string{}
+	for _, c := range Categories() {
+		catTerms[c.Name] = c.Terms
+	}
+	withSignal := 0
+	for _, d := range docs {
+		for _, term := range catTerms[d.Category] {
+			if strings.Contains(d.Text, term) {
+				withSignal++
+				break
+			}
+		}
+	}
+	if frac := float64(withSignal) / float64(len(docs)); frac < 0.9 {
+		t.Fatalf("only %.2f of docs carry their category's terms", frac)
+	}
+}
+
+func TestShardBalanced(t *testing.T) {
+	docs := Generate(Config{Seed: 1, Docs: 100, WordsPerDoc: 10, VocabularySize: 50, ZipfS: 1.1})
+	shards := Shard(docs, 7)
+	if len(shards) != 7 {
+		t.Fatalf("shards = %d", len(shards))
+	}
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+		if len(s) < 100/7 || len(s) > 100/7+1 {
+			t.Fatalf("unbalanced shard: %d docs", len(s))
+		}
+	}
+	if total != 100 {
+		t.Fatalf("lost documents: %d", total)
+	}
+}
+
+func TestShardPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Shard(nil, 0)
+}
+
+func TestGeneratePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Generate(Config{Docs: 0})
+}
+
+func TestQueryWordsInVocabulary(t *testing.T) {
+	rn := stats.NewRand(4)
+	for i := 0; i < 100; i++ {
+		words := QueryWords(rn, 300, 3)
+		if len(words) != 3 {
+			t.Fatalf("got %d words", len(words))
+		}
+		for _, w := range words {
+			if !strings.HasPrefix(w, "w0") && !strings.HasPrefix(w, "w1") && !strings.HasPrefix(w, "w2") {
+				t.Fatalf("word %q not from the vocabulary format", w)
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Package cost models data centre upgrade costs for the paper's cost
+// analysis (§2.4, Fig 3). Following the methodology of Popa et al. ("A Cost
+// Comparison of Data Center Network Architectures", CoNEXT'10), network cost
+// is dominated by switch ports and NICs and scales with provisioned
+// capacity; servers (agg boxes) have a fixed unit price. Only cost *ratios*
+// between configurations matter for the figure, so prices are synthetic but
+// in realistic proportion.
+package cost
+
+import (
+	"netagg/internal/topology"
+)
+
+// Prices holds the unit prices in dollars.
+type Prices struct {
+	// PortPerGbps is the cost of one switch port per Gbps of capacity.
+	// A duplex link is priced as two ports (one per end).
+	PortPerGbps float64
+	// Server is the price of one commodity server used as an agg box
+	// (the paper's testbed agg boxes are 16-core Xeon servers).
+	Server float64
+	// NICPerGbps is the per-Gbps price of a server NIC.
+	NICPerGbps float64
+}
+
+// DefaultPrices returns the synthetic price table used for Fig 3.
+func DefaultPrices() Prices {
+	return Prices{PortPerGbps: 40, Server: 2500, NICPerGbps: 10}
+}
+
+// NetworkCost prices a built topology: every duplex link costs two ports at
+// its capacity, and every server-edge link additionally a NIC.
+func NetworkCost(t *topology.Topology, p Prices) float64 {
+	var total float64
+	// Links are directed; price each unordered pair once by only counting
+	// the direction From < To.
+	for i := 0; i < t.NumLinks(); i++ {
+		l := t.Link(topology.LinkID(i))
+		if l.From > l.To {
+			continue
+		}
+		gbps := l.Capacity / topology.Gbps
+		total += 2 * gbps * p.PortPerGbps
+		from, to := t.Node(l.From), t.Node(l.To)
+		if from.Kind == topology.KindServer || to.Kind == topology.KindServer {
+			total += gbps * p.NICPerGbps
+		}
+	}
+	return total
+}
+
+// ClosCost prices a Clos configuration without building the topology.
+func ClosCost(c topology.ClosConfig, p Prices) (float64, error) {
+	t, err := topology.BuildClos(c)
+	if err != nil {
+		return 0, err
+	}
+	return NetworkCost(t, p), nil
+}
+
+// UpgradeCost is the cost of moving from the base fabric to the upgraded
+// one: the price difference of the network, floored at zero (decommissioned
+// capacity is not refunded).
+func UpgradeCost(base, upgraded topology.ClosConfig, p Prices) (float64, error) {
+	cb, err := ClosCost(base, p)
+	if err != nil {
+		return 0, err
+	}
+	cu, err := ClosCost(upgraded, p)
+	if err != nil {
+		return 0, err
+	}
+	if cu < cb {
+		return 0, nil
+	}
+	return cu - cb, nil
+}
+
+// BoxCost prices a NetAgg deployment: n agg boxes, each a server with a NIC
+// and a switch port at the box link capacity.
+func BoxCost(n int, linkCapacity float64, p Prices) float64 {
+	gbps := linkCapacity / topology.Gbps
+	perBox := p.Server + gbps*p.NICPerGbps + gbps*p.PortPerGbps
+	return float64(n) * perBox
+}

@@ -1,0 +1,94 @@
+package cost
+
+import (
+	"testing"
+
+	"netagg/internal/topology"
+)
+
+func TestNetworkCostCountsEachCableOnce(t *testing.T) {
+	topo := topology.New()
+	a := topo.AddNode(topology.KindToR, "a", 0, 0)
+	b := topo.AddNode(topology.KindAgg, "b", -1, 0)
+	topo.AddDuplex(a, b, topology.Gbps)
+	p := Prices{PortPerGbps: 10, Server: 0, NICPerGbps: 5}
+	// One 1 Gbps cable = two ports à $10, no NIC (no server end).
+	if got := NetworkCost(topo, p); got != 20 {
+		t.Fatalf("cost = %g, want 20", got)
+	}
+}
+
+func TestNetworkCostAddsNICForServerLinks(t *testing.T) {
+	topo := topology.New()
+	tor := topo.AddNode(topology.KindToR, "tor", 0, 0)
+	srv := topo.AddNode(topology.KindServer, "s", 0, 0)
+	topo.AddDuplex(srv, tor, topology.Gbps)
+	p := Prices{PortPerGbps: 10, NICPerGbps: 5}
+	if got := NetworkCost(topo, p); got != 25 {
+		t.Fatalf("cost = %g, want 2 ports + 1 NIC = 25", got)
+	}
+}
+
+func TestUpgradeCostOrdering(t *testing.T) {
+	base := topology.DefaultClos() // the paper's 1,024-server scale
+	p := DefaultPrices()
+
+	tenG := base
+	tenG.EdgeCapacity = 10 * topology.Gbps
+	fullBisecTenG := tenG
+	fullBisecTenG.Oversubscription = 1
+	fullBisec1G := base
+	fullBisec1G.Oversubscription = 1
+
+	c10, err := UpgradeCost(base, tenG, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cFull10, err := UpgradeCost(base, fullBisecTenG, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cFull1, err := UpgradeCost(base, fullBisec1G, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig 3's ordering: FullBisec-10G > Oversub-10G > FullBisec-1G > 0.
+	if !(cFull10 > c10 && c10 > cFull1 && cFull1 > 0) {
+		t.Fatalf("cost ordering broken: full10=%g oversub10=%g full1=%g", cFull10, c10, cFull1)
+	}
+	// NetAgg boxes cost a small fraction of the 10G upgrades (§2.4: "with
+	// only a fraction of the cost"). The cheap FullBisec-1G upgrade can be
+	// cheaper than a full box fleet but delivers far less benefit.
+	boxes := BoxCost(base.NumSwitches(), 10*topology.Gbps, p)
+	if boxes >= c10/2 {
+		t.Fatalf("box deployment (%g) should be a fraction of Oversub-10G (%g)", boxes, c10)
+	}
+	if boxes >= cFull10/4 {
+		t.Fatalf("box deployment (%g) should be a small fraction of FullBisec-10G (%g)", boxes, cFull10)
+	}
+}
+
+func TestUpgradeCostFloorsAtZero(t *testing.T) {
+	big := topology.SmallClos()
+	small := big
+	small.EdgeCapacity = big.EdgeCapacity / 10
+	c, err := UpgradeCost(big, small, DefaultPrices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 0 {
+		t.Fatalf("downgrades are not refunded, got %g", c)
+	}
+}
+
+func TestBoxCostLinear(t *testing.T) {
+	p := DefaultPrices()
+	one := BoxCost(1, 10*topology.Gbps, p)
+	ten := BoxCost(10, 10*topology.Gbps, p)
+	if ten != 10*one {
+		t.Fatalf("box cost should be linear: %g vs 10×%g", ten, one)
+	}
+	if one <= p.Server {
+		t.Fatalf("a box must cost more than its bare server: %g", one)
+	}
+}

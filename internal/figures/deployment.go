@@ -1,0 +1,129 @@
+package figures
+
+import (
+	"fmt"
+
+	"netagg/internal/metrics"
+	"netagg/internal/strategies"
+	"netagg/internal/topology"
+)
+
+// Fig12 regenerates Figure 12: the effect of partial NetAgg deployments.
+// First, boxes at a single tier only (ToR / aggregation / core) versus the
+// full deployment; second, a fixed box budget spread over the core tier
+// only, the aggregation tier, or both.
+func Fig12(o Options) *Report {
+	clos := o.Scale.Clos()
+	wcfg := o.workload()
+	spec := strategies.DefaultBoxSpec()
+
+	base := run(scenario{clos: clos, workload: wcfg, strategy: strategies.Rack{}})
+	rackP99 := base.AllFCT.P99()
+
+	netaggAt := func(deploy func(*topology.Topology)) float64 {
+		res := run(scenario{clos: clos, deploy: deploy, workload: wcfg, strategy: strategies.NetAgg{}})
+		return res.AllFCT.P99() / rackP99
+	}
+
+	table := metrics.NewTable(
+		"Fig 12 — relative 99th FCT of partial NetAgg deployments",
+		"deployment", "rel_99th_FCT",
+	)
+	tierConfigs := []struct {
+		name string
+		tier strategies.Tier
+	}{
+		{"tor-only", strategies.TierToR},
+		{"agg-only", strategies.TierAgg},
+		{"core-only", strategies.TierCore},
+		{"full", strategies.TierAll},
+	}
+	for _, tc := range tierConfigs {
+		tier := tc.tier
+		table.AddRow(tc.name, netaggAt(func(t *topology.Topology) {
+			strategies.DeployTiers(t, tier, spec)
+		}))
+	}
+
+	// Fixed budget: as many boxes as there are aggregation-tier switches.
+	budget := clos.Pods * clos.AggPerPod
+	budgetConfigs := []struct {
+		name  string
+		tiers strategies.Tier
+	}{
+		{"budget-core", strategies.TierCore},
+		{"budget-agg", strategies.TierAgg},
+		{"budget-agg+core", strategies.TierAgg | strategies.TierCore},
+	}
+	for _, bc := range budgetConfigs {
+		tiers := bc.tiers
+		table.AddRow(fmt.Sprintf("%s(n=%d)", bc.name, budget), netaggAt(func(t *topology.Topology) {
+			strategies.DeployBudget(t, budget, tiers, spec)
+		}))
+	}
+	return &Report{
+		ID:    "fig12",
+		Title: "Flow completion time relative to baseline with different partial NetAgg deployments",
+		Table: table,
+		Notes: "budget rows spread a fixed number of boxes uniformly over the named tiers",
+	}
+}
+
+// Fig13 regenerates Figure 13: NetAgg in a 10 Gbps-edge network with
+// varying over-subscription, scaling out to 2 and 4 agg boxes per switch.
+func Fig13(o Options) *Report {
+	oversubs := []float64{1, 2, 4, 10}
+	table := metrics.NewTable(
+		"Fig 13 — relative 99th FCT in a 10G network (scale-out boxes per switch)",
+		"oversub_1:x", "netagg_1xbox", "netagg_2xbox", "netagg_4xbox",
+	)
+	for _, ov := range oversubs {
+		clos := o.Scale.Clos()
+		clos.EdgeCapacity = 10 * topology.Gbps
+		clos.Oversubscription = ov
+		base := run(scenario{clos: clos, workload: o.workload(), strategy: strategies.Rack{}})
+		rackP99 := base.AllFCT.P99()
+		row := []interface{}{ov}
+		for _, k := range []int{1, 2, 4} {
+			spec := strategies.DefaultBoxSpec()
+			spec.PerSwitch = k
+			res := run(scenario{
+				clos:     clos,
+				deploy:   deployAll(spec),
+				workload: o.workload(),
+				strategy: strategies.NetAgg{Trees: k},
+			})
+			row = append(row, res.AllFCT.P99()/rackP99)
+		}
+		table.AddRow(row...)
+	}
+	return &Report{
+		ID:    "fig13",
+		Title: "Flow completion time relative to baseline in 10G network with varying over-subscription",
+		Table: table,
+		Notes: "k boxes per switch are load-balanced with k aggregation trees per job",
+	}
+}
+
+// Fig14 regenerates Figure 14: relative 99th FCT with a varying fraction of
+// straggling workers whose flows start late.
+func Fig14(o Options) *Report {
+	ratios := []float64{0, 0.1, 0.2, 0.3, 0.5}
+	table := metrics.NewTable(
+		"Fig 14 — relative 99th FCT vs straggler ratio",
+		"straggler_ratio", "rack", "binary", "chain", "netagg",
+	)
+	for _, r := range ratios {
+		wcfg := o.workload()
+		wcfg.StragglerFraction = r
+		wcfg.StragglerDelayMean = 0.05 // ≈5× the typical FCT in this network
+		rel := relP99(o.Scale.Clos(), wcfg, strategies.DefaultBoxSpec())
+		table.AddRow(r, rel["rack"], rel["binary"], rel["chain"], rel["netagg"])
+	}
+	return &Report{
+		ID:    "fig14",
+		Title: "Flow completion time relative to baseline with varying stragglers",
+		Table: table,
+		Notes: "stragglers start after an exponential delay (mean 50 ms); baseline rack also sees them",
+	}
+}

@@ -1,0 +1,140 @@
+package figures
+
+import (
+	"netagg/internal/metrics"
+	"netagg/internal/simexp"
+	"netagg/internal/strategies"
+)
+
+// cdfPercentiles are the points at which CDF figures are tabulated.
+var cdfPercentiles = []float64{5, 10, 25, 50, 75, 90, 95, 99, 100}
+
+// runBaselines executes all four strategies on the default network and
+// returns results keyed by strategy name.
+func runBaselines(o Options) map[string]*simexp.Result {
+	out := make(map[string]*simexp.Result)
+	for _, st := range baselines() {
+		sc := scenario{clos: o.Scale.Clos(), workload: o.workload(), strategy: st}
+		if _, ok := st.(strategies.NetAgg); ok {
+			sc.deploy = deployAll(strategies.DefaultBoxSpec())
+		}
+		out[st.Name()] = run(sc)
+	}
+	return out
+}
+
+// cdfTable tabulates a per-strategy sample at the standard percentiles.
+func cdfTable(title, unit string, results map[string]*simexp.Result, pick func(*simexp.Result) *metrics.Sample) *metrics.Table {
+	table := metrics.NewTable(title, "percentile",
+		"rack_"+unit, "binary_"+unit, "chain_"+unit, "netagg_"+unit)
+	for _, p := range cdfPercentiles {
+		table.AddRow(p,
+			pick(results["rack"]).Percentile(p),
+			pick(results["binary"]).Percentile(p),
+			pick(results["chain"]).Percentile(p),
+			pick(results["netagg"]).Percentile(p),
+		)
+	}
+	return table
+}
+
+// Fig06 regenerates Figure 6: the CDF of flow completion time of all
+// traffic under rack, binary, chain and NetAgg aggregation.
+func Fig06(o Options) *Report {
+	results := runBaselines(o)
+	return &Report{
+		ID:    "fig06",
+		Title: "CDF of flow completion time of all traffic",
+		Table: cdfTable("Fig 6 — FCT of all traffic (seconds at CDF percentiles)", "s",
+			results, func(r *simexp.Result) *metrics.Sample { return r.AllFCT }),
+	}
+}
+
+// Fig07 regenerates Figure 7: the CDF of flow completion time of the
+// non-aggregatable background traffic only.
+func Fig07(o Options) *Report {
+	results := runBaselines(o)
+	return &Report{
+		ID:    "fig07",
+		Title: "CDF of flow completion time of non-aggregatable traffic",
+		Table: cdfTable("Fig 7 — FCT of non-aggregatable traffic (seconds at CDF percentiles)", "s",
+			results, func(r *simexp.Result) *metrics.Sample { return r.BackgroundFCT }),
+	}
+}
+
+// Fig08 regenerates Figure 8: 99th-percentile FCT relative to rack-level
+// aggregation while varying the aggregation output ratio α.
+func Fig08(o Options) *Report {
+	alphas := []float64{0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 1.0}
+	table := metrics.NewTable(
+		"Fig 8 — relative 99th FCT vs aggregation output ratio α",
+		"alpha", "rack", "binary", "chain", "netagg", "netagg_job",
+	)
+	for _, a := range alphas {
+		wcfg := o.workload()
+		wcfg.OutputRatio = a
+		rel := relP99(o.Scale.Clos(), wcfg, strategies.DefaultBoxSpec())
+		table.AddRow(a, rel["rack"], rel["binary"], rel["chain"], rel["netagg"], rel["netagg_job"])
+	}
+	return &Report{
+		ID:    "fig08",
+		Title: "Flow completion time relative to baseline with varying output ratio α",
+		Table: table,
+		Notes: "netagg_job is job-level completion vs rack's, the metric on which the α→1 convergence shows",
+	}
+}
+
+// Fig09 regenerates Figure 9: the CDF of per-link traffic at α = 10 %,
+// showing that chain and binary trees consume more link bandwidth than rack
+// while NetAgg consumes the least.
+func Fig09(o Options) *Report {
+	results := runBaselines(o)
+	return &Report{
+		ID:    "fig09",
+		Title: "CDF of link traffic (α = 10%)",
+		Table: cdfTable("Fig 9 — per-link traffic (MB at CDF percentiles)", "MB",
+			results, func(r *simexp.Result) *metrics.Sample { return r.LinkMB }),
+	}
+}
+
+// Fig10 regenerates Figure 10: relative 99th FCT while varying the fraction
+// of aggregatable flows.
+func Fig10(o Options) *Report {
+	fractions := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	table := metrics.NewTable(
+		"Fig 10 — relative 99th FCT vs fraction of aggregatable flows",
+		"agg_fraction", "rack", "binary", "chain", "netagg",
+	)
+	for _, f := range fractions {
+		wcfg := o.workload()
+		wcfg.AggregatableFraction = f
+		rel := relP99(o.Scale.Clos(), wcfg, strategies.DefaultBoxSpec())
+		table.AddRow(f, rel["rack"], rel["binary"], rel["chain"], rel["netagg"])
+	}
+	return &Report{
+		ID:    "fig10",
+		Title: "Flow completion time relative to baseline with varying fraction of aggregatable traffic",
+		Table: table,
+	}
+}
+
+// Fig11 regenerates Figure 11: relative 99th FCT while varying the
+// over-subscription ratio of the 1 Gbps network from 1:1 to 1:10.
+func Fig11(o Options) *Report {
+	oversubs := []float64{1, 2, 4, 6, 10}
+	table := metrics.NewTable(
+		"Fig 11 — relative 99th FCT vs over-subscription (1G edge, α = 10%)",
+		"oversub_1:x", "rack", "binary", "chain", "netagg",
+	)
+	for _, ov := range oversubs {
+		clos := o.Scale.Clos()
+		clos.Oversubscription = ov
+		rel := relP99(clos, o.workload(), strategies.DefaultBoxSpec())
+		table.AddRow(ov, rel["rack"], rel["binary"], rel["chain"], rel["netagg"])
+	}
+	return &Report{
+		ID:    "fig11",
+		Title: "Flow completion time relative to baseline with different over-subscription",
+		Table: table,
+	}
+}

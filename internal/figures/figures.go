@@ -1,0 +1,174 @@
+// Package figures regenerates every simulation figure of the paper's
+// evaluation (§2.4 feasibility study and §4.1): each FigNN function runs the
+// required simulations and returns a Report whose table prints the same
+// rows/series as the corresponding figure. The functions are shared by the
+// netagg-sim CLI and the benchmark harness in the repository root.
+package figures
+
+import (
+	"fmt"
+
+	"netagg/internal/metrics"
+	"netagg/internal/simexp"
+	"netagg/internal/strategies"
+	"netagg/internal/topology"
+	"netagg/internal/workload"
+)
+
+// Scale selects the simulated cluster size. Figures default to ScaleMedium,
+// which preserves the topology shape of the paper's 1,024-server cluster at
+// a quarter of the size; ScaleFull is the paper's scale.
+type Scale int
+
+const (
+	// ScaleSmall is a 64-server cluster for tests.
+	ScaleSmall Scale = iota
+	// ScaleMedium is a 256-server cluster, the benchmark default.
+	ScaleMedium
+	// ScaleFull is the paper's 1,024-server cluster.
+	ScaleFull
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	switch s {
+	case ScaleSmall:
+		return "small"
+	case ScaleMedium:
+		return "medium"
+	case ScaleFull:
+		return "full"
+	default:
+		return fmt.Sprintf("scale(%d)", int(s))
+	}
+}
+
+// Clos returns the Clos configuration for a scale.
+func (s Scale) Clos() topology.ClosConfig {
+	switch s {
+	case ScaleSmall:
+		return topology.SmallClos()
+	case ScaleFull:
+		return topology.DefaultClos()
+	default:
+		return topology.ClosConfig{
+			Pods:             4,
+			RacksPerPod:      4,
+			ServersPerRack:   16,
+			AggPerPod:        2,
+			Cores:            4,
+			EdgeCapacity:     topology.Gbps,
+			Oversubscription: 4,
+		}
+	}
+}
+
+// Options configures a figure run.
+type Options struct {
+	Scale Scale
+	Seed  int64
+}
+
+// Report is the regenerated data of one figure.
+type Report struct {
+	// ID is the paper's figure identifier, e.g. "fig06".
+	ID string
+	// Title describes what the figure shows.
+	Title string
+	// Table holds the series the paper plots.
+	Table *metrics.Table
+	// Notes records deviations or parameter choices worth knowing.
+	Notes string
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	s := r.Table.String()
+	if r.Notes != "" {
+		s += "note: " + r.Notes + "\n"
+	}
+	return s
+}
+
+func (o Options) workload() workload.Config {
+	cfg := workload.Default()
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	return cfg
+}
+
+// scenario describes one simulation run.
+type scenario struct {
+	clos     topology.ClosConfig
+	deploy   func(*topology.Topology) // attaches agg boxes; nil for none
+	workload workload.Config
+	strategy strategies.Strategy
+	sf       bool // store-and-forward ablation
+}
+
+// run builds and executes a scenario.
+func run(sc scenario) *simexp.Result {
+	topo, err := topology.BuildClos(sc.clos)
+	if err != nil {
+		panic(fmt.Sprintf("figures: bad Clos config: %v", err))
+	}
+	if sc.deploy != nil {
+		sc.deploy(topo)
+	}
+	w := workload.Generate(topo, sc.workload)
+	return simexp.Run(topo, w, sc.strategy, sc.sf)
+}
+
+// deployAll returns a deploy func attaching the default boxes to all tiers.
+func deployAll(spec strategies.BoxSpec) func(*topology.Topology) {
+	return func(t *topology.Topology) { strategies.DeployTiers(t, strategies.TierAll, spec) }
+}
+
+// baselines is the strategy set most figures compare: rack (the
+// normalisation baseline), binary tree, chain, and NetAgg.
+func baselines() []strategies.Strategy {
+	return []strategies.Strategy{
+		strategies.Rack{},
+		strategies.DAry{D: 2},
+		strategies.DAry{D: 1},
+		strategies.NetAgg{},
+	}
+}
+
+// relP99 runs every baseline strategy on cfg and returns each strategy's
+// 99th-percentile FCT of all flows relative to rack's, plus NetAgg's
+// job-level relative completion under the key "netagg_job" (the per-flow
+// metric is insensitive to reductions that only change *how much* data the
+// master must receive; see DESIGN.md §8).
+func relP99(clos topology.ClosConfig, wcfg workload.Config, spec strategies.BoxSpec) map[string]float64 {
+	out := make(map[string]float64)
+	var rackP99, rackJob float64
+	for _, st := range baselines() {
+		sc := scenario{clos: clos, workload: wcfg, strategy: st}
+		if _, isNetAgg := st.(strategies.NetAgg); isNetAgg {
+			sc.deploy = deployAll(spec)
+		}
+		res := run(sc)
+		p99 := res.AllFCT.P99()
+		switch st.Name() {
+		case "rack":
+			rackP99 = p99
+			rackJob = res.JobFCT.P99()
+		case "netagg":
+			out["netagg_job"] = res.JobFCT.P99()
+		}
+		out[st.Name()] = p99
+	}
+	for k, v := range out {
+		if k == "netagg_job" {
+			out[k] = v / rackJob
+		} else {
+			out[k] = v / rackP99
+		}
+	}
+	return out
+}
+
+// defaultSpec returns the paper's box spec (exported for internal tests).
+func defaultSpec() strategies.BoxSpec { return strategies.DefaultBoxSpec() }

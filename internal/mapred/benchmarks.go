@@ -1,0 +1,200 @@
+package mapred
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"netagg/internal/agg"
+	"netagg/internal/stats"
+)
+
+// Benchmark is one of the paper's five Hadoop workloads (§4.2.2): it
+// generates its own synthetic input and supplies the map function and
+// reduction operator. The generated input size and key cardinality control
+// the aggregation output ratio α.
+type Benchmark struct {
+	// Name is the paper's short code: WC, AP, PR, UV, TS.
+	Name string
+	// Map is the benchmark's map function.
+	Map MapFunc
+	// Op is the per-key reduction.
+	Op agg.KVOp
+	// ReducerCost emulates a compute-heavy reduce (AdPredictor).
+	ReducerCost time.Duration
+	// Gen produces the input splits.
+	Gen func(cfg GenConfig) [][]string
+}
+
+// GenConfig sizes a benchmark's input.
+type GenConfig struct {
+	// Seed makes the input reproducible.
+	Seed int64
+	// Splits is the number of mapper inputs to produce.
+	Splits int
+	// RecordsPerSplit is the number of input records per mapper.
+	RecordsPerSplit int
+	// Keys bounds the distinct key universe; smaller = more reduction
+	// (lower α). Benchmarks with fixed key semantics may ignore it.
+	Keys int
+}
+
+// WordCount counts word occurrences; the output ratio is controlled by the
+// vocabulary size (word repetition), as in Fig 23.
+func WordCount() Benchmark {
+	return Benchmark{
+		Name: "WC",
+		Op:   agg.OpSum,
+		Map: func(rec string, emit func(string, int64)) {
+			for _, w := range strings.Fields(rec) {
+				emit(w, 1)
+			}
+		},
+		Gen: func(cfg GenConfig) [][]string {
+			rn := stats.NewRand(cfg.Seed)
+			return genSplits(cfg, func() string {
+				var sb strings.Builder
+				for i := 0; i < 10; i++ {
+					if i > 0 {
+						sb.WriteByte(' ')
+					}
+					fmt.Fprintf(&sb, "word%06d", rn.Zipf(cfg.Keys, 1.1))
+				}
+				return sb.String()
+			})
+		},
+	}
+}
+
+// AdPredictor aggregates click/impression counts per ad for click-through
+// rate estimation; its reduce step is compute-heavy, which caps NetAgg's
+// speed-up (§4.2.2: "AP exhibits a speed-up of only 1.9 because the
+// benchmark is compute-intensive").
+func AdPredictor() Benchmark {
+	return Benchmark{
+		Name:        "AP",
+		Op:          agg.OpSum,
+		ReducerCost: 2 * time.Millisecond, // per KB at the reducer
+		Map: func(rec string, emit func(string, int64)) {
+			fields := strings.Split(rec, ",")
+			if len(fields) != 2 {
+				return
+			}
+			emit("ad:"+fields[0]+":imp", 1)
+			if fields[1] == "1" {
+				emit("ad:"+fields[0]+":click", 1)
+			}
+		},
+		Gen: func(cfg GenConfig) [][]string {
+			rn := stats.NewRand(cfg.Seed)
+			return genSplits(cfg, func() string {
+				clicked := 0
+				if rn.Float64() < 0.1 {
+					clicked = 1
+				}
+				return fmt.Sprintf("%d,%d", rn.Zipf(cfg.Keys, 1.1), clicked)
+			})
+		},
+	}
+}
+
+// PageRank sums incoming rank contributions per vertex (one synchronous
+// iteration); contributions are scaled to integers.
+func PageRank() Benchmark {
+	return Benchmark{
+		Name: "PR",
+		Op:   agg.OpSum,
+		Map: func(rec string, emit func(string, int64)) {
+			fields := strings.Split(rec, " ")
+			if len(fields) != 3 {
+				return
+			}
+			contrib, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil {
+				return
+			}
+			emit("v:"+fields[1], contrib)
+		},
+		Gen: func(cfg GenConfig) [][]string {
+			rn := stats.NewRand(cfg.Seed)
+			return genSplits(cfg, func() string {
+				src := rn.Intn(cfg.Keys)
+				dst := rn.Zipf(cfg.Keys, 1.2)
+				return fmt.Sprintf("%d %d %d", src, dst, 1000/(1+rn.Intn(9)))
+			})
+		},
+	}
+}
+
+// UserVisits computes ad revenue per source IP from web logs.
+func UserVisits() Benchmark {
+	return Benchmark{
+		Name: "UV",
+		Op:   agg.OpSum,
+		Map: func(rec string, emit func(string, int64)) {
+			fields := strings.Split(rec, ",")
+			if len(fields) != 2 {
+				return
+			}
+			rev, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return
+			}
+			emit("ip:"+fields[0], rev)
+		},
+		Gen: func(cfg GenConfig) [][]string {
+			rn := stats.NewRand(cfg.Seed)
+			return genSplits(cfg, func() string {
+				// Zipf over the shared key universe, rendered as a dotted
+				// address so every mapper sees overlapping source IPs.
+				k := rn.Zipf(cfg.Keys, 1.1)
+				ip := fmt.Sprintf("10.%d.%d.%d", k>>16&255, k>>8&255, k&255)
+				return fmt.Sprintf("%s,%d", ip, 1+rn.Intn(100))
+			})
+		},
+	}
+}
+
+// TeraSort shuffles unique keys with an identity reduce: nothing can be
+// aggregated, so NetAgg yields no benefit (the paper's negative control).
+func TeraSort() Benchmark {
+	return Benchmark{
+		Name: "TS",
+		Op:   agg.OpSum,
+		Map: func(rec string, emit func(string, int64)) {
+			emit(rec, 0)
+		},
+		Gen: func(cfg GenConfig) [][]string {
+			rn := stats.NewRand(cfg.Seed)
+			serial := 0
+			return genSplits(cfg, func() string {
+				serial++
+				return fmt.Sprintf("%016x%08d", rn.Uint64(), serial)
+			})
+		},
+	}
+}
+
+// All returns the paper's benchmark suite in Fig 22 order.
+func All() []Benchmark {
+	return []Benchmark{WordCount(), AdPredictor(), PageRank(), UserVisits(), TeraSort()}
+}
+
+func genSplits(cfg GenConfig, record func() string) [][]string {
+	if cfg.Splits <= 0 || cfg.RecordsPerSplit <= 0 {
+		panic(fmt.Sprintf("mapred: invalid gen config %+v", cfg))
+	}
+	if cfg.Keys <= 0 {
+		cfg.Keys = 1000
+	}
+	splits := make([][]string, cfg.Splits)
+	for i := range splits {
+		recs := make([]string, cfg.RecordsPerSplit)
+		for j := range recs {
+			recs[j] = record()
+		}
+		splits[i] = recs
+	}
+	return splits
+}

@@ -1,0 +1,233 @@
+// Package mapred is a small MapReduce framework, the repository's stand-in
+// for Apache Hadoop (§3.3, §4.2.2): mappers transform input splits into
+// key/value pairs (optionally running a map-side combiner, as Hadoop does),
+// the shuffle ships each mapper's output to the reducer over TCP through
+// the NetAgg worker shims — so agg boxes can run the combiner on-path — and
+// the reducer performs the final per-key reduction. The paper's testbed
+// deployment (10 mappers, 1 reducer, a single aggregation tree) maps to one
+// mapper per testbed worker host and the reducer on the master host.
+package mapred
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"netagg/internal/agg"
+	"netagg/internal/testbed"
+)
+
+// MapFunc transforms one input record into key/value pairs via emit.
+type MapFunc func(record string, emit func(key string, val int64))
+
+// JobConfig configures a job run.
+type JobConfig struct {
+	// App is the NetAgg application name whose combiner the boxes run.
+	App string
+	// Op is the per-key reduction (also used map-side and at the reducer).
+	Op agg.KVOp
+	// MapSideCombine pre-combines each mapper's output, Hadoop's default
+	// behaviour; when false, raw pairs are shuffled.
+	MapSideCombine bool
+	// Trees is the number of aggregation trees for the shuffle.
+	Trees int
+	// ChunkPairs splits a mapper's output into parts of this many pairs so
+	// boxes aggregate the stream chunk by chunk (0 = 4096).
+	ChunkPairs int
+	// ReducerCost emulates per-KB CPU cost at the reducer (AdPredictor's
+	// compute-heavy reduce); zero means none.
+	ReducerCost time.Duration
+}
+
+// Result is a completed job.
+type Result struct {
+	// Output is the final reduced key/value list, key-sorted.
+	Output []agg.KV
+	// MapTime covers running the mappers (and map-side combine).
+	MapTime time.Duration
+	// ShuffleReduceTime covers the shuffle through the network/boxes and
+	// the final reduction — the paper's "shuffle and reduce time (SRT)".
+	ShuffleReduceTime time.Duration
+	// BytesToReducer is the payload volume the reducer's shim received.
+	BytesToReducer int64
+	// IntermediateBytes is the total encoded mapper output shuffled.
+	IntermediateBytes int64
+}
+
+// Run executes a job on the testbed: inputs[i] is the input split of the
+// mapper on worker host i (len(inputs) must not exceed the worker count).
+func Run(tb *testbed.Testbed, jobID uint64, cfg JobConfig, inputs [][]string, mapper MapFunc) (*Result, error) {
+	hosts := tb.WorkerHosts()
+	if len(inputs) > len(hosts) {
+		return nil, fmt.Errorf("mapred: %d splits but only %d worker hosts", len(inputs), len(hosts))
+	}
+	hosts = hosts[:len(inputs)]
+	if cfg.Trees < 1 {
+		cfg.Trees = 1
+	}
+	chunk := cfg.ChunkPairs
+	if chunk <= 0 {
+		chunk = 4096
+	}
+
+	// Map phase (in-process: the map computation is not on NetAgg's path).
+	mapStart := time.Now()
+	parts := make([][][]byte, len(inputs))
+	var intermediate int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := range inputs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pairs := runMapper(inputs[i], mapper, cfg)
+			var encoded [][]byte
+			for off := 0; off < len(pairs) || off == 0; off += chunk {
+				end := off + chunk
+				if end > len(pairs) {
+					end = len(pairs)
+				}
+				enc := agg.EncodeKVs(pairs[off:end])
+				encoded = append(encoded, enc)
+				mu.Lock()
+				intermediate += int64(len(enc))
+				mu.Unlock()
+				if end >= len(pairs) {
+					break
+				}
+			}
+			parts[i] = encoded
+		}(i)
+	}
+	wg.Wait()
+	mapTime := time.Since(mapStart)
+
+	// Shuffle + reduce: register the request, ship every mapper's chunks
+	// through its worker shim, and reduce what arrives.
+	shuffleStart := time.Now()
+	pending, err := tb.Master.Submit(cfg.App, jobID, hosts, cfg.Trees)
+	if err != nil {
+		return nil, err
+	}
+	errs := make(chan error, len(hosts))
+	for i, host := range hosts {
+		wg.Add(1)
+		go func(i int, host string) {
+			defer wg.Done()
+			errs <- tb.Workers[host].SendPartials(cfg.App, jobID, i, testbed.MasterHost, parts[i], cfg.Trees)
+		}(i, host)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := <-pending.C
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	output, received, err := reduce(res.Parts, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Output:            output,
+		MapTime:           mapTime,
+		ShuffleReduceTime: time.Since(shuffleStart),
+		BytesToReducer:    received,
+		IntermediateBytes: intermediate,
+	}, nil
+}
+
+// runMapper maps one split and optionally combines map-side.
+func runMapper(split []string, mapper MapFunc, cfg JobConfig) []agg.KV {
+	if cfg.MapSideCombine {
+		combined := make(map[string]int64)
+		has := make(map[string]bool)
+		for _, rec := range split {
+			mapper(rec, func(k string, v int64) {
+				if !has[k] {
+					has[k] = true
+					combined[k] = v
+					return
+				}
+				combined[k] = reduceVal(cfg.Op, combined[k], v)
+			})
+		}
+		out := make([]agg.KV, 0, len(combined))
+		for k, v := range combined {
+			out = append(out, agg.KV{Key: k, Val: v})
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+		return out
+	}
+	var out []agg.KV
+	for _, rec := range split {
+		mapper(rec, func(k string, v int64) {
+			out = append(out, agg.KV{Key: k, Val: v})
+		})
+	}
+	// Canonical order, and merge duplicate keys within one chunk boundary
+	// happens at the reducer; raw mode intentionally keeps duplicates.
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// reduce merges the shuffled parts into the final output. The reducer
+// re-reads everything it receives even when a box already fully aggregated
+// it, matching the paper's transparency decision ("the reducer is unaware
+// that the results received from the agg box are already final and,
+// regardless, reads them again").
+func reduce(parts [][]byte, cfg JobConfig) ([]agg.KV, int64, error) {
+	var received int64
+	totals := make(map[string]int64)
+	seen := make(map[string]bool)
+	for _, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		received += int64(len(part))
+		if cfg.ReducerCost > 0 {
+			time.Sleep(time.Duration(float64(len(part)) / 1024 * float64(cfg.ReducerCost)))
+		}
+		kvs, err := agg.DecodeKVs(part)
+		if err != nil {
+			return nil, 0, fmt.Errorf("mapred: reduce: %w", err)
+		}
+		for _, kv := range kvs {
+			if !seen[kv.Key] {
+				seen[kv.Key] = true
+				totals[kv.Key] = kv.Val
+				continue
+			}
+			totals[kv.Key] = reduceVal(cfg.Op, totals[kv.Key], kv.Val)
+		}
+	}
+	out := make([]agg.KV, 0, len(totals))
+	for k, v := range totals {
+		out = append(out, agg.KV{Key: k, Val: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, received, nil
+}
+
+func reduceVal(op agg.KVOp, a, b int64) int64 {
+	switch op {
+	case agg.OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case agg.OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	default:
+		return a + b
+	}
+}

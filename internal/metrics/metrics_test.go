@@ -1,0 +1,170 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentileKnownValues(t *testing.T) {
+	s := NewSample(0)
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 100}, {50, 50.5}, {99, 99.01},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("P%g = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileSingleValue(t *testing.T) {
+	s := NewSample(1)
+	s.Add(5)
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := s.Percentile(p); got != 5 {
+			t.Errorf("P%g = %g, want 5", p, got)
+		}
+	}
+}
+
+func TestPercentileEmptyIsNaN(t *testing.T) {
+	s := NewSample(0)
+	if !math.IsNaN(s.Percentile(50)) {
+		t.Fatal("percentile of empty sample must be NaN")
+	}
+	if !math.IsNaN(s.Mean()) || !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Fatal("mean/min/max of empty sample must be NaN")
+	}
+}
+
+func TestPercentileClampsRange(t *testing.T) {
+	s := NewSample(0)
+	s.AddAll([]float64{1, 2, 3})
+	if s.Percentile(-10) != 1 || s.Percentile(200) != 3 {
+		t.Fatal("out-of-range percentiles must clamp")
+	}
+}
+
+func TestMeanMinMaxSum(t *testing.T) {
+	s := NewSample(0)
+	s.AddAll([]float64{4, 1, 7})
+	if s.Mean() != 4 || s.Min() != 1 || s.Max() != 7 || s.Sum() != 12 {
+		t.Fatalf("mean=%g min=%g max=%g sum=%g", s.Mean(), s.Min(), s.Max(), s.Sum())
+	}
+}
+
+func TestCDFMonotoneAndComplete(t *testing.T) {
+	s := NewSample(0)
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(i % 97))
+	}
+	cdf := s.CDF(50)
+	if len(cdf) != 50 {
+		t.Fatalf("CDF has %d points, want 50", len(cdf))
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].F < cdf[i-1].F || cdf[i].Value < cdf[i-1].Value {
+			t.Fatalf("CDF not monotone at %d", i)
+		}
+	}
+	if last := cdf[len(cdf)-1]; last.F != 1 || last.Value != s.Max() {
+		t.Fatalf("CDF must end at (max, 1), got (%g, %g)", last.Value, last.F)
+	}
+}
+
+func TestCDFEmptyAndSmall(t *testing.T) {
+	s := NewSample(0)
+	if s.CDF(10) != nil {
+		t.Fatal("CDF of empty sample must be nil")
+	}
+	s.Add(3)
+	cdf := s.CDF(10)
+	if len(cdf) != 1 || cdf[0].Value != 3 || cdf[0].F != 1 {
+		t.Fatalf("unexpected CDF %+v", cdf)
+	}
+}
+
+func TestRelative(t *testing.T) {
+	a, b := NewSample(0), NewSample(0)
+	a.AddAll([]float64{2, 4, 6})
+	b.AddAll([]float64{4, 8, 12})
+	if got := Relative(a, b, 50); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("Relative = %g, want 0.5", got)
+	}
+}
+
+func TestPercentilePropertyWithinBounds(t *testing.T) {
+	check := func(vs []float64) bool {
+		if len(vs) == 0 {
+			return true
+		}
+		for i := range vs {
+			if math.IsNaN(vs[i]) || math.IsInf(vs[i], 0) {
+				vs[i] = 0
+			}
+		}
+		s := NewSample(0)
+		s.AddAll(vs)
+		sorted := append([]float64(nil), vs...)
+		sort.Float64s(sorted)
+		for _, p := range []float64{0, 10, 50, 90, 99, 100} {
+			v := s.Percentile(p)
+			if v < sorted[0] || v > sorted[len(sorted)-1] {
+				return false
+			}
+		}
+		// Percentiles must be monotone in p.
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := s.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Fig X", "alpha", "netagg", "rack")
+	tb.AddRow(0.1, 0.25, 1.0)
+	tb.AddRow(0.5, 0.6, 1.0)
+	out := tb.String()
+	if !strings.Contains(out, "== Fig X ==") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "alpha") || !strings.Contains(lines[3], "0.25") {
+		t.Fatalf("unexpected rendering:\n%s", out)
+	}
+}
+
+func TestTableAlignsColumns(t *testing.T) {
+	tb := NewTable("", "a", "long-header")
+	tb.AddRow("xxxxxxxxxx", 1)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// The second column must start at the same offset in header and row.
+	if strings.Index(lines[0], "long-header") != strings.Index(lines[2], "1") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+	// No trailing whitespace on any line.
+	for i, l := range lines {
+		if strings.TrimRight(l, " ") != l {
+			t.Fatalf("line %d has trailing spaces:\n%s", i, out)
+		}
+	}
+}

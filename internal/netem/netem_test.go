@@ -1,0 +1,171 @@
+package netem
+
+import (
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGbpsScaling(t *testing.T) {
+	if got := Gbps(1, 100); got != 1.25e6 {
+		t.Fatalf("Gbps(1, 100) = %g, want 1.25e6 B/s", got)
+	}
+	if got := Gbps(10, 0); got != Gbps(10, DefaultScale) {
+		t.Fatalf("zero scale should default, got %g", got)
+	}
+}
+
+func TestLimiterRate(t *testing.T) {
+	l := NewLimiter(1e6, 64*1024) // 1 MB/s
+	start := time.Now()
+	total := 0
+	for total < 400*1024 {
+		l.Wait(32 * 1024)
+		total += 32 * 1024
+	}
+	elapsed := time.Since(start)
+	// 400 KB minus the 64 KB burst at 1 MB/s ≈ 0.33s.
+	if elapsed < 200*time.Millisecond {
+		t.Fatalf("limiter too permissive: %v for 400KB at 1MB/s", elapsed)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("limiter too slow: %v", elapsed)
+	}
+}
+
+func TestLimiterZeroAndNegative(t *testing.T) {
+	l := NewLimiter(1000, 0)
+	l.Wait(0)
+	l.Wait(-5) // must not panic or consume
+}
+
+func TestNewLimiterPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLimiter(0, 0)
+}
+
+// pipe returns a connected TCP pair on loopback.
+func pipe(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var server net.Conn
+	done := make(chan struct{})
+	go func() {
+		server, _ = ln.Accept()
+		close(done)
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	return client, server
+}
+
+func TestConnWriteRateLimited(t *testing.T) {
+	client, server := pipe(t)
+	defer client.Close()
+	defer server.Close()
+	nic := NewNIC("h", 1e8, 1e6) // 1 MB/s out
+	paced := Wrap(client, nic)
+
+	go io.Copy(io.Discard, server)
+	start := time.Now()
+	buf := make([]byte, 64*1024)
+	total := 0
+	for total < 512*1024 {
+		n, err := paced.Write(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	elapsed := time.Since(start)
+	if elapsed < 250*time.Millisecond {
+		t.Fatalf("512KB at 1MB/s finished in %v; pacing broken", elapsed)
+	}
+}
+
+// Two senders sharing one outbound NIC must together respect the NIC rate.
+func TestNICSharedAcrossConns(t *testing.T) {
+	nic := NewNIC("h", 1e8, 1e6)
+	c1a, c1b := pipe(t)
+	c2a, c2b := pipe(t)
+	defer c1a.Close()
+	defer c1b.Close()
+	defer c2a.Close()
+	defer c2b.Close()
+	go io.Copy(io.Discard, c1b)
+	go io.Copy(io.Discard, c2b)
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	send := func(c net.Conn) {
+		defer wg.Done()
+		paced := Wrap(c, nic)
+		buf := make([]byte, 32*1024)
+		for sent := 0; sent < 256*1024; sent += len(buf) {
+			if _, err := paced.Write(buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}
+	wg.Add(2)
+	go send(c1a)
+	go send(c2a)
+	wg.Wait()
+	elapsed := time.Since(start)
+	// 512 KB total at a shared 1 MB/s ≈ 0.45s after burst credit.
+	if elapsed < 250*time.Millisecond {
+		t.Fatalf("shared NIC let 512KB through in %v", elapsed)
+	}
+}
+
+func TestWrapNilNIC(t *testing.T) {
+	a, b := pipe(t)
+	defer a.Close()
+	defer b.Close()
+	if got := Wrap(a, nil); got != a {
+		t.Fatal("nil NIC should return the original conn")
+	}
+}
+
+func TestListenerWrapsAccepted(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nic := NewNIC("srv", 1e6, 1e6)
+	wrapped := NewListener(ln, nic)
+	defer wrapped.Close()
+	go func() {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err == nil {
+			c.Write([]byte("hi"))
+			c.Close()
+		}
+	}()
+	conn, err := wrapped.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, ok := conn.(*Conn); !ok {
+		t.Fatal("accepted conn should be paced")
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,138 @@
+package search
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"netagg/internal/agg"
+	"netagg/internal/netem"
+	"netagg/internal/shim"
+	"netagg/internal/wire"
+)
+
+// FrontendConfig configures the search frontend (the master node).
+type FrontendConfig struct {
+	// App is the NetAgg application name.
+	App string
+	// Master is the frontend's master-side shim.
+	Master *shim.Master
+	// Backends lists each backend's host name and request address, in
+	// worker-index order.
+	Backends []BackendRef
+	// Aggregator performs the frontend's final aggregation step over the
+	// parts the master shim collected (§3.1: with multiple trees "the
+	// master node must perform a final aggregation step").
+	Aggregator agg.Aggregator
+	// Trees is the number of aggregation trees per query.
+	Trees int
+	// NIC optionally paces the frontend's outgoing sub-requests.
+	NIC *netem.NIC
+	// Timeout bounds one query (default 30s).
+	Timeout time.Duration
+}
+
+// BackendRef names one backend.
+type BackendRef struct {
+	Host string
+	Addr string
+}
+
+// Frontend scatters queries to the backends and returns the aggregated
+// result.
+type Frontend struct {
+	cfg   FrontendConfig
+	pool  *wire.Pool
+	reqID atomic.Uint64
+}
+
+// NewFrontend returns a frontend.
+func NewFrontend(cfg FrontendConfig) *Frontend {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.Trees < 1 {
+		cfg.Trees = 1
+	}
+	f := &Frontend{cfg: cfg}
+	f.pool = &wire.Pool{}
+	if cfg.NIC != nil {
+		f.pool = &wire.Pool{Dial: netem.Dialer{NIC: cfg.NIC}.DialAddr}
+	}
+	return f
+}
+
+// Response is one completed query.
+type Response struct {
+	// Docs is the final merged result.
+	Docs []agg.Doc
+	// Raw is the merged payload before decoding (used by categorise, whose
+	// result is per-category).
+	Raw []byte
+	// Latency is the query round-trip time at the frontend.
+	Latency time.Duration
+	// Bytes is the total result payload received by the master shim.
+	Bytes int64
+}
+
+// Query runs one search across all backends.
+func (f *Frontend) Query(terms []string, limit int, withText bool) (*Response, error) {
+	req := f.reqID.Add(1)
+	workers := make([]string, len(f.cfg.Backends))
+	for i, b := range f.cfg.Backends {
+		workers[i] = b.Host
+	}
+	start := time.Now()
+	pending, err := f.cfg.Master.Submit(f.cfg.App, req, workers, f.cfg.Trees)
+	if err != nil {
+		return nil, err
+	}
+	q := &Query{Terms: terms, Limit: limit, WithText: withText, Trees: f.cfg.Trees}
+	payload := q.Encode()
+	for _, b := range f.cfg.Backends {
+		err := f.pool.Send(b.Addr, &wire.Msg{Type: wire.TData, App: f.cfg.App, Req: req, Payload: payload})
+		if err != nil {
+			return nil, fmt.Errorf("search: sub-request to %s: %w", b.Host, err)
+		}
+	}
+	select {
+	case res := <-pending.C:
+		if res.Err != nil {
+			return nil, res.Err
+		}
+		return f.merge(res.Parts, start)
+	case <-time.After(f.cfg.Timeout):
+		return nil, fmt.Errorf("search: query %d timed out", req)
+	}
+}
+
+// merge performs the final aggregation step over the collected parts and
+// decodes the result.
+func (f *Frontend) merge(parts [][]byte, start time.Time) (*Response, error) {
+	var bytes int64
+	for _, p := range parts {
+		bytes += int64(len(p))
+	}
+	var merged []byte
+	for _, p := range parts {
+		if len(p) == 0 {
+			continue
+		}
+		if merged == nil {
+			merged = p
+			continue
+		}
+		var err error
+		merged, err = f.cfg.Aggregator.Combine(merged, p)
+		if err != nil {
+			return nil, fmt.Errorf("search: final aggregation: %w", err)
+		}
+	}
+	resp := &Response{Raw: merged, Latency: time.Since(start), Bytes: bytes}
+	if merged != nil {
+		if docs, err := agg.DecodeDocs(merged); err == nil {
+			resp.Docs = docs
+		}
+	}
+	return resp, nil
+}

@@ -1,0 +1,85 @@
+// Package search is a small distributed full-text search engine, the
+// repository's stand-in for Apache Solr (§3.3, §4.2.1): backend servers
+// each index a shard of the corpus and answer queries with scored partial
+// results; a frontend scatters queries and gathers the results, either
+// directly (plain mode) or through NetAgg's on-path aggregation.
+package search
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"netagg/internal/agg"
+	"netagg/internal/corpus"
+)
+
+// Index is an in-memory inverted index over one shard.
+type Index struct {
+	docs     map[uint64]corpus.Document
+	postings map[string][]posting
+	docCount int
+}
+
+type posting struct {
+	doc uint64
+	tf  int
+}
+
+// NewIndex builds an index over the shard.
+func NewIndex(docs []corpus.Document) *Index {
+	idx := &Index{
+		docs:     make(map[uint64]corpus.Document, len(docs)),
+		postings: make(map[string][]posting),
+		docCount: len(docs),
+	}
+	for _, d := range docs {
+		idx.docs[d.ID] = d
+		counts := make(map[string]int)
+		for _, w := range strings.Fields(d.Text) {
+			counts[w]++
+		}
+		for w, tf := range counts {
+			idx.postings[w] = append(idx.postings[w], posting{doc: d.ID, tf: tf})
+		}
+	}
+	return idx
+}
+
+// NumDocs reports the shard size.
+func (idx *Index) NumDocs() int { return idx.docCount }
+
+// Search scores the shard's documents against the query terms with TF-IDF
+// and returns up to limit results, highest score first. withText attaches
+// the document text (needed by the categorise aggregation function).
+func (idx *Index) Search(terms []string, limit int, withText bool) []agg.Doc {
+	scores := make(map[uint64]float64)
+	for _, term := range terms {
+		posts := idx.postings[term]
+		if len(posts) == 0 {
+			continue
+		}
+		idf := math.Log(1 + float64(idx.docCount)/float64(len(posts)))
+		for _, p := range posts {
+			scores[p.doc] += (1 + math.Log(float64(p.tf))) * idf
+		}
+	}
+	out := make([]agg.Doc, 0, len(scores))
+	for id, score := range scores {
+		d := agg.Doc{ID: id, Score: score}
+		if withText {
+			d.Text = idx.docs[id].Text
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}

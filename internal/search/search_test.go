@@ -1,0 +1,240 @@
+package search
+
+import (
+	"testing"
+
+	"netagg/internal/agg"
+	"netagg/internal/corpus"
+	"netagg/internal/stats"
+	"netagg/internal/testbed"
+)
+
+func TestIndexSearchScoresAndRanks(t *testing.T) {
+	docs := []corpus.Document{
+		{ID: 1, Text: "apple banana apple"},
+		{ID: 2, Text: "banana cherry"},
+		{ID: 3, Text: "cherry cherry cherry"},
+	}
+	idx := NewIndex(docs)
+	if idx.NumDocs() != 3 {
+		t.Fatalf("NumDocs = %d", idx.NumDocs())
+	}
+	res := idx.Search([]string{"apple"}, 10, false)
+	if len(res) != 1 || res[0].ID != 1 {
+		t.Fatalf("apple search = %+v", res)
+	}
+	res = idx.Search([]string{"cherry"}, 10, false)
+	if len(res) != 2 || res[0].ID != 3 {
+		t.Fatalf("cherry ranking = %+v", res)
+	}
+	// Limit applies.
+	if res := idx.Search([]string{"banana", "cherry"}, 1, false); len(res) != 1 {
+		t.Fatalf("limit ignored: %+v", res)
+	}
+	// Unknown terms give no results.
+	if res := idx.Search([]string{"zzz"}, 10, false); len(res) != 0 {
+		t.Fatalf("unknown term matched: %+v", res)
+	}
+}
+
+func TestIndexWithText(t *testing.T) {
+	idx := NewIndex([]corpus.Document{{ID: 1, Text: "hello world"}})
+	res := idx.Search([]string{"hello"}, 0, true)
+	if len(res) != 1 || res[0].Text != "hello world" {
+		t.Fatalf("text missing: %+v", res)
+	}
+	res = idx.Search([]string{"hello"}, 0, false)
+	if res[0].Text != "" {
+		t.Fatal("text should be omitted")
+	}
+}
+
+func TestQueryCodecRoundTrip(t *testing.T) {
+	q := &Query{Terms: []string{"a", "bb"}, Limit: 7, WithText: true, Trees: 2}
+	out, err := DecodeQuery(q.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Terms) != 2 || out.Terms[1] != "bb" || out.Limit != 7 || !out.WithText || out.Trees != 2 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	if _, err := DecodeQuery([]byte{0xff}); err == nil {
+		t.Fatal("expected error for corrupt query")
+	}
+}
+
+// newSearchRig deploys a search cluster over a testbed with topk
+// aggregation; boxes=0 gives the plain deployment.
+func newSearchRig(t *testing.T, boxes int) (*testbed.Testbed, *Cluster) {
+	t.Helper()
+	reg := agg.NewRegistry()
+	reg.Register("search", agg.TopK{K: 10})
+	tb, err := testbed.New(testbed.Config{
+		Racks:          2,
+		WorkersPerRack: 3,
+		BoxesPerSwitch: boxes,
+		Registry:       reg,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tb.Close)
+	cl, err := Deploy(tb, DeployConfig{
+		App:        "search",
+		Corpus:     corpus.Config{Seed: 1, Docs: 600, WordsPerDoc: 60, VocabularySize: 500, ZipfS: 1.1},
+		Aggregator: agg.TopK{K: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return tb, cl
+}
+
+func TestDistributedSearchPlain(t *testing.T) {
+	_, cl := newSearchRig(t, 0)
+	rn := stats.NewRand(2)
+	resp, err := cl.Frontend.Query(corpus.QueryWords(rn, 500, 3), 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Docs) == 0 {
+		t.Fatal("no results")
+	}
+	if len(resp.Docs) > 10 {
+		t.Fatalf("top-k overflow: %d", len(resp.Docs))
+	}
+	for i := 1; i < len(resp.Docs); i++ {
+		if resp.Docs[i].Score > resp.Docs[i-1].Score {
+			t.Fatal("results not ranked")
+		}
+	}
+}
+
+// The aggregated deployment must return exactly the same top-k as the plain
+// one: on-path aggregation is transparent to the application (§3).
+func TestDistributedSearchNetAggMatchesPlain(t *testing.T) {
+	_, plain := newSearchRig(t, 0)
+	_, netagg := newSearchRig(t, 1)
+	rn := stats.NewRand(3)
+	for q := 0; q < 5; q++ {
+		terms := corpus.QueryWords(rn, 500, 3)
+		a, err := plain.Frontend.Query(terms, 10, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := netagg.Frontend.Query(terms, 10, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Docs) != len(b.Docs) {
+			t.Fatalf("query %v: %d vs %d results", terms, len(a.Docs), len(b.Docs))
+		}
+		for i := range a.Docs {
+			if a.Docs[i].ID != b.Docs[i].ID {
+				t.Fatalf("query %v: rank %d differs: %d vs %d", terms, i, a.Docs[i].ID, b.Docs[i].ID)
+			}
+		}
+	}
+}
+
+func TestDistributedSearchNetAggReducesMasterBytes(t *testing.T) {
+	_, plain := newSearchRig(t, 0)
+	_, netagg := newSearchRig(t, 1)
+	rn := stats.NewRand(4)
+	terms := corpus.QueryWords(rn, 500, 3)
+	a, err := plain.Frontend.Query(terms, 50, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := netagg.Frontend.Query(terms, 50, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Bytes >= a.Bytes {
+		t.Fatalf("netagg master bytes %d should be below plain %d", b.Bytes, a.Bytes)
+	}
+}
+
+func TestSearchCategorise(t *testing.T) {
+	cat := agg.Categorise{K: 5, Categories: corpus.Categories()}
+	reg := agg.NewRegistry()
+	reg.Register("search-cat", cat)
+	tb, err := testbed.New(testbed.Config{
+		Racks:          1,
+		WorkersPerRack: 4,
+		BoxesPerSwitch: 1,
+		Registry:       reg,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tb.Close)
+	cl, err := Deploy(tb, DeployConfig{
+		App:        "search-cat",
+		Corpus:     corpus.Config{Seed: 1, Docs: 400, WordsPerDoc: 80, VocabularySize: 400, ZipfS: 1.1},
+		Aggregator: cat,
+		Categorise: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+
+	rn := stats.NewRand(5)
+	resp, err := cl.Frontend.Query(corpus.QueryWords(rn, 400, 3), 50, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per, err := cat.TopPerCategory(resp.Raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, docs := range per {
+		if len(docs) > 5 {
+			t.Fatalf("category exceeded K: %d", len(docs))
+		}
+		total += len(docs)
+	}
+	if total == 0 {
+		t.Fatal("categorise returned nothing")
+	}
+}
+
+func TestMultipleTreesSearch(t *testing.T) {
+	reg := agg.NewRegistry()
+	reg.Register("search", agg.TopK{K: 10})
+	tb, err := testbed.New(testbed.Config{
+		Racks:          2,
+		WorkersPerRack: 2,
+		BoxesPerSwitch: 2, // scale-out so trees use disjoint boxes
+		Registry:       reg,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tb.Close)
+	cl, err := Deploy(tb, DeployConfig{
+		App:        "search",
+		Corpus:     corpus.Config{Seed: 1, Docs: 400, WordsPerDoc: 60, VocabularySize: 300, ZipfS: 1.1},
+		Aggregator: agg.TopK{K: 10},
+		Trees:      2,
+		ChunkDocs:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	rn := stats.NewRand(6)
+	resp, err := cl.Frontend.Query(corpus.QueryWords(rn, 300, 3), 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Docs) == 0 {
+		t.Fatal("no results over multiple trees")
+	}
+}

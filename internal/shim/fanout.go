@@ -1,0 +1,64 @@
+package shim
+
+import (
+	"fmt"
+
+	"netagg/internal/cluster"
+	"netagg/internal/wire"
+)
+
+// Fanout distributes one payload to many workers through the agg box
+// overlay — the paper's proposed one-to-many extension (§5): instead of the
+// master sending a copy per worker over its own uplink, a single copy
+// travels to each on-path box, which replicates it towards its subtree.
+// targets maps each worker host name to the listener address the payload
+// should be delivered to (as a TData frame carrying app/req). Workers with
+// no on-path box receive their copy directly from the master.
+func (m *Master) Fanout(app string, req uint64, inner []byte, targets map[string]string) error {
+	dep := m.cfg.Deployment
+	masterHost := m.cfg.Host
+	byFirst := make(map[string][][]string)
+	for worker, addr := range targets {
+		wh, ok := dep.Host(worker)
+		if !ok {
+			return fmt.Errorf("shim: unknown worker host %q", worker)
+		}
+		// The chain from the worker towards the master, reversed, is the
+		// master's route towards the worker.
+		chain := dep.Chain(wh, masterHost, req, 0)
+		route := make([]string, 0, len(chain)+1)
+		for i := len(chain) - 1; i >= 0; i-- {
+			route = append(route, chain[i].Addr)
+		}
+		route = append(route, addr)
+		byFirst[route[0]] = append(byFirst[route[0]], route[1:])
+	}
+	for first, rests := range byFirst {
+		var direct bool
+		var onward [][]string
+		for _, rest := range rests {
+			if len(rest) == 0 {
+				direct = true
+			} else {
+				onward = append(onward, rest)
+			}
+		}
+		if direct {
+			// The first hop is the target itself (no boxes on the path).
+			if err := m.pool.Send(first, &wire.Msg{
+				Type: wire.TData, App: app, Req: cluster.WireReq(req, 0, 0), Payload: inner,
+			}); err != nil {
+				return err
+			}
+		}
+		if len(onward) > 0 {
+			f := wire.FanoutPayload{Inner: inner, Routes: onward}
+			if err := m.pool.Send(first, &wire.Msg{
+				Type: wire.TFanout, App: app, Req: cluster.WireReq(req, 0, 0), Payload: f.Encode(),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package shim
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"netagg/internal/cluster"
+	"netagg/internal/wire"
+)
+
+// fanoutSink is a worker-side listener collecting delivered payloads.
+type fanoutSink struct {
+	srv *wire.Server
+
+	mu       sync.Mutex
+	payloads [][]byte
+}
+
+func newFanoutSink(t *testing.T) *fanoutSink {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &fanoutSink{}
+	s.srv = wire.Serve(ln, func(_ net.Conn, m *wire.Msg) {
+		if m.Type != wire.TData {
+			return
+		}
+		s.mu.Lock()
+		s.payloads = append(s.payloads, append([]byte(nil), m.Payload...))
+		s.mu.Unlock()
+	})
+	t.Cleanup(s.srv.Close)
+	return s
+}
+
+func (s *fanoutSink) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.payloads)
+}
+
+func TestFanoutDeliversOncePerTarget(t *testing.T) {
+	r := newRig(t, 0)
+	sinks := map[string]*fanoutSink{}
+	targets := map[string]string{}
+	for _, host := range []string{"w0", "w1", "w2", "w3"} {
+		s := newFanoutSink(t)
+		sinks[host] = s
+		targets[host] = s.srv.Addr()
+	}
+	payload := []byte("iteration-7-model-parameters")
+	if err := r.master.Fanout("wc", 42, payload, targets); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for host, s := range sinks {
+		for s.count() == 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("worker %s never received the broadcast", host)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if s.count() != 1 {
+			t.Fatalf("worker %s received %d copies", host, s.count())
+		}
+		s.mu.Lock()
+		got := string(s.payloads[0])
+		s.mu.Unlock()
+		if got != string(payload) {
+			t.Fatalf("worker %s got %q", host, got)
+		}
+	}
+	// The boxes replicated: each box should have made at least one copy.
+	var copies int64
+	for _, b := range r.boxes {
+		copies += b.Stats().FanoutCopies
+	}
+	if copies == 0 {
+		t.Fatal("no box participated in the fanout")
+	}
+}
+
+func TestFanoutDirectWhenNoBoxes(t *testing.T) {
+	dep := cluster.NewDeployment()
+	dep.AddHost(cluster.Host{Name: "master", Rack: 0})
+	dep.AddHost(cluster.Host{Name: "w0", Rack: 0})
+	dep.AddHost(cluster.Host{Name: "w1", Rack: 1})
+	master, err := NewMaster(MasterConfig{Host: cluster.Host{Name: "master", Rack: 0}, Deployment: dep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(master.Close)
+	sinks := map[string]*fanoutSink{}
+	targets := map[string]string{}
+	for _, h := range []string{"w0", "w1"} {
+		s := newFanoutSink(t)
+		sinks[h] = s
+		targets[h] = s.srv.Addr()
+	}
+	if err := master.Fanout("wc", 7, []byte("direct"), targets); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for host, s := range sinks {
+		for s.count() == 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("worker %s never received the direct copy", host)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+func TestFanoutUnknownWorker(t *testing.T) {
+	r := newRig(t, 0)
+	err := r.master.Fanout("wc", 9, []byte("x"), map[string]string{"ghost": "127.0.0.1:1"})
+	if err == nil {
+		t.Fatal("expected error for unknown worker host")
+	}
+}
+
+func TestFanoutCodecRoundTrip(t *testing.T) {
+	in := wire.FanoutPayload{
+		Inner:  []byte("payload"),
+		Routes: [][]string{{"a:1", "b:2"}, {"c:3"}, {}},
+	}
+	out, err := wire.DecodeFanout(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out.Inner) != "payload" || len(out.Routes) != 3 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	if len(out.Routes[0]) != 2 || out.Routes[0][1] != "b:2" || len(out.Routes[2]) != 0 {
+		t.Fatalf("routes mismatch: %+v", out.Routes)
+	}
+	if _, err := wire.DecodeFanout([]byte{0xff}); err == nil {
+		t.Fatal("expected error for corrupt fanout payload")
+	}
+}

@@ -1,0 +1,411 @@
+package shim
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netagg/internal/cluster"
+	"netagg/internal/netem"
+	"netagg/internal/wire"
+)
+
+// MasterConfig configures a master-side shim.
+type MasterConfig struct {
+	// Host is the master's position in the cluster.
+	Host cluster.Host
+	// Deployment is the shared cluster state.
+	Deployment *cluster.Deployment
+	// NIC optionally paces the master's traffic (the 1 Gbps frontend link
+	// whose congestion NetAgg relieves).
+	NIC *netem.NIC
+	// StragglerTimeout redirects a request that has not completed in time
+	// (§3.1 "Handling stragglers"); 0 disables recovery.
+	StragglerTimeout time.Duration
+	// MaxAttempts bounds recovery attempts per request (default 3; the wire
+	// encoding supports at most 16).
+	MaxAttempts int
+}
+
+// Result is a completed request's aggregated data.
+type Result struct {
+	// Parts holds the final payloads: one per aggregation tree root plus
+	// one per worker that had no on-path box. The application performs the
+	// final aggregation step over them (§3.1).
+	Parts [][]byte
+	// Err is non-nil if aggregation failed or recovery attempts ran out.
+	Err error
+	// Attempts is the number of recovery attempts used (0 = first try).
+	Attempts int
+}
+
+// Pending is a request registered with the master shim.
+type Pending struct {
+	// C delivers the request's result exactly once.
+	C <-chan Result
+
+	c       chan Result
+	req     uint64
+	workers []string
+	trees   int
+	app     string
+
+	mu          sync.Mutex
+	attempt     int
+	needed      int // sources that must deliver before completion
+	sourcesDone int
+	received    [][]byte
+	partsBy     map[srcKey][][]byte
+	timer       *time.Timer
+	boxes       map[uint64]bool // boxes used by the current attempt's plan
+	done        bool
+}
+
+type srcKey struct {
+	wireReq uint64
+	source  uint64
+}
+
+// Master is a master host's shim layer.
+type Master struct {
+	cfg  MasterConfig
+	ln   net.Listener
+	pool *wire.Pool
+
+	mu      sync.Mutex
+	pending map[pendKey]*Pending
+	inbound map[net.Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+
+	bytesIn atomic.Int64
+}
+
+type pendKey struct {
+	app string
+	req uint64
+}
+
+// NewMaster starts the master shim's result listener and registers its
+// address in the deployment.
+func NewMaster(cfg MasterConfig) (*Master, error) {
+	if cfg.Deployment == nil {
+		return nil, fmt.Errorf("shim: master requires a deployment")
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.MaxAttempts > 15 {
+		cfg.MaxAttempts = 15
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	if cfg.NIC != nil {
+		ln = netem.NewListener(ln, cfg.NIC)
+	}
+	m := &Master{
+		cfg:     cfg,
+		ln:      ln,
+		pool:    poolWithNIC(cfg.NIC),
+		pending: make(map[pendKey]*Pending),
+		inbound: make(map[net.Conn]struct{}),
+	}
+	cfg.Deployment.SetResultAddr(cfg.Host.Name, ln.Addr().String())
+	m.wg.Add(1)
+	go m.acceptLoop()
+	return m, nil
+}
+
+// ResultAddr returns the listener address results arrive on.
+func (m *Master) ResultAddr() string { return m.ln.Addr().String() }
+
+// Close stops the shim. Outstanding requests fail with an error.
+func (m *Master) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	pend := make([]*Pending, 0, len(m.pending))
+	for _, p := range m.pending {
+		pend = append(pend, p)
+	}
+	m.pending = map[pendKey]*Pending{}
+	for conn := range m.inbound {
+		conn.Close()
+	}
+	m.mu.Unlock()
+	for _, p := range pend {
+		p.fail(fmt.Errorf("shim: master closed"))
+	}
+	m.ln.Close()
+	m.pool.Close()
+	m.wg.Wait()
+}
+
+// Submit registers a request: it plans the aggregation trees, announces the
+// expected source counts to every box involved (§3.2.2 "Partial result
+// collection"), and returns a Pending whose channel delivers the result.
+// The workers' shims must be told to SendPartials separately (normally by
+// the application's sub-requests).
+func (m *Master) Submit(app string, req uint64, workers []string, trees int) (*Pending, error) {
+	if trees < 1 {
+		trees = 1
+	}
+	if trees > 16 {
+		return nil, fmt.Errorf("shim: at most 16 trees, got %d", trees)
+	}
+	p := &Pending{
+		c:       make(chan Result, 1),
+		req:     req,
+		app:     app,
+		workers: workers,
+		trees:   trees,
+		partsBy: make(map[srcKey][][]byte),
+	}
+	p.C = p.c
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("shim: master closed")
+	}
+	key := pendKey{app, req}
+	if _, dup := m.pending[key]; dup {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("shim: request %d already pending", req)
+	}
+	m.pending[key] = p
+	m.mu.Unlock()
+
+	if err := m.arm(p, 0); err != nil {
+		m.remove(p)
+		return nil, err
+	}
+	return p, nil
+}
+
+// arm plans an attempt, announces expectations, and starts the straggler
+// timer.
+func (m *Master) arm(p *Pending, attempt int) error {
+	plan := m.cfg.Deployment.Plan(p.req, m.cfg.Host.Name, p.workers, p.trees)
+
+	p.mu.Lock()
+	p.attempt = attempt
+	p.needed = plan.TotalFinals()
+	p.sourcesDone = 0
+	p.received = nil
+	p.partsBy = make(map[srcKey][][]byte)
+	p.boxes = make(map[uint64]bool)
+	for _, tp := range plan.Trees {
+		for id := range tp.Expect {
+			p.boxes[id] = true
+		}
+	}
+	if p.timer != nil {
+		p.timer.Stop()
+	}
+	if m.cfg.StragglerTimeout > 0 {
+		p.timer = time.AfterFunc(m.cfg.StragglerTimeout, func() { m.redirect(p) })
+	}
+	p.mu.Unlock()
+
+	for tree, tp := range plan.Trees {
+		wireReq := cluster.WireReq(p.req, tree, attempt)
+		for boxID, count := range tp.Expect {
+			box, ok := m.cfg.Deployment.Box(boxID)
+			if !ok {
+				continue
+			}
+			err := m.pool.Send(box.Addr, &wire.Msg{
+				Type: wire.TExpect, App: p.app, Req: wireReq,
+				Payload: wire.EncodeCount(count),
+			})
+			if err != nil {
+				return fmt.Errorf("shim: expect to box %d: %w", boxID, err)
+			}
+		}
+	}
+	return nil
+}
+
+// redirect advances a pending request to the next recovery attempt: it
+// replans around dead boxes and tells every worker shim to resend (§3.1).
+func (m *Master) redirect(p *Pending) {
+	p.mu.Lock()
+	if p.done {
+		p.mu.Unlock()
+		return
+	}
+	attempt := p.attempt + 1
+	p.mu.Unlock()
+	if attempt > m.cfg.MaxAttempts {
+		p.fail(fmt.Errorf("shim: request %d failed after %d attempts", p.req, attempt-1))
+		m.remove(p)
+		return
+	}
+	if err := m.arm(p, attempt); err != nil {
+		p.fail(err)
+		m.remove(p)
+		return
+	}
+	for _, worker := range p.workers {
+		addr, ok := m.cfg.Deployment.ControlAddr(worker)
+		if !ok {
+			continue
+		}
+		m.pool.Send(addr, &wire.Msg{
+			Type: wire.TRedirect, App: p.app, Req: p.req,
+			Payload: wire.EncodeCount(attempt),
+		})
+	}
+}
+
+// OnBoxFailure triggers immediate recovery of every pending request whose
+// current plan includes the failed box, instead of waiting for the
+// straggler timeout. Wire it to a cluster.Monitor.
+func (m *Master) OnBoxFailure(boxID uint64) {
+	m.mu.Lock()
+	var affected []*Pending
+	for _, p := range m.pending {
+		p.mu.Lock()
+		if p.boxes[boxID] && !p.done {
+			affected = append(affected, p)
+		}
+		p.mu.Unlock()
+	}
+	m.mu.Unlock()
+	for _, p := range affected {
+		m.redirect(p)
+	}
+}
+
+func (m *Master) remove(p *Pending) {
+	m.mu.Lock()
+	delete(m.pending, pendKey{p.app, p.req})
+	m.mu.Unlock()
+}
+
+// fail delivers an error result once.
+func (p *Pending) fail(err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done {
+		return
+	}
+	p.done = true
+	if p.timer != nil {
+		p.timer.Stop()
+	}
+	p.c <- Result{Err: err, Attempts: p.attempt}
+}
+
+// acceptLoop serves the result listener.
+func (m *Master) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			return
+		}
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			conn.Close()
+			return
+		}
+		m.inbound[conn] = struct{}{}
+		m.mu.Unlock()
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			defer func() {
+				m.mu.Lock()
+				delete(m.inbound, conn)
+				m.mu.Unlock()
+				conn.Close()
+			}()
+			r := wire.NewReader(conn)
+			for {
+				msg, err := r.Read()
+				if err != nil {
+					return
+				}
+				m.handle(msg)
+			}
+		}()
+	}
+}
+
+// ResultBytes reports the total payload bytes the result listener has
+// received, for throughput measurements.
+func (m *Master) ResultBytes() int64 { return m.bytesIn.Load() }
+
+// handle processes one frame arriving at the result listener: TResult from
+// a box, TData/TEnd streams from workers with no on-path box, or TError.
+func (m *Master) handle(msg *wire.Msg) {
+	if msg.Type == wire.TResult || msg.Type == wire.TData {
+		m.bytesIn.Add(int64(len(msg.Payload)))
+	}
+	req, _, attempt := cluster.DecodeWireReq(msg.Req)
+	m.mu.Lock()
+	p, ok := m.pending[pendKey{msg.App, req}]
+	m.mu.Unlock()
+	if !ok {
+		return // completed or unknown: duplicate delivery from recovery
+	}
+
+	p.mu.Lock()
+	if p.done || attempt != p.attempt {
+		p.mu.Unlock()
+		return
+	}
+	complete := false
+	switch msg.Type {
+	case wire.TResult:
+		// A fully aggregated result from an agg box chain root.
+		if len(msg.Payload) > 0 {
+			p.received = append(p.received, msg.Payload)
+		}
+		p.sourcesDone++
+		complete = p.sourcesDone >= p.needed
+	case wire.TData:
+		// A chunk from a worker with no on-path box.
+		k := srcKey{msg.Req, msg.Source}
+		p.partsBy[k] = append(p.partsBy[k], msg.Payload)
+	case wire.TEnd:
+		k := srcKey{msg.Req, msg.Source}
+		p.received = append(p.received, p.partsBy[k]...)
+		delete(p.partsBy, k)
+		p.sourcesDone++
+		complete = p.sourcesDone >= p.needed
+	case wire.TError:
+		p.done = true
+		if p.timer != nil {
+			p.timer.Stop()
+		}
+		p.c <- Result{Err: fmt.Errorf("shim: aggregation failed: %s", msg.Payload), Attempts: p.attempt}
+		p.mu.Unlock()
+		m.remove(p)
+		return
+	default:
+		p.mu.Unlock()
+		return
+	}
+	if complete {
+		p.done = true
+		if p.timer != nil {
+			p.timer.Stop()
+		}
+		parts := p.received
+		p.c <- Result{Parts: parts, Attempts: p.attempt}
+		p.mu.Unlock()
+		m.remove(p)
+		return
+	}
+	p.mu.Unlock()
+}

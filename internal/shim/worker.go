@@ -1,0 +1,268 @@
+// Package shim implements NetAgg's shim layers (§3.2.2): the worker-side
+// shim that transparently redirects partial results to the first agg box on
+// the path towards the master (partitioning them across aggregation trees),
+// and the master-side shim that announces expected partial-result counts to
+// the boxes, collects aggregated results, emulates the missing partials
+// towards the application, and drives straggler/failure recovery.
+package shim
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"netagg/internal/cluster"
+	"netagg/internal/netem"
+	"netagg/internal/topology"
+	"netagg/internal/wire"
+)
+
+// WorkerConfig configures a worker-side shim.
+type WorkerConfig struct {
+	// Host is this worker's position in the cluster.
+	Host cluster.Host
+	// Deployment is the shared cluster state.
+	Deployment *cluster.Deployment
+	// NIC optionally paces this host's traffic (1 Gbps edge link).
+	NIC *netem.NIC
+	// Retention bounds how long sent partial results stay buffered for
+	// recovery resends (default 30s).
+	Retention time.Duration
+}
+
+// Worker is a worker host's shim layer.
+type Worker struct {
+	cfg  WorkerConfig
+	pool *wire.Pool
+	ctl  net.Listener
+
+	mu       sync.Mutex
+	buffered map[bufKey]*bufferedSend
+	inbound  map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+type bufKey struct {
+	app string
+	req uint64
+}
+
+// bufferedSend remembers a sent request so a TRedirect can replay it along
+// a freshly planned route (§3.1: recovery resends redirect "future partial
+// results"; we keep the already produced ones since workers in the paper
+// equally hold their outputs until fetched).
+type bufferedSend struct {
+	app       string
+	req       uint64
+	workerIdx int
+	master    string
+	parts     [][]byte
+	trees     int
+	sentAt    time.Time
+	// lastAttempt dedups redirects: the master's straggler timer and the
+	// failure monitor may both request the same attempt, and replaying it
+	// twice would double-count the data at the boxes.
+	lastAttempt int
+}
+
+// NewWorker starts the worker shim, including its control listener for
+// redirect messages, and registers its control address in the deployment.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Deployment == nil {
+		return nil, fmt.Errorf("shim: worker requires a deployment")
+	}
+	if cfg.Retention <= 0 {
+		cfg.Retention = 30 * time.Second
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	w := &Worker{
+		cfg:      cfg,
+		pool:     poolWithNIC(cfg.NIC),
+		ctl:      ln,
+		buffered: make(map[bufKey]*bufferedSend),
+		inbound:  make(map[net.Conn]struct{}),
+	}
+	cfg.Deployment.SetControlAddr(cfg.Host.Name, ln.Addr().String())
+	w.wg.Add(1)
+	go w.controlLoop()
+	return w, nil
+}
+
+// poolWithNIC builds a frame connection pool paced by the host NIC.
+func poolWithNIC(nic *netem.NIC) *wire.Pool {
+	if nic == nil {
+		return &wire.Pool{}
+	}
+	return &wire.Pool{Dial: func(addr string) (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return netem.Wrap(conn, nic), nil
+	}}
+}
+
+// ControlAddr returns the shim's control listener address.
+func (w *Worker) ControlAddr() string { return w.ctl.Addr().String() }
+
+// Close stops the shim.
+func (w *Worker) Close() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	for conn := range w.inbound {
+		conn.Close()
+	}
+	w.mu.Unlock()
+	w.ctl.Close()
+	w.pool.Close()
+	w.wg.Wait()
+}
+
+// SendPartials ships one worker's partial results for a request towards the
+// master: partitioned across the aggregation trees, each stream redirected
+// to the first on-path agg box (or straight to the master if no box is on
+// the path). workerIdx must be unique among the request's workers.
+func (w *Worker) SendPartials(app string, req uint64, workerIdx int, master string, parts [][]byte, trees int) error {
+	if trees < 1 {
+		trees = 1
+	}
+	b := &bufferedSend{
+		app: app, req: req, workerIdx: workerIdx,
+		master: master, parts: parts, trees: trees, sentAt: time.Now(),
+	}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return fmt.Errorf("shim: worker closed")
+	}
+	w.buffered[bufKey{app, req}] = b
+	// Opportunistic retention cleanup.
+	cutoff := time.Now().Add(-w.cfg.Retention)
+	for k, old := range w.buffered {
+		if old.sentAt.Before(cutoff) {
+			delete(w.buffered, k)
+		}
+	}
+	w.mu.Unlock()
+	return w.send(b, 0)
+}
+
+// send transmits the buffered request at the given recovery attempt.
+func (w *Worker) send(b *bufferedSend, attempt int) error {
+	dep := w.cfg.Deployment
+	masterHost, ok := dep.Host(b.master)
+	if !ok {
+		return fmt.Errorf("shim: unknown master host %q", b.master)
+	}
+	resultAddr, ok := dep.ResultAddr(b.master)
+	if !ok {
+		return fmt.Errorf("shim: master %q has no result address", b.master)
+	}
+	for tree := 0; tree < b.trees; tree++ {
+		wireReq := cluster.WireReq(b.req, tree, attempt)
+		chain := dep.Chain(w.cfg.Host, masterHost, b.req, tree)
+		target := resultAddr
+		var msgs []*wire.Msg
+		if len(chain) > 0 {
+			target = chain[0].Addr
+			msgs = append(msgs, &wire.Msg{
+				Type: wire.THello, App: b.app, Req: wireReq,
+				Source:  uint64(b.workerIdx),
+				Payload: wire.EncodeStrings(cluster.RouteAddrs(chain[1:], resultAddr)),
+			})
+		}
+		seq := uint64(0)
+		for pi, part := range b.parts {
+			if b.trees > 1 && treeOf(b.req, pi, b.trees) != tree {
+				continue
+			}
+			msgs = append(msgs, &wire.Msg{
+				Type: wire.TData, App: b.app, Req: wireReq,
+				Source: uint64(b.workerIdx), Seq: seq, Payload: part,
+			})
+			seq++
+		}
+		msgs = append(msgs, &wire.Msg{
+			Type: wire.TEnd, App: b.app, Req: wireReq, Source: uint64(b.workerIdx),
+		})
+		if err := w.pool.Get(target).SendAll(msgs); err != nil {
+			return fmt.Errorf("shim: send tree %d to %s: %w", tree, target, err)
+		}
+	}
+	return nil
+}
+
+// treeOf partitions partial results across trees by hashing the part index
+// with the request id (§3.1: "the shim layers at the worker nodes partition
+// partial results across the trees ... by hashing request identifiers or
+// keys in the data").
+func treeOf(req uint64, partIdx, trees int) int {
+	return int(topology.FlowHash(0x7EE, req, uint64(partIdx)) % uint64(trees))
+}
+
+// controlLoop serves redirect messages from master shims.
+func (w *Worker) controlLoop() {
+	defer w.wg.Done()
+	for {
+		conn, err := w.ctl.Accept()
+		if err != nil {
+			return
+		}
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			conn.Close()
+			return
+		}
+		w.inbound[conn] = struct{}{}
+		w.mu.Unlock()
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			defer func() {
+				w.mu.Lock()
+				delete(w.inbound, conn)
+				w.mu.Unlock()
+				conn.Close()
+			}()
+			r := wire.NewReader(conn)
+			for {
+				m, err := r.Read()
+				if err != nil {
+					return
+				}
+				if m.Type != wire.TRedirect {
+					continue
+				}
+				attempt, err := wire.DecodeCount(m.Payload)
+				if err != nil {
+					continue
+				}
+				w.mu.Lock()
+				b, ok := w.buffered[bufKey{m.App, m.Req}]
+				if ok && attempt <= b.lastAttempt {
+					ok = false // duplicate or stale redirect
+				}
+				if ok {
+					b.lastAttempt = attempt
+				}
+				w.mu.Unlock()
+				if ok {
+					// Replan happens inside send: dead boxes are excluded
+					// from chains, and the new attempt id keeps the replayed
+					// streams distinct at every box.
+					_ = w.send(b, attempt)
+				}
+			}
+		}()
+	}
+}

@@ -1,0 +1,32 @@
+package simexp
+
+import (
+	"testing"
+
+	"netagg/internal/strategies"
+	"netagg/internal/topology"
+	"netagg/internal/workload"
+)
+
+// TestFullScaleRun exercises the paper's full 1,024-server topology once as
+// a correctness and performance canary. Skipped with -short.
+func TestFullScaleRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale simulation skipped in short mode")
+	}
+	topo, err := topology.BuildClos(topology.DefaultClos())
+	if err != nil {
+		t.Fatal(err)
+	}
+	strategies.DeployTiers(topo, strategies.TierAll, strategies.DefaultBoxSpec())
+	w := workload.Generate(topo, workload.Default())
+	if w.NumFlows() < 3000 {
+		t.Fatalf("expected thousands of flows at full scale, got %d", w.NumFlows())
+	}
+	res := Run(topo, w, strategies.NetAgg{}, false)
+	if res.AllFCT.Len() == 0 || res.Duration <= 0 {
+		t.Fatal("full-scale run produced no measurements")
+	}
+	t.Logf("flows=%d jobs=%d events=%d allocations=%d p99=%.4gs",
+		w.NumFlows(), len(w.Jobs), res.Stats.Events, res.Stats.Allocations, res.AllFCT.P99())
+}

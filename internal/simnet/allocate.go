@@ -1,0 +1,285 @@
+package simnet
+
+import (
+	"math"
+	"sort"
+)
+
+// localRate is the transfer rate assigned to flows that cross no network
+// resource (source and destination on the same server); it stands in for
+// loopback/memory bandwidth and just needs to dwarf any link rate.
+const localRate = 1e12
+
+// bufEps is the buffer level (bits) below which a fed flow is considered
+// production-limited rather than backlog-limited.
+const bufEps = 1e-3
+
+// maxCapIters bounds the fixed-point iteration between the max-min
+// allocation and the production-rate caps of fed flows. The dependency
+// graph is a tree of bounded depth (worker → ToR box → aggregation box →
+// core box → master), so a handful of iterations reaches the fixed point.
+const maxCapIters = 8
+
+// allocate computes the max-min fair rate for every active flow, iterating
+// to a fixed point with the streaming caps: a fed flow whose buffer is empty
+// can send no faster than its inputs produce (§3.2.1 back-pressure).
+func (s *Sim) allocate(active []FlowID) {
+	for _, id := range active {
+		s.flows[id].cap = math.Inf(1)
+	}
+	fill := s.waterfill
+	if s.NaiveAllocation {
+		fill = s.naiveFill
+	}
+	for iter := 0; iter < maxCapIters; iter++ {
+		fill(active)
+		s.report.Allocations++
+		changed := false
+		for _, id := range active {
+			f := &s.flows[id]
+			c := math.Inf(1)
+			if len(f.spec.Inputs) > 0 && !f.producedAll() && f.produced-f.sent <= bufEps {
+				c = s.productionRate(f)
+			}
+			if !capsEqual(c, f.cap) {
+				changed = true
+			}
+			f.cap = c
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+func capsEqual(a, b float64) bool {
+	if math.IsInf(a, 1) || math.IsInf(b, 1) {
+		return math.IsInf(a, 1) && math.IsInf(b, 1)
+	}
+	diff := math.Abs(a - b)
+	return diff <= eps || diff <= 1e-6*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// shareEntry is a lazy min-heap entry: the fair share of a resource at the
+// time it was pushed. Shares only grow as flows freeze (a flow freezes at a
+// rate no higher than every share, so removing it cannot lower any share),
+// which makes stale entries safe: on pop, the entry is re-validated against
+// the current share and re-pushed if it grew.
+type shareEntry struct {
+	share float64
+	res   ResourceID
+}
+
+type shareHeap []shareEntry
+
+func (h *shareHeap) push(e shareEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].share <= (*h)[i].share {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *shareHeap) pop() shareEntry {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && old[l].share < old[smallest].share {
+			smallest = l
+		}
+		if r < n && old[r].share < old[smallest].share {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		old[i], old[smallest] = old[smallest], old[i]
+		i = smallest
+	}
+	return top
+}
+
+// naiveFill assigns every active flow the minimum equal share over its
+// resources, capped by the flow's own cap. Unlike max-min fairness it never
+// redistributes capacity left behind by flows bottlenecked elsewhere.
+func (s *Sim) naiveFill(active []FlowID) {
+	s.stamp++
+	for _, id := range active {
+		f := &s.flows[id]
+		for _, r := range f.spec.Resources {
+			res := &s.resources[r]
+			if res.stamp != s.stamp {
+				res.stamp = s.stamp
+				res.count = 0
+			}
+			res.count++
+		}
+	}
+	for _, id := range active {
+		f := &s.flows[id]
+		rate := math.Min(f.cap, localRate)
+		for _, r := range f.spec.Resources {
+			res := &s.resources[r]
+			if share := res.capacity / float64(res.count); share < rate {
+				rate = share
+			}
+		}
+		if rate < 0 {
+			rate = 0
+		}
+		f.rate = rate
+	}
+}
+
+// waterfill runs progressive filling: the rate of every unfrozen flow rises
+// uniformly until either a resource saturates (its unfrozen flows freeze at
+// the fair share) or a flow reaches its cap (it freezes at the cap). This is
+// the standard max-min fair allocation with per-flow caps that models TCP's
+// steady-state sharing (§4.1: "implements TCP max-min flow fairness").
+func (s *Sim) waterfill(active []FlowID) {
+	// Collect the resources touched by active flows.
+	s.stamp++
+	touched := s.touchedScratch[:0]
+	for _, id := range active {
+		f := &s.flows[id]
+		f.frozen = false
+		f.rate = 0
+		for _, r := range f.spec.Resources {
+			res := &s.resources[r]
+			if res.stamp != s.stamp {
+				res.stamp = s.stamp
+				res.avail = res.capacity
+				res.count = 0
+				touched = append(touched, r)
+			}
+			res.count++
+		}
+	}
+	s.touchedScratch = touched
+
+	unfrozen := len(active)
+
+	freeze := func(id FlowID, rate float64) {
+		f := &s.flows[id]
+		f.frozen = true
+		f.rate = rate
+		for _, r := range f.spec.Resources {
+			res := &s.resources[r]
+			res.avail -= rate
+			if res.avail < 0 {
+				res.avail = 0
+			}
+			res.count--
+		}
+		unfrozen--
+	}
+
+	// Flows with no network resources are only production/cap limited.
+	// Flows with zero cap cannot send this round.
+	capped := s.cappedScratch[:0]
+	for _, id := range active {
+		f := &s.flows[id]
+		if f.cap <= eps {
+			freeze(id, 0)
+			continue
+		}
+		if len(f.spec.Resources) == 0 {
+			freeze(id, math.Min(f.cap, localRate))
+			continue
+		}
+		if !math.IsInf(f.cap, 1) {
+			capped = append(capped, id)
+		}
+	}
+	s.cappedScratch = capped
+	sort.Slice(capped, func(i, j int) bool {
+		return s.flows[capped[i]].cap < s.flows[capped[j]].cap
+	})
+	nextCap := 0
+
+	// Seed the share heap with every touched resource's initial fair share.
+	h := s.heapScratch[:0]
+	heap := (*shareHeap)(&h)
+	for _, r := range touched {
+		res := &s.resources[r]
+		if res.count > 0 {
+			heap.push(shareEntry{share: res.avail / float64(res.count), res: r})
+		}
+	}
+
+	for unfrozen > 0 {
+		// Pop until a heap entry reflects the current share of its resource.
+		smin := math.Inf(1)
+		var rmin ResourceID = -1
+		for len(*heap) > 0 {
+			e := (*heap)[0]
+			res := &s.resources[e.res]
+			if res.count <= 0 {
+				heap.pop()
+				continue
+			}
+			cur := res.avail / float64(res.count)
+			if cur > e.share*(1+1e-12)+eps {
+				// Stale (share grew since push): refresh.
+				heap.pop()
+				heap.push(shareEntry{share: cur, res: e.res})
+				continue
+			}
+			smin = cur
+			rmin = e.res
+			break
+		}
+
+		// Next binding flow cap.
+		for nextCap < len(capped) && s.flows[capped[nextCap]].frozen {
+			nextCap++
+		}
+		capmin := math.Inf(1)
+		if nextCap < len(capped) {
+			capmin = s.flows[capped[nextCap]].cap
+		}
+
+		switch {
+		case capmin <= smin:
+			// Caps bind first: freeze every unfrozen flow whose cap has been
+			// reached at that cap.
+			for nextCap < len(capped) && s.flows[capped[nextCap]].cap <= smin+eps {
+				id := capped[nextCap]
+				if !s.flows[id].frozen {
+					freeze(id, s.flows[id].cap)
+				}
+				nextCap++
+			}
+		case rmin >= 0:
+			// A resource saturates: freeze its unfrozen flows at the share.
+			heap.pop()
+			res := &s.resources[rmin]
+			for _, id := range res.active {
+				if !s.flows[id].frozen {
+					freeze(id, smin)
+				}
+			}
+		default:
+			// No binding resource and no finite cap: remaining flows are
+			// unconstrained (should not happen — every network flow crosses
+			// at least one resource). Freeze at local rate to make progress.
+			for _, id := range active {
+				if !s.flows[id].frozen {
+					freeze(id, localRate)
+				}
+			}
+		}
+	}
+	s.heapScratch = h[:0]
+}

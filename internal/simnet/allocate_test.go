@@ -1,0 +1,132 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+)
+
+// activateAll puts every flow in the active state the way Run does, so the
+// allocator can be exercised directly.
+func activateAll(s *Sim) []FlowID {
+	active := make([]FlowID, 0, len(s.flows))
+	for i := range s.flows {
+		f := &s.flows[i]
+		f.state = stateActive
+		f.produced = f.spec.StaticBits
+		active = append(active, FlowID(i))
+		for _, r := range f.spec.Resources {
+			res := &s.resources[r]
+			res.active = append(res.active, FlowID(i))
+		}
+	}
+	return active
+}
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol*math.Max(1, math.Abs(want)) {
+		t.Fatalf("%s: got %g, want %g", msg, got, want)
+	}
+}
+
+func TestWaterfillSingleFlow(t *testing.T) {
+	s := New()
+	l := s.AddResource(KindLink, 100, 0)
+	f := s.AddFlow(FlowSpec{Resources: []ResourceID{l}, Bits: 1000})
+	active := activateAll(s)
+	s.allocate(active)
+	approx(t, s.flows[f].rate, 100, 1e-9, "single flow rate")
+}
+
+func TestWaterfillEqualShare(t *testing.T) {
+	s := New()
+	l := s.AddResource(KindLink, 90, 0)
+	var ids []FlowID
+	for i := 0; i < 3; i++ {
+		ids = append(ids, s.AddFlow(FlowSpec{Resources: []ResourceID{l}, Bits: 1000}))
+	}
+	active := activateAll(s)
+	s.allocate(active)
+	for _, id := range ids {
+		approx(t, s.flows[id].rate, 30, 1e-9, "equal share")
+	}
+}
+
+// Classic max-min example: A on link1, B on link1+link2, C on link2,
+// capacities 1 and 2. Max-min: A=B=0.5 (link1 bottleneck), C=1.5.
+func TestWaterfillMaxMinClassic(t *testing.T) {
+	s := New()
+	l1 := s.AddResource(KindLink, 1, 0)
+	l2 := s.AddResource(KindLink, 2, 1)
+	a := s.AddFlow(FlowSpec{Resources: []ResourceID{l1}, Bits: 1})
+	b := s.AddFlow(FlowSpec{Resources: []ResourceID{l1, l2}, Bits: 1})
+	c := s.AddFlow(FlowSpec{Resources: []ResourceID{l2}, Bits: 1})
+	active := activateAll(s)
+	s.allocate(active)
+	approx(t, s.flows[a].rate, 0.5, 1e-9, "flow A")
+	approx(t, s.flows[b].rate, 0.5, 1e-9, "flow B")
+	approx(t, s.flows[c].rate, 1.5, 1e-9, "flow C")
+}
+
+// A production-limited downstream flow must be capped at α times its inputs'
+// aggregate rate, and the freed bandwidth must go to competitors.
+func TestWaterfillProductionCap(t *testing.T) {
+	s := New()
+	up := s.AddResource(KindLink, 10, 0)
+	down := s.AddResource(KindLink, 10, 1)
+	in := s.AddFlow(FlowSpec{Resources: []ResourceID{up}, Bits: 100})
+	// Fed flow: α = 0.2, so cap = 0.2 × 10 = 2 on the downstream link.
+	fed := s.AddFlow(FlowSpec{Resources: []ResourceID{down}, Bits: 20, Inputs: []FlowID{in}})
+	other := s.AddFlow(FlowSpec{Resources: []ResourceID{down}, Bits: 100})
+	active := activateAll(s)
+	s.allocate(active)
+	approx(t, s.flows[in].rate, 10, 1e-9, "input rate")
+	approx(t, s.flows[fed].rate, 2, 1e-6, "fed flow capped at production")
+	approx(t, s.flows[other].rate, 8, 1e-6, "competitor takes the remainder")
+}
+
+// A fed flow with buffered backlog is not production-limited.
+func TestWaterfillBackloggedFedFlow(t *testing.T) {
+	s := New()
+	up := s.AddResource(KindLink, 1, 0)
+	down := s.AddResource(KindLink, 10, 1)
+	in := s.AddFlow(FlowSpec{Resources: []ResourceID{up}, Bits: 100})
+	fed := s.AddFlow(FlowSpec{Resources: []ResourceID{down}, Bits: 20, Inputs: []FlowID{in}})
+	active := activateAll(s)
+	s.flows[fed].produced = 15 // backlog built up earlier
+	s.allocate(active)
+	approx(t, s.flows[fed].rate, 10, 1e-9, "backlogged fed flow uses full link")
+}
+
+func TestWaterfillZeroCapFrozen(t *testing.T) {
+	s := New()
+	up := s.AddResource(KindLink, 10, 0)
+	down := s.AddResource(KindLink, 10, 1)
+	// Input that has not started producing: starts later.
+	in := s.AddFlow(FlowSpec{Resources: []ResourceID{up}, Bits: 100, Start: 5})
+	fed := s.AddFlow(FlowSpec{Resources: []ResourceID{down}, Bits: 20, Inputs: []FlowID{in}})
+	other := s.AddFlow(FlowSpec{Resources: []ResourceID{down}, Bits: 100})
+
+	// Activate only fed and other (input still pending).
+	for _, id := range []FlowID{fed, other} {
+		f := &s.flows[id]
+		f.state = stateActive
+		for _, r := range f.spec.Resources {
+			res := &s.resources[r]
+			res.active = append(res.active, id)
+		}
+	}
+	s.allocate([]FlowID{fed, other})
+	approx(t, s.flows[fed].rate, 0, 1e-9, "fed flow with idle input")
+	approx(t, s.flows[other].rate, 10, 1e-9, "competitor gets everything")
+}
+
+func TestWaterfillLocalFlow(t *testing.T) {
+	s := New()
+	f := s.AddFlow(FlowSpec{Bits: 1000}) // no resources: same-server transfer
+	active := activateAll(s)
+	s.allocate(active)
+	if s.flows[f].rate != localRate {
+		t.Fatalf("local flow rate = %g, want %g", s.flows[f].rate, localRate)
+	}
+}

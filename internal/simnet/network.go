@@ -1,0 +1,89 @@
+package simnet
+
+import (
+	"fmt"
+
+	"netagg/internal/topology"
+)
+
+// Network binds a topology to a simulation: every directed link becomes a
+// link resource and every agg box a processing resource, so flows built from
+// topology paths contend both for bandwidth and for agg-box processing rate.
+type Network struct {
+	Topo *Topo
+	Sim  *Sim
+}
+
+// Topo wraps the topology with the resource mappings.
+type Topo struct {
+	T       *topology.Topology
+	linkRes []ResourceID // indexed by topology.LinkID
+	procRes map[topology.NodeID]ResourceID
+}
+
+// NewNetwork creates a simulation wired to the given topology.
+func NewNetwork(t *topology.Topology) *Network {
+	sim := New()
+	tp := &Topo{
+		T:       t,
+		linkRes: make([]ResourceID, t.NumLinks()),
+		procRes: make(map[topology.NodeID]ResourceID),
+	}
+	for i := 0; i < t.NumLinks(); i++ {
+		l := t.Link(topology.LinkID(i))
+		tp.linkRes[i] = sim.AddResource(KindLink, l.Capacity, int(l.ID))
+	}
+	for _, box := range t.AggBoxes() {
+		n := t.Node(box)
+		if n.ProcRate <= 0 {
+			panic(fmt.Sprintf("simnet: agg box %s has no processing rate", n.Name))
+		}
+		tp.procRes[box] = sim.AddResource(KindProc, n.ProcRate, int(box))
+	}
+	return &Network{Topo: tp, Sim: sim}
+}
+
+// LinkResource returns the simulation resource for a topology link.
+func (tp *Topo) LinkResource(l topology.LinkID) ResourceID { return tp.linkRes[int(l)] }
+
+// ProcResource returns the processing resource of an agg box.
+func (tp *Topo) ProcResource(box topology.NodeID) ResourceID {
+	r, ok := tp.procRes[box]
+	if !ok {
+		panic(fmt.Sprintf("simnet: node %d is not an agg box", box))
+	}
+	return r
+}
+
+// PathResources converts an ECMP path between two endpoints into simulation
+// resources. If the destination is an agg box, the box's processing resource
+// is appended, modelling that all traffic entering a box must be processed
+// at up to rate R (§2.4).
+func (n *Network) PathResources(src, dst topology.NodeID, hash uint64) []ResourceID {
+	nodes := n.Topo.T.PathNodes(src, dst, hash)
+	links := n.Topo.T.PathLinks(nodes)
+	out := make([]ResourceID, 0, len(links)+1)
+	for _, l := range links {
+		out = append(out, n.Topo.LinkResource(l))
+	}
+	if n.Topo.T.Node(dst).Kind == topology.KindAggBox {
+		out = append(out, n.Topo.ProcResource(dst))
+	}
+	return out
+}
+
+// AddFlowOnPath adds a flow along the ECMP path from src to dst.
+func (n *Network) AddFlowOnPath(src, dst topology.NodeID, hash uint64, spec FlowSpec) FlowID {
+	spec.Resources = n.PathResources(src, dst, hash)
+	return n.Sim.AddFlow(spec)
+}
+
+// LinkTraffic returns the total bits carried by every topology link after a
+// run, indexed by topology.LinkID (Fig 9).
+func (n *Network) LinkTraffic() []float64 {
+	out := make([]float64, len(n.Topo.linkRes))
+	for i, r := range n.Topo.linkRes {
+		out[i] = n.Sim.LinkBits(r)
+	}
+	return out
+}

@@ -1,0 +1,498 @@
+// Package simnet is a discrete-event, fluid flow-level simulator of a data
+// centre network. It stands in for the packet-level OMNeT++ simulator of the
+// paper (§4.1): flows traverse a fixed path of resources (directed links,
+// plus agg-box processing capacities), bandwidth is shared with TCP-style
+// max-min fairness (progressive filling with per-flow rate caps), and
+// aggregation is modelled as *streaming* dependencies — the flow leaving an
+// aggregation point can send no faster than α times the aggregate arrival
+// rate of its input flows, matching NetAgg's pipelined local aggregation
+// trees (§3.2.1) and the cut-through behaviour of the packet simulation.
+//
+// All quantities use bits and seconds.
+package simnet
+
+import (
+	"fmt"
+	"math"
+)
+
+// ResourceID identifies a capacity-constrained resource (a directed link or
+// an agg box's processing rate).
+type ResourceID int
+
+// FlowID identifies a flow.
+type FlowID int
+
+// ResourceKind distinguishes links from processing capacities, so per-link
+// traffic statistics (Fig 9) exclude processing resources.
+type ResourceKind int
+
+const (
+	// KindLink is a directed network link.
+	KindLink ResourceKind = iota
+	// KindProc is an agg box's aggregation processing capacity R (§2.4).
+	KindProc
+)
+
+// resource is a capacity shared by the flows crossing it.
+type resource struct {
+	kind     ResourceKind
+	capacity float64
+	ref      int // external reference (e.g. topology.LinkID), for reporting
+
+	active []FlowID // flows currently crossing this resource
+	bits   float64  // total bits carried (links only; Fig 9)
+
+	// scratch state for the allocator
+	avail float64
+	count int
+	stamp int
+}
+
+type flowState int
+
+const (
+	statePending flowState = iota
+	stateActive
+	stateDone
+)
+
+// FlowClass labels flows for metrics: the paper separates aggregatable
+// (partition/aggregation) traffic from non-aggregatable background traffic
+// (§4.1, Figs 6-7).
+type FlowClass int
+
+const (
+	// ClassBackground is non-aggregatable traffic.
+	ClassBackground FlowClass = iota
+	// ClassAggregation is traffic belonging to a partition/aggregation job.
+	ClassAggregation
+)
+
+// FlowSpec describes a flow to add to the simulation.
+type FlowSpec struct {
+	// Resources is the ordered list of resources the flow crosses.
+	Resources []ResourceID
+	// Bits is the total size of the flow.
+	Bits float64
+	// StaticBits is the portion of Bits available at start time (a worker's
+	// own partial result). The remainder, Bits-StaticBits, is produced by
+	// aggregating the Inputs as they arrive.
+	StaticBits float64
+	// Inputs are upstream flows feeding this flow through an aggregation
+	// point. Empty for ordinary flows.
+	Inputs []FlowID
+	// Start is the earliest start time (used for stragglers, Fig 14).
+	Start float64
+	// Class labels the flow for metrics.
+	Class FlowClass
+	// Job groups the flows of one partition/aggregation job; -1 for
+	// background flows.
+	Job int
+	// Final marks the flow that delivers the job's fully aggregated result
+	// to the master; job completion time is this flow's end time.
+	Final bool
+}
+
+type flow struct {
+	spec  FlowSpec
+	ratio float64 // (Bits-StaticBits) / Σ input Bits; 0 if no inputs
+
+	state    flowState
+	sent     float64
+	produced float64
+	rate     float64
+	cap      float64
+	frozen   bool
+	start    float64 // actual activation time
+	end      float64
+
+	inputsDone int
+}
+
+// Sim is a flow-level simulation instance. Build it by adding resources and
+// flows, then call Run once. A Sim is not safe for concurrent use.
+type Sim struct {
+	resources []resource
+	flows     []flow
+
+	// StoreAndForward, when true, disables streaming: a fed flow starts only
+	// after all its inputs complete. Used by the ablation benchmarks.
+	StoreAndForward bool
+
+	// NaiveAllocation, when true, replaces progressive-filling max-min
+	// fairness with the naive per-resource equal share (each flow gets the
+	// minimum of capacity/flow-count over its resources). Faster but
+	// under-utilises links whose flows are bottlenecked elsewhere; used by
+	// the simulator-accuracy ablation benchmark.
+	NaiveAllocation bool
+
+	now    float64
+	ran    bool
+	report RunStats
+
+	// allocator scratch, reused across events to avoid per-event allocation
+	stamp          int
+	touchedScratch []ResourceID
+	cappedScratch  []FlowID
+	heapScratch    []shareEntry
+}
+
+// RunStats summarises a completed run.
+type RunStats struct {
+	// Duration is the simulated time at which the last flow completed.
+	Duration float64
+	// Events is the number of simulation events processed.
+	Events int
+	// Allocations is the number of max-min recomputations performed.
+	Allocations int
+}
+
+// New returns an empty simulation.
+func New() *Sim {
+	return &Sim{}
+}
+
+// AddResource adds a capacity-constrained resource and returns its ID.
+func (s *Sim) AddResource(kind ResourceKind, capacity float64, ref int) ResourceID {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("simnet: resource capacity must be > 0, got %g", capacity))
+	}
+	id := ResourceID(len(s.resources))
+	s.resources = append(s.resources, resource{kind: kind, capacity: capacity, ref: ref})
+	return id
+}
+
+// AddFlow adds a flow and returns its ID. Flows must be added after the
+// flows they take input from.
+func (s *Sim) AddFlow(spec FlowSpec) FlowID {
+	if spec.Bits < 0 || spec.StaticBits < 0 || spec.StaticBits > spec.Bits+1e-9 {
+		panic(fmt.Sprintf("simnet: invalid flow sizes bits=%g static=%g", spec.Bits, spec.StaticBits))
+	}
+	if spec.Start < 0 {
+		panic("simnet: flow start time must be >= 0")
+	}
+	id := FlowID(len(s.flows))
+	var inputBits float64
+	for _, in := range spec.Inputs {
+		if int(in) >= int(id) {
+			panic("simnet: flow inputs must be added before the flow itself")
+		}
+		inputBits += s.flows[in].spec.Bits
+	}
+	f := flow{spec: spec, state: statePending}
+	if len(spec.Inputs) > 0 && inputBits > 0 {
+		f.ratio = (spec.Bits - spec.StaticBits) / inputBits
+	}
+	s.flows = append(s.flows, f)
+	return id
+}
+
+// NumFlows reports the number of flows added.
+func (s *Sim) NumFlows() int { return len(s.flows) }
+
+// FlowEnd returns the completion time of a flow. Valid after Run.
+func (s *Sim) FlowEnd(id FlowID) float64 { return s.flows[id].end }
+
+// FlowStart returns the activation time of a flow. Valid after Run.
+func (s *Sim) FlowStart(id FlowID) float64 { return s.flows[id].start }
+
+// FlowSpecOf returns the spec a flow was created with.
+func (s *Sim) FlowSpecOf(id FlowID) FlowSpec { return s.flows[id].spec }
+
+// FCT returns a flow's completion time measured from its spec'd start time,
+// the paper's FCT metric.
+func (s *Sim) FCT(id FlowID) float64 { return s.flows[id].end - s.flows[id].spec.Start }
+
+// LinkBits returns the total traffic carried by a link resource (Fig 9).
+func (s *Sim) LinkBits(id ResourceID) float64 { return s.resources[id].bits }
+
+// ResourceKindOf returns the kind of a resource.
+func (s *Sim) ResourceKindOf(id ResourceID) ResourceKind { return s.resources[id].kind }
+
+// ResourceRef returns the external reference a resource was created with.
+func (s *Sim) ResourceRef(id ResourceID) int { return s.resources[id].ref }
+
+// NumResources reports the number of resources.
+func (s *Sim) NumResources() int { return len(s.resources) }
+
+// Stats returns the run summary. Valid after Run.
+func (s *Sim) Stats() RunStats { return s.report }
+
+const (
+	eps     = 1e-9
+	timeEps = 1e-12
+	// dtMin floors the event step. Buffer-drain events among many mutually
+	// dependent flows can otherwise degenerate into nanosecond ping-pong:
+	// flooring the step lets a fed flow over-send at most rate×dtMin bits
+	// past its buffer (reconciled by clamping produced up to sent), a
+	// bounded modelling error that is negligible against flow sizes.
+	dtMin = 1e-7
+)
+
+// Run executes the simulation to completion and returns run statistics.
+// It panics if called twice or if the flow graph deadlocks (which indicates
+// a builder bug, e.g. a dependency cycle).
+func (s *Sim) Run() RunStats {
+	if s.ran {
+		panic("simnet: Run called twice")
+	}
+	s.ran = true
+
+	// consumers[i] lists flows that take input from flow i, so input
+	// completions can be propagated cheaply.
+	consumers := make([][]FlowID, len(s.flows))
+	for i := range s.flows {
+		for _, in := range s.flows[i].spec.Inputs {
+			consumers[in] = append(consumers[in], FlowID(i))
+		}
+	}
+
+	active := make([]FlowID, 0, len(s.flows))
+	pending := make([]FlowID, 0, len(s.flows))
+	for i := range s.flows {
+		pending = append(pending, FlowID(i))
+	}
+
+	activate := func(id FlowID) {
+		f := &s.flows[id]
+		f.state = stateActive
+		f.start = s.now
+		f.produced = f.spec.StaticBits
+		if s.StoreAndForward && len(f.spec.Inputs) > 0 {
+			// All inputs have completed; the whole payload is buffered.
+			f.produced = f.spec.Bits
+		}
+		active = append(active, id)
+		for _, r := range f.spec.Resources {
+			res := &s.resources[r]
+			res.active = append(res.active, id)
+		}
+	}
+
+	// startable reports whether a pending flow may activate now.
+	startable := func(id FlowID) bool {
+		f := &s.flows[id]
+		if f.spec.Start > s.now+timeEps {
+			return false
+		}
+		if s.StoreAndForward && len(f.spec.Inputs) > 0 {
+			return f.inputsDone == len(f.spec.Inputs)
+		}
+		return true
+	}
+
+	finish := func(id FlowID) {
+		f := &s.flows[id]
+		f.state = stateDone
+		f.end = s.now
+		f.sent = f.spec.Bits
+		f.rate = 0
+		for _, r := range f.spec.Resources {
+			res := &s.resources[r]
+			for i, a := range res.active {
+				if a == id {
+					res.active[i] = res.active[len(res.active)-1]
+					res.active = res.active[:len(res.active)-1]
+					break
+				}
+			}
+		}
+		for _, c := range consumers[id] {
+			s.flows[c].inputsDone++
+		}
+	}
+
+	guard := 0
+	maxEvents := 100*len(s.flows) + 1000
+	for {
+		// Move newly startable flows from pending to active.
+		next := pending[:0]
+		for _, id := range pending {
+			if startable(id) {
+				activate(id)
+			} else {
+				next = append(next, id)
+			}
+		}
+		pending = next
+
+		// Retire zero-size flows immediately.
+		compact := active[:0]
+		for _, id := range active {
+			if s.flows[id].spec.Bits <= eps && s.flows[id].producedAll() {
+				finish(id)
+				s.report.Events++
+			} else {
+				compact = append(compact, id)
+			}
+		}
+		active = compact
+
+		if len(active) == 0 {
+			if len(pending) == 0 {
+				break
+			}
+			// Jump to the earliest future start.
+			t := math.Inf(1)
+			for _, id := range pending {
+				st := s.flows[id].spec.Start
+				if st < t {
+					t = st
+				}
+			}
+			if math.IsInf(t, 1) || t <= s.now+timeEps {
+				panic("simnet: deadlock — pending flows can never start")
+			}
+			s.now = t
+			continue
+		}
+
+		s.allocate(active)
+
+		// Next event: a completion, a buffer drain, or a pending start.
+		dt := math.Inf(1)
+		for _, id := range active {
+			f := &s.flows[id]
+			if f.rate > eps {
+				if rem := f.spec.Bits - f.sent; rem > 0 {
+					if d := rem / f.rate; d < dt {
+						dt = d
+					}
+				}
+			}
+			// Buffer drain: sending faster than producing. Buffers at or
+			// below bufEps are already treated as empty by the allocator,
+			// so only schedule a drain event down to that level — otherwise
+			// floating-point residue generates endless micro-events.
+			if len(f.spec.Inputs) > 0 && !f.producedAll() {
+				prod := s.productionRate(f)
+				if f.rate > prod+eps {
+					if buf := f.produced - f.sent - bufEps; buf > 0 {
+						if d := buf / (f.rate - prod); d < dt {
+							dt = d
+						}
+					}
+				}
+			}
+		}
+		for _, id := range pending {
+			if st := s.flows[id].spec.Start; st > s.now {
+				if d := st - s.now; d < dt {
+					dt = d
+				}
+			}
+		}
+		if dt < dtMin {
+			dt = dtMin
+		}
+		if math.IsInf(dt, 1) {
+			msg := fmt.Sprintf("simnet: stalled at t=%g —", s.now)
+			for i, id := range active {
+				if i >= 8 {
+					msg += " …"
+					break
+				}
+				f := &s.flows[id]
+				msg += fmt.Sprintf(" [flow %d bits=%g sent=%g produced=%g rate=%g cap=%g inputs=%d/%d start=%g]",
+					id, f.spec.Bits, f.sent, f.produced, f.rate, f.cap, f.inputsDone, len(f.spec.Inputs), f.spec.Start)
+			}
+			panic(msg)
+		}
+		if dt < timeEps {
+			dt = timeEps
+		}
+
+		// Advance fluid state by dt. Production is updated after all sends
+		// using pre-step rates; both evolve linearly so this is exact.
+		for _, id := range active {
+			f := &s.flows[id]
+			if f.rate <= 0 {
+				continue
+			}
+			d := f.rate * dt
+			f.sent += d
+			if f.sent > f.spec.Bits {
+				f.sent = f.spec.Bits
+			}
+			for _, r := range f.spec.Resources {
+				res := &s.resources[r]
+				if res.kind == KindLink {
+					res.bits += d
+				}
+			}
+		}
+		for _, id := range active {
+			f := &s.flows[id]
+			if len(f.spec.Inputs) == 0 {
+				continue
+			}
+			f.produced = f.spec.StaticBits
+			for _, in := range f.spec.Inputs {
+				f.produced += f.ratio * s.flows[in].sent
+			}
+			if f.produced > f.spec.Bits {
+				f.produced = f.spec.Bits
+			}
+			if f.produced < f.sent {
+				f.produced = f.sent
+			}
+		}
+		s.now += dt
+		s.report.Events++
+
+		// Retire completed flows. A fed flow only completes once its inputs
+		// are done, and an input may finish in the same sweep, so sweep to a
+		// fixpoint.
+		for {
+			finished := false
+			compact = active[:0]
+			for _, id := range active {
+				f := &s.flows[id]
+				if f.spec.Bits-f.sent <= math.Max(eps, f.spec.Bits*1e-12) && f.producedAll() {
+					finish(id)
+					finished = true
+				} else {
+					compact = append(compact, id)
+				}
+			}
+			active = compact
+			if !finished {
+				break
+			}
+		}
+
+		guard++
+		if guard > maxEvents {
+			msg := fmt.Sprintf("simnet: event budget exceeded (%d events, %d flows active, t=%g, dt=%g)",
+				guard, len(active), s.now, dt)
+			for i, id := range active {
+				if i >= 4 {
+					break
+				}
+				f := &s.flows[id]
+				msg += fmt.Sprintf(" [flow %d bits=%g sent=%.6g produced=%.6g rate=%g cap=%g inputs=%d/%d]",
+					id, f.spec.Bits, f.sent, f.produced, f.rate, f.cap, f.inputsDone, len(f.spec.Inputs))
+			}
+			panic(msg)
+		}
+	}
+	s.report.Duration = s.now
+	return s.report
+}
+
+// producedAll reports whether all bits of the flow are (or will trivially
+// be) available to send, i.e. every input has completed.
+func (f *flow) producedAll() bool {
+	return len(f.spec.Inputs) == 0 || f.inputsDone == len(f.spec.Inputs)
+}
+
+// productionRate returns the rate at which upstream inputs are currently
+// making bits available to a fed flow.
+func (s *Sim) productionRate(f *flow) float64 {
+	rate := 0.0
+	for _, in := range f.spec.Inputs {
+		rate += s.flows[in].rate
+	}
+	return rate * f.ratio
+}

@@ -1,0 +1,342 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"netagg/internal/stats"
+)
+
+func TestRunSingleFlow(t *testing.T) {
+	s := New()
+	l := s.AddResource(KindLink, 100, 0)
+	f := s.AddFlow(FlowSpec{Resources: []ResourceID{l}, Bits: 1000})
+	s.Run()
+	approx(t, s.FlowEnd(f), 10, 1e-9, "FCT = size/capacity")
+	approx(t, s.LinkBits(l), 1000, 1e-9, "link carried all bits")
+}
+
+func TestRunTwoFlowsSerialise(t *testing.T) {
+	// Two equal flows share a link: both finish at 2×(size/cap).
+	s := New()
+	l := s.AddResource(KindLink, 100, 0)
+	a := s.AddFlow(FlowSpec{Resources: []ResourceID{l}, Bits: 1000})
+	b := s.AddFlow(FlowSpec{Resources: []ResourceID{l}, Bits: 1000})
+	s.Run()
+	approx(t, s.FlowEnd(a), 20, 1e-9, "flow A")
+	approx(t, s.FlowEnd(b), 20, 1e-9, "flow B")
+}
+
+func TestRunUnequalFlows(t *testing.T) {
+	// Sizes 100 and 300 on a 100-capacity link. Fair share 50 each: small
+	// flow finishes at t=2 (sent 100). Then the big one gets the full link:
+	// it has 300-100=200 left, finishing at 2+2=4.
+	s := New()
+	l := s.AddResource(KindLink, 100, 0)
+	small := s.AddFlow(FlowSpec{Resources: []ResourceID{l}, Bits: 100})
+	big := s.AddFlow(FlowSpec{Resources: []ResourceID{l}, Bits: 300})
+	s.Run()
+	approx(t, s.FlowEnd(small), 2, 1e-9, "small flow")
+	approx(t, s.FlowEnd(big), 4, 1e-9, "big flow")
+}
+
+func TestRunDelayedStart(t *testing.T) {
+	s := New()
+	l := s.AddResource(KindLink, 100, 0)
+	f := s.AddFlow(FlowSpec{Resources: []ResourceID{l}, Bits: 1000, Start: 5})
+	s.Run()
+	approx(t, s.FlowStart(f), 5, 1e-9, "start honoured")
+	approx(t, s.FlowEnd(f), 15, 1e-9, "end = start + size/cap")
+	approx(t, s.FCT(f), 10, 1e-9, "FCT measured from start")
+}
+
+func TestRunZeroSizeFlow(t *testing.T) {
+	s := New()
+	l := s.AddResource(KindLink, 100, 0)
+	f := s.AddFlow(FlowSpec{Resources: []ResourceID{l}, Bits: 0, Start: 3})
+	s.Run()
+	approx(t, s.FlowEnd(f), 3, 1e-9, "zero-size flow completes at start")
+}
+
+// Streaming aggregation: a worker sends 8000 bits over a 1000 bit/s edge
+// link; the agg output (α = 0.5 → 4000 bits) streams concurrently at
+// 0.5×1000 = 500 bit/s over an uncontended downstream link. Both finish at
+// t=8: the pipeline hides the downstream transfer entirely.
+func TestRunStreamingPipeline(t *testing.T) {
+	s := New()
+	up := s.AddResource(KindLink, 1000, 0)
+	down := s.AddResource(KindLink, 1000, 1)
+	in := s.AddFlow(FlowSpec{Resources: []ResourceID{up}, Bits: 8000})
+	out := s.AddFlow(FlowSpec{Resources: []ResourceID{down}, Bits: 4000, Inputs: []FlowID{in}})
+	s.Run()
+	approx(t, s.FlowEnd(in), 8, 1e-6, "input flow")
+	approx(t, s.FlowEnd(out), 8, 1e-6, "output flow finishes with input (pipelined)")
+}
+
+// The same scenario store-and-forward: the output only starts at t=8 and
+// takes 4000/1000 = 4s more.
+func TestRunStoreAndForward(t *testing.T) {
+	s := New()
+	s.StoreAndForward = true
+	up := s.AddResource(KindLink, 1000, 0)
+	down := s.AddResource(KindLink, 1000, 1)
+	in := s.AddFlow(FlowSpec{Resources: []ResourceID{up}, Bits: 8000})
+	out := s.AddFlow(FlowSpec{Resources: []ResourceID{down}, Bits: 4000, Inputs: []FlowID{in}})
+	s.Run()
+	approx(t, s.FlowEnd(in), 8, 1e-6, "input flow")
+	approx(t, s.FlowEnd(out), 12, 1e-6, "output flow starts after input completes")
+}
+
+// Two workers feed one aggregation output through a shared box. The output
+// size is α(s1+s2); its arrival rate is α times the sum of input rates.
+func TestRunFanInAggregation(t *testing.T) {
+	s := New()
+	e1 := s.AddResource(KindLink, 1000, 0)
+	e2 := s.AddResource(KindLink, 1000, 1)
+	down := s.AddResource(KindLink, 1000, 2)
+	in1 := s.AddFlow(FlowSpec{Resources: []ResourceID{e1}, Bits: 4000})
+	in2 := s.AddFlow(FlowSpec{Resources: []ResourceID{e2}, Bits: 4000})
+	out := s.AddFlow(FlowSpec{
+		Resources: []ResourceID{down},
+		Bits:      800, // α = 0.1
+		Inputs:    []FlowID{in1, in2},
+	})
+	s.Run()
+	approx(t, s.FlowEnd(in1), 4, 1e-6, "input 1")
+	approx(t, s.FlowEnd(in2), 4, 1e-6, "input 2")
+	// Production rate 0.1×2000 = 200 ≥ needed 800/4: finishes with inputs.
+	approx(t, s.FlowEnd(out), 4, 1e-6, "aggregated output pipelined")
+}
+
+// An agg box processing-rate resource throttles the inputs crossing it.
+func TestRunProcResourceThrottles(t *testing.T) {
+	s := New()
+	edge := s.AddResource(KindLink, 1000, 0)
+	proc := s.AddResource(KindProc, 250, 1)
+	f := s.AddFlow(FlowSpec{Resources: []ResourceID{edge, proc}, Bits: 1000})
+	s.Run()
+	approx(t, s.FlowEnd(f), 4, 1e-9, "processing rate is the bottleneck")
+	// Proc resources do not count as link traffic.
+	approx(t, s.LinkBits(proc), 0, 1e-9, "proc resource carries no link bits")
+}
+
+// StaticBits: a tree-internal worker sends its own partial result before any
+// child input arrives.
+func TestRunStaticPlusAggregated(t *testing.T) {
+	s := New()
+	childLink := s.AddResource(KindLink, 100, 0)
+	outLink := s.AddResource(KindLink, 1000, 1)
+	child := s.AddFlow(FlowSpec{Resources: []ResourceID{childLink}, Bits: 1000})
+	// Own data 500 bits plus α=0.5 of the child's 1000 = 500: total 1000.
+	out := s.AddFlow(FlowSpec{
+		Resources:  []ResourceID{outLink},
+		Bits:       1000,
+		StaticBits: 500,
+		Inputs:     []FlowID{child},
+	})
+	s.Run()
+	approx(t, s.FlowEnd(child), 10, 1e-6, "child")
+	// Static 500 drains quickly; then production-limited at 0.5×100 = 50.
+	// The flow cannot finish before the child (needs its last bits), and the
+	// production keeps pace, so it finishes with the child.
+	approx(t, s.FlowEnd(out), 10, 1e-4, "parent finishes with child")
+}
+
+func TestRunChainOfBoxes(t *testing.T) {
+	// worker → box1 → box2 → master, each hop its own link; α compounds via
+	// explicit sizes (builder semantics: sizes given, ratios derived).
+	s := New()
+	l1 := s.AddResource(KindLink, 100, 0)
+	l2 := s.AddResource(KindLink, 100, 1)
+	l3 := s.AddResource(KindLink, 100, 2)
+	w := s.AddFlow(FlowSpec{Resources: []ResourceID{l1}, Bits: 1000})
+	h1 := s.AddFlow(FlowSpec{Resources: []ResourceID{l2}, Bits: 500, Inputs: []FlowID{w}})
+	h2 := s.AddFlow(FlowSpec{Resources: []ResourceID{l3}, Bits: 500, Inputs: []FlowID{h1}})
+	s.Run()
+	approx(t, s.FlowEnd(w), 10, 1e-6, "worker")
+	approx(t, s.FlowEnd(h1), 10, 1e-4, "hop 1 pipelined")
+	approx(t, s.FlowEnd(h2), 10, 1e-3, "hop 2 pipelined")
+}
+
+func TestRunPanicsOnSecondRun(t *testing.T) {
+	s := New()
+	l := s.AddResource(KindLink, 1, 0)
+	s.AddFlow(FlowSpec{Resources: []ResourceID{l}, Bits: 1})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on second Run")
+		}
+	}()
+	s.Run()
+}
+
+func TestAddFlowValidation(t *testing.T) {
+	s := New()
+	l := s.AddResource(KindLink, 1, 0)
+	for _, spec := range []FlowSpec{
+		{Resources: []ResourceID{l}, Bits: -1},
+		{Resources: []ResourceID{l}, Bits: 1, StaticBits: 2},
+		{Resources: []ResourceID{l}, Bits: 1, Start: -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for spec %+v", spec)
+				}
+			}()
+			s.AddFlow(spec)
+		}()
+	}
+}
+
+// Property: for random flow sets on a shared pair of links, every flow
+// completes, no link carries more traffic than its capacity times the run
+// duration, and each link carries exactly the bytes of the flows crossing it.
+func TestRunPropertyConservation(t *testing.T) {
+	check := func(seed int64) bool {
+		rn := stats.NewRand(seed)
+		s := New()
+		nLinks := 2 + rn.Intn(4)
+		links := make([]ResourceID, nLinks)
+		caps := make([]float64, nLinks)
+		for i := range links {
+			caps[i] = 100 + float64(rn.Intn(900))
+			links[i] = s.AddResource(KindLink, caps[i], i)
+		}
+		nFlows := 1 + rn.Intn(20)
+		type finfo struct {
+			id   FlowID
+			bits float64
+			path []int
+		}
+		var flows []finfo
+		for i := 0; i < nFlows; i++ {
+			// Random subset path of 1-3 links (bounded by link count).
+			maxLen := 3
+			if nLinks < maxLen {
+				maxLen = nLinks
+			}
+			n := 1 + rn.Intn(maxLen)
+			perm := rn.Perm(nLinks)[:n]
+			res := make([]ResourceID, n)
+			for j, p := range perm {
+				res[j] = links[p]
+			}
+			bits := float64(1 + rn.Intn(100000))
+			start := rn.Float64() * 5
+			id := s.AddFlow(FlowSpec{Resources: res, Bits: bits, Start: start})
+			flows = append(flows, finfo{id, bits, perm})
+		}
+		st := s.Run()
+
+		perLink := make([]float64, nLinks)
+		for _, f := range flows {
+			if s.FlowEnd(f.id) < s.FlowStart(f.id) {
+				return false
+			}
+			if s.FCT(f.id) < f.bits/minCap(caps, f.path)-1e-6 {
+				return false // finished faster than the narrowest link allows
+			}
+			for _, p := range f.path {
+				perLink[p] += f.bits
+			}
+		}
+		for i := range perLink {
+			if math.Abs(perLink[i]-s.LinkBits(links[i])) > 1e-3*math.Max(1, perLink[i]) {
+				return false // conservation violated
+			}
+			if s.LinkBits(links[i]) > caps[i]*st.Duration*(1+1e-6)+1e-3 {
+				return false // capacity violated
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func minCap(caps []float64, path []int) float64 {
+	m := math.Inf(1)
+	for _, p := range path {
+		if caps[p] < m {
+			m = caps[p]
+		}
+	}
+	return m
+}
+
+// Property: random aggregation trees complete, and the pipelined finish time
+// is never later than store-and-forward.
+func TestRunPropertyPipelineBeatsStoreAndForward(t *testing.T) {
+	check := func(seed int64) bool {
+		build := func(s *Sim) FlowID {
+			rn := stats.NewRand(seed)
+			nWorkers := 2 + rn.Intn(6)
+			alpha := 0.1 + 0.8*rn.Float64()
+			var inputs []FlowID
+			var total float64
+			for i := 0; i < nWorkers; i++ {
+				l := s.AddResource(KindLink, 1000, i)
+				bits := float64(1000 + rn.Intn(20000))
+				total += bits
+				inputs = append(inputs, s.AddFlow(FlowSpec{Resources: []ResourceID{l}, Bits: bits}))
+			}
+			down := s.AddResource(KindLink, 1000, 99)
+			return s.AddFlow(FlowSpec{Resources: []ResourceID{down}, Bits: alpha * total, Inputs: inputs})
+		}
+		pipelined := New()
+		out1 := build(pipelined)
+		pipelined.Run()
+		sf := New()
+		sf.StoreAndForward = true
+		out2 := build(sf)
+		sf.Run()
+		return pipelined.FlowEnd(out1) <= sf.FlowEnd(out2)+1e-6
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNaiveAllocationRuns(t *testing.T) {
+	s := New()
+	s.NaiveAllocation = true
+	l1 := s.AddResource(KindLink, 1, 0)
+	l2 := s.AddResource(KindLink, 2, 1)
+	a := s.AddFlow(FlowSpec{Resources: []ResourceID{l1}, Bits: 1})
+	b := s.AddFlow(FlowSpec{Resources: []ResourceID{l1, l2}, Bits: 1})
+	c := s.AddFlow(FlowSpec{Resources: []ResourceID{l2}, Bits: 1})
+	s.Run()
+	// Naive shares: a = b = 0.5 on l1; c gets min(2/2)=1 on l2 — unlike
+	// max-min, l2's leftover capacity is not redistributed to c.
+	approx(t, s.FCT(a), 2, 1e-6, "flow a under naive shares")
+	approxAtLeast(t, s.FCT(c), 1, "flow c should not exceed the naive share")
+	if s.FCT(b) < s.FCT(a)-1e-9 {
+		t.Fatal("two-link flow cannot beat its bottleneck share")
+	}
+}
+
+func approxAtLeast(t *testing.T, got, min float64, msg string) {
+	t.Helper()
+	if got < min-1e-9 {
+		t.Fatalf("%s: got %g, want >= %g", msg, got, min)
+	}
+}
+
+// Naive allocation must never give any flow more than max-min would allow
+// aggregate-wise: total link bytes still respect capacities.
+func TestNaiveAllocationRespectsCapacity(t *testing.T) {
+	s := New()
+	s.NaiveAllocation = true
+	l := s.AddResource(KindLink, 100, 0)
+	for i := 0; i < 5; i++ {
+		s.AddFlow(FlowSpec{Resources: []ResourceID{l}, Bits: 1000})
+	}
+	st := s.Run()
+	if s.LinkBits(l) > 100*st.Duration*(1+1e-6) {
+		t.Fatalf("capacity violated: %g bits in %gs", s.LinkBits(l), st.Duration)
+	}
+}

@@ -1,0 +1,46 @@
+package stats
+
+import "math"
+
+// BoundedParetoMean returns the analytical mean of a Pareto(l, alpha)
+// distribution truncated to [l, h].
+func BoundedParetoMean(l, h, alpha float64) float64 {
+	if l <= 0 || h <= l || alpha <= 0 {
+		panic("stats: BoundedParetoMean requires 0 < l < h and alpha > 0")
+	}
+	if math.Abs(alpha-1) < 1e-9 {
+		// lim a→1 of the general formula.
+		return math.Log(h/l) * l * h / (h - l)
+	}
+	la := math.Pow(l, alpha)
+	ratio := 1 - math.Pow(l/h, alpha)
+	return la / ratio * alpha / (alpha - 1) *
+		(1/math.Pow(l, alpha-1) - 1/math.Pow(h, alpha-1))
+}
+
+// BoundedParetoMinForMean returns the minimum l such that a Pareto(l, alpha)
+// truncated to [l, h] has the requested mean. It panics if no such l exists
+// (mean must lie strictly between 0 and h). The workload generator uses this
+// to hit the paper's 100 KB mean flow size exactly even for heavy-tailed
+// shapes (alpha ≤ 1) whose untruncated mean diverges.
+func BoundedParetoMinForMean(mean, h, alpha float64) float64 {
+	if mean <= 0 || mean >= h {
+		panic("stats: BoundedParetoMinForMean requires 0 < mean < h")
+	}
+	// The truncated mean is monotone increasing in l, with mean → l·c > l as
+	// l → 0 and mean → h as l → h: bisect.
+	lo, hi := mean*1e-9, mean
+	if BoundedParetoMean(hi, h, alpha) > mean {
+		// mean lies below the value at l = mean (always true since the
+		// truncated mean exceeds its minimum l), so the root is in (lo, hi].
+		for i := 0; i < 200 && (hi-lo)/hi > 1e-12; i++ {
+			mid := (lo + hi) / 2
+			if BoundedParetoMean(mid, h, alpha) < mean {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoundedParetoMeanMatchesEmpirical(t *testing.T) {
+	rn := NewRand(11)
+	for _, c := range []struct{ l, h, a float64 }{
+		{10, 1000, 1.05},
+		{50, 5000, 2.0},
+		{1, 100, 1.0}, // the a→1 special case
+	} {
+		want := BoundedParetoMean(c.l, c.h, c.a)
+		sum := 0.0
+		const n = 100000
+		for i := 0; i < n; i++ {
+			sum += rn.BoundedPareto(c.l, c.h, c.a)
+		}
+		got := sum / n
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("l=%g h=%g a=%g: empirical mean %g vs analytical %g", c.l, c.h, c.a, got, want)
+		}
+	}
+}
+
+func TestBoundedParetoMinForMeanInverts(t *testing.T) {
+	check := func(seed int64) bool {
+		rn := NewRand(seed)
+		h := 1000 + rn.Float64()*1e6
+		a := 0.8 + rn.Float64()*2
+		mean := h * (0.01 + 0.5*rn.Float64())
+		l := BoundedParetoMinForMean(mean, h, a)
+		if l <= 0 || l >= h {
+			return false
+		}
+		back := BoundedParetoMean(l, h, a)
+		return math.Abs(back-mean)/mean < 1e-6
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundedParetoMeanPanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { BoundedParetoMean(0, 1, 1) },
+		func() { BoundedParetoMean(2, 1, 1) },
+		func() { BoundedParetoMean(1, 2, 0) },
+		func() { BoundedParetoMinForMean(0, 1, 1) },
+		func() { BoundedParetoMinForMean(2, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPowerLawSEqualsOne(t *testing.T) {
+	// The logarithmic special case (s == 1) must stay in range and favour
+	// small values.
+	rn := NewRand(12)
+	small := 0
+	for i := 0; i < 5000; i++ {
+		k := rn.PowerLaw(1, 1000, 1)
+		if k < 1 || k > 1000 {
+			t.Fatalf("s=1 variate %d out of range", k)
+		}
+		if k <= 31 { // log-uniform: P(k ≤ 31) = log(32)/log(1001) ≈ 0.5
+			small++
+		}
+	}
+	if frac := float64(small) / 5000; frac < 0.35 || frac > 0.65 {
+		t.Fatalf("s=1 distribution not log-uniform: P(k≤31) = %.2f", frac)
+	}
+}
+
+func TestPowerLawDegenerate(t *testing.T) {
+	rn := NewRand(13)
+	if got := rn.PowerLaw(5, 5, 2); got != 5 {
+		t.Fatalf("min==max should return it, got %d", got)
+	}
+}

@@ -1,0 +1,74 @@
+package stats
+
+// Reservoir keeps a uniform random sample of at most k values from a stream
+// of unknown length (Vitter's algorithm R). It is used by the simulator to
+// bound memory when recording per-flow statistics for very large runs.
+type Reservoir struct {
+	k      int
+	n      int64
+	values []float64
+	rn     *Rand
+}
+
+// NewReservoir returns a reservoir of capacity k drawing randomness from rn.
+func NewReservoir(k int, rn *Rand) *Reservoir {
+	if k <= 0 {
+		panic("stats: reservoir capacity must be > 0")
+	}
+	return &Reservoir{k: k, values: make([]float64, 0, k), rn: rn}
+}
+
+// Add offers v to the reservoir.
+func (r *Reservoir) Add(v float64) {
+	r.n++
+	if len(r.values) < r.k {
+		r.values = append(r.values, v)
+		return
+	}
+	j := r.rn.Int63() % r.n
+	if j < int64(r.k) {
+		r.values[j] = v
+	}
+}
+
+// Values returns the sampled values. The returned slice is owned by the
+// reservoir; callers must not modify it.
+func (r *Reservoir) Values() []float64 { return r.values }
+
+// Seen reports how many values have been offered.
+func (r *Reservoir) Seen() int64 { return r.n }
+
+// EWMA is an exponentially weighted moving average. The agg box scheduler
+// uses one per application to track task execution time (§3.2.1: "Our
+// implementation uses a moving average to represent the measured task
+// execution time").
+type EWMA struct {
+	alpha float64
+	value float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA with smoothing factor alpha in (0, 1]; larger
+// alpha weighs recent observations more.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic("stats: EWMA alpha must be in (0, 1]")
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds v into the average.
+func (e *EWMA) Observe(v float64) {
+	if !e.init {
+		e.value = v
+		e.init = true
+		return
+	}
+	e.value = e.alpha*v + (1-e.alpha)*e.value
+}
+
+// Value returns the current average, or 0 if nothing has been observed.
+func (e *EWMA) Value() float64 { return e.value }
+
+// Initialized reports whether at least one value has been observed.
+func (e *EWMA) Initialized() bool { return e.init }

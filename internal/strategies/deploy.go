@@ -1,0 +1,93 @@
+package strategies
+
+import (
+	"netagg/internal/topology"
+)
+
+// BoxSpec describes the agg boxes to attach to switches: the paper's
+// prototype uses 10 Gbps access links and sustains an aggregation
+// processing rate of 9.2 Gbps (§2.4, §4.2).
+type BoxSpec struct {
+	LinkCapacity float64
+	ProcRate     float64
+	// PerSwitch is the number of boxes per equipped switch (scale-out,
+	// Fig 13); 0 means 1.
+	PerSwitch int
+}
+
+// DefaultBoxSpec returns the paper's agg box configuration.
+func DefaultBoxSpec() BoxSpec {
+	return BoxSpec{LinkCapacity: 10 * topology.Gbps, ProcRate: 9.2 * topology.Gbps, PerSwitch: 1}
+}
+
+// Tier selects switch tiers for deployment.
+type Tier int
+
+const (
+	// TierToR deploys at top-of-rack switches.
+	TierToR Tier = 1 << iota
+	// TierAgg deploys at aggregation switches.
+	TierAgg
+	// TierCore deploys at core switches.
+	TierCore
+	// TierAll deploys at every switch (the full NetAgg deployment).
+	TierAll = TierToR | TierAgg | TierCore
+)
+
+// DeployTiers attaches boxes to every switch of the selected tiers
+// (Fig 12's "ToR only" / "Agg only" / "Core only" / full configurations).
+func DeployTiers(topo *topology.Topology, tiers Tier, spec BoxSpec) []topology.NodeID {
+	var switches []topology.NodeID
+	if tiers&TierToR != 0 {
+		switches = append(switches, topo.ToRs()...)
+	}
+	if tiers&TierAgg != 0 {
+		switches = append(switches, topo.AggSwitches()...)
+	}
+	if tiers&TierCore != 0 {
+		switches = append(switches, topo.CoreSwitches()...)
+	}
+	return DeployAt(topo, switches, spec)
+}
+
+// DeployAt attaches spec.PerSwitch boxes to each given switch and returns
+// the box node IDs.
+func DeployAt(topo *topology.Topology, switches []topology.NodeID, spec BoxSpec) []topology.NodeID {
+	per := spec.PerSwitch
+	if per < 1 {
+		per = 1
+	}
+	var boxes []topology.NodeID
+	for _, sw := range switches {
+		for i := 0; i < per; i++ {
+			boxes = append(boxes, topo.AttachAggBox(sw, spec.LinkCapacity, spec.ProcRate))
+		}
+	}
+	return boxes
+}
+
+// DeployBudget spreads a fixed number of boxes uniformly over the switches
+// of the selected tiers (Fig 12's fixed-budget comparison: N boxes at the
+// core tier vs uniformly at the aggregation tier vs across both). Switches
+// are equipped round-robin in tier order until the budget is spent.
+func DeployBudget(topo *topology.Topology, budget int, tiers Tier, spec BoxSpec) []topology.NodeID {
+	var switches []topology.NodeID
+	if tiers&TierCore != 0 {
+		switches = append(switches, topo.CoreSwitches()...)
+	}
+	if tiers&TierAgg != 0 {
+		switches = append(switches, topo.AggSwitches()...)
+	}
+	if tiers&TierToR != 0 {
+		switches = append(switches, topo.ToRs()...)
+	}
+	if len(switches) == 0 || budget <= 0 {
+		return nil
+	}
+	var boxes []topology.NodeID
+	for i := 0; i < budget; i++ {
+		sw := switches[i%len(switches)]
+		boxes = append(boxes, topo.AttachAggBox(sw, spec.LinkCapacity, spec.ProcRate))
+	}
+	return boxes
+}

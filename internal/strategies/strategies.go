@@ -1,0 +1,348 @@
+// Package strategies translates partition/aggregation jobs into simulator
+// flows for each of the data aggregation strategies the paper compares
+// (§2.2-2.3, §4.1): no aggregation (direct), rack-level aggregation, d-ary
+// edge trees (binary d=2 and chain d=1), and NetAgg's on-path aggregation
+// via agg boxes.
+//
+// Two aggregation size semantics are supported (ReduceMode):
+//
+//   - ReducePerHop (default, matching the paper): every aggregation point
+//     forwards α times its input ("only a fraction of the incoming traffic
+//     is forwarded at each hop", §1). Reduction compounds along multi-hop
+//     aggregation trees, which models strongly reducible functions such as
+//     top-k, max and count whose output size does not grow with the number
+//     of inputs merged.
+//
+//   - ReduceOfOriginal (ablation): aggregating partial results that together
+//     represent original worker data of D bits yields α·D bits regardless of
+//     hop count, so the master receives the same α·ΣD under every strategy.
+//     This conservation-consistent model suits key/value aggregations over
+//     disjoint key ranges where merging cannot reduce below α of the raw
+//     data.
+package strategies
+
+import (
+	"fmt"
+
+	"netagg/internal/simnet"
+	"netagg/internal/topology"
+	"netagg/internal/workload"
+)
+
+// ReduceMode selects how the output ratio α is applied along multi-hop
+// aggregation trees (see the package comment). In both modes, reduction
+// only happens where at least two partial-result streams actually merge: a
+// leaf sends its raw partial result (workers have already combined locally,
+// like Hadoop map-side combiners), and an aggregation point with a single
+// input forwards it unchanged.
+type ReduceMode int
+
+const (
+	// ReducePerHop applies α to the merged input of every aggregation point.
+	ReducePerHop ReduceMode = iota
+	// ReduceOfOriginal applies α to the original worker data represented.
+	ReduceOfOriginal
+)
+
+// aggOutput sizes the output of an aggregation point: streams is the number
+// of partial-result streams merged (own data counts as one), merged the
+// total size by the mode's accounting, and passthrough the size if no real
+// merge happens.
+func aggOutput(alpha float64, streams int, merged, passthrough float64) float64 {
+	if streams >= 2 {
+		return alpha * merged
+	}
+	return passthrough
+}
+
+// JobFlows records the simulator flows created for one job.
+type JobFlows struct {
+	// All lists every flow of the job.
+	All []simnet.FlowID
+	// Finals lists the flows that deliver results to the master; the job
+	// completes when the last of them ends.
+	Finals []simnet.FlowID
+}
+
+// Strategy adds the flows of one job to a simulation.
+type Strategy interface {
+	// Name identifies the strategy in experiment output ("rack", "binary",
+	// "chain", "netagg", "direct").
+	Name() string
+	// AddJob adds the job's flows to the network with output ratio alpha.
+	AddJob(net *simnet.Network, job *workload.Job, alpha float64) JobFlows
+}
+
+// jobHash derives the per-job (and per-tree) hash used for ECMP decisions
+// and agg box selection, so all partial results of a request traverse the
+// same boxes (§3.1).
+func jobHash(jobID, tree int) uint64 {
+	return topology.FlowHash(0xA66, uint64(jobID)+1, uint64(tree)+1)
+}
+
+// workerHash gives each worker flow of a non-NetAgg strategy its own ECMP
+// hash, modelling independent TCP connections.
+func workerHash(jobID, worker int) uint64 {
+	return topology.FlowHash(0x3E7, uint64(jobID)+1, uint64(worker)+1)
+}
+
+// Direct sends every partial result straight to the master with no
+// aggregation anywhere.
+type Direct struct{}
+
+// Name implements Strategy.
+func (Direct) Name() string { return "direct" }
+
+// AddJob implements Strategy.
+func (Direct) AddJob(net *simnet.Network, job *workload.Job, alpha float64) JobFlows {
+	var jf JobFlows
+	for i, w := range job.Workers {
+		id := net.AddFlowOnPath(w, job.Master, workerHash(job.ID, i), simnet.FlowSpec{
+			Bits:  job.Bits[i],
+			Start: job.Delay[i],
+			Class: simnet.ClassAggregation,
+			Job:   job.ID,
+			Final: true,
+		})
+		jf.All = append(jf.All, id)
+		jf.Finals = append(jf.Finals, id)
+	}
+	return jf
+}
+
+// stragglerBypass sends delayed workers' partial results directly to the
+// master (§3.1: applications' straggler handling lets the aggregation
+// proceed over available results while late data goes straight to the
+// consumer). It returns the indices of on-time workers.
+func stragglerBypass(net *simnet.Network, job *workload.Job, jf *JobFlows) []int {
+	onTime := make([]int, 0, len(job.Workers))
+	for i := range job.Workers {
+		if job.Delay[i] <= 0 {
+			onTime = append(onTime, i)
+			continue
+		}
+		id := net.AddFlowOnPath(job.Workers[i], job.Master, workerHash(job.ID, i), simnet.FlowSpec{
+			Bits:  job.Bits[i],
+			Start: job.Delay[i],
+			Class: simnet.ClassAggregation,
+			Job:   job.ID,
+			Final: true,
+		})
+		jf.All = append(jf.All, id)
+		jf.Finals = append(jf.Finals, id)
+	}
+	return onTime
+}
+
+// Rack is rack-level aggregation (§2.2): one worker per rack acts as the
+// aggregator, receives the partial results of its rack-mates, and sends the
+// aggregated result to the master.
+type Rack struct{}
+
+// Name implements Strategy.
+func (Rack) Name() string { return "rack" }
+
+// AddJob implements Strategy.
+func (Rack) AddJob(net *simnet.Network, job *workload.Job, alpha float64) JobFlows {
+	var jf JobFlows
+	topo := net.Topo.T
+	onTime := stragglerBypass(net, job, &jf)
+	groups, order := groupByRack(topo, job.Workers, onTime)
+	for _, rack := range order {
+		idxs := groups[rack]
+		aggregator := job.Workers[idxs[0]]
+		var inputs []simnet.FlowID
+		var rackBits, aggOwn float64
+		for _, i := range idxs {
+			w := job.Workers[i]
+			rackBits += job.Bits[i]
+			if w == aggregator {
+				// The aggregator's own partial result needs no network flow.
+				aggOwn += job.Bits[i]
+				continue
+			}
+			id := net.AddFlowOnPath(w, aggregator, workerHash(job.ID, i), simnet.FlowSpec{
+				Bits:  job.Bits[i],
+				Start: job.Delay[i],
+				Class: simnet.ClassAggregation,
+				Job:   job.ID,
+			})
+			inputs = append(inputs, id)
+			jf.All = append(jf.All, id)
+		}
+		streams := len(inputs)
+		if aggOwn > 0 {
+			streams++
+		}
+		bits := aggOutput(alpha, streams, rackBits, rackBits)
+		static := alpha * aggOwn
+		if streams < 2 {
+			static = aggOwn
+		}
+		out := net.AddFlowOnPath(aggregator, job.Master, workerHash(job.ID, idxs[0]), simnet.FlowSpec{
+			Bits:       bits,
+			StaticBits: static,
+			Inputs:     inputs,
+			Start:      job.Delay[idxs[0]],
+			Class:      simnet.ClassAggregation,
+			Job:        job.ID,
+			Final:      true,
+		})
+		jf.All = append(jf.All, out)
+		jf.Finals = append(jf.Finals, out)
+	}
+	return jf
+}
+
+// DAry is generalised edge-based aggregation (§2.2): workers within each
+// rack form a d-ary aggregation tree; the rack roots then form a d-ary tree
+// across racks, rooted at the master. D=2 is the paper's "binary" baseline
+// and D=1 the "chain" baseline.
+type DAry struct {
+	D int
+	// Mode selects the reduction semantics; the zero value is the paper's
+	// per-hop model.
+	Mode ReduceMode
+}
+
+// Name implements Strategy.
+func (d DAry) Name() string {
+	switch d.D {
+	case 1:
+		return "chain"
+	case 2:
+		return "binary"
+	default:
+		return fmt.Sprintf("d%d-tree", d.D)
+	}
+}
+
+// AddJob implements Strategy.
+func (d DAry) AddJob(net *simnet.Network, job *workload.Job, alpha float64) JobFlows {
+	if d.D < 1 {
+		panic("strategies: DAry requires D >= 1")
+	}
+	topo := net.Topo.T
+	var jf JobFlows
+	onTime := stragglerBypass(net, job, &jf)
+	if len(onTime) == 0 {
+		return jf
+	}
+	groups, order := groupByRack(topo, job.Workers, onTime)
+
+	// parent[i] is the worker index each worker sends its output to, or -1
+	// for the global root (which sends to the master).
+	parent := make([]int, len(job.Workers))
+	for i := range parent {
+		parent[i] = -1
+	}
+	// Intra-rack d-ary trees (heap layout over each rack's worker list).
+	rackRoots := make([]int, 0, len(order))
+	for _, rack := range order {
+		idxs := groups[rack]
+		for pos := 1; pos < len(idxs); pos++ {
+			parent[idxs[pos]] = idxs[(pos-1)/d.D]
+		}
+		rackRoots = append(rackRoots, idxs[0])
+	}
+	// Cross-rack d-ary tree over the rack roots.
+	for pos := 1; pos < len(rackRoots); pos++ {
+		parent[rackRoots[pos]] = rackRoots[(pos-1)/d.D]
+	}
+	root := rackRoots[0]
+
+	// Children lists and subtree sizes.
+	children := make([][]int, len(job.Workers))
+	for i, p := range parent {
+		if p >= 0 {
+			children[p] = append(children[p], i)
+		}
+	}
+	// outBits[i] is the size of worker i's output flow. Per hop: α times the
+	// node's own data plus its children's outputs; of-original: α times the
+	// raw data in the node's subtree.
+	outBits := make([]float64, len(job.Workers))
+	var computeOut func(i int) float64
+	computeOut = func(i int) float64 {
+		inputs := 0.0
+		for _, c := range children[i] {
+			inputs += computeOut(c)
+		}
+		streams := len(children[i])
+		if job.Bits[i] > 0 {
+			streams++
+		}
+		merged := job.Bits[i] + inputs
+		if d.Mode == ReduceOfOriginal {
+			merged = rawSubtree(job, children, i)
+		}
+		outBits[i] = aggOutput(alpha, streams, merged, job.Bits[i]+inputs)
+		return outBits[i]
+	}
+	computeOut(root)
+
+	// Emit output flows bottom-up so Inputs reference existing flows.
+	outFlow := make([]simnet.FlowID, len(job.Workers))
+	var emit func(i int)
+	emit = func(i int) {
+		var inputs []simnet.FlowID
+		for _, c := range children[i] {
+			emit(c)
+			inputs = append(inputs, outFlow[c])
+		}
+		dst := job.Master
+		final := true
+		if parent[i] >= 0 {
+			dst = job.Workers[parent[i]]
+			final = false
+		}
+		// A leaf's entire output is its own (already combined) partial
+		// result, available immediately; an internal node contributes its
+		// own data's reduced share up front.
+		static := alpha * job.Bits[i]
+		if len(children[i]) == 0 {
+			static = outBits[i]
+		} else if static > outBits[i] {
+			static = outBits[i]
+		}
+		outFlow[i] = net.AddFlowOnPath(job.Workers[i], dst, workerHash(job.ID, i), simnet.FlowSpec{
+			Bits:       outBits[i],
+			StaticBits: static,
+			Inputs:     inputs,
+			Start:      job.Delay[i],
+			Class:      simnet.ClassAggregation,
+			Job:        job.ID,
+			Final:      final,
+		})
+		jf.All = append(jf.All, outFlow[i])
+		if final {
+			jf.Finals = append(jf.Finals, outFlow[i])
+		}
+	}
+	emit(root)
+	return jf
+}
+
+// rawSubtree sums the raw partial-result bits in worker i's subtree.
+func rawSubtree(job *workload.Job, children [][]int, i int) float64 {
+	s := job.Bits[i]
+	for _, c := range children[i] {
+		s += rawSubtree(job, children, c)
+	}
+	return s
+}
+
+// groupByRack groups the included worker indices by rack, preserving
+// first-seen rack order for determinism.
+func groupByRack(topo *topology.Topology, workers []topology.NodeID, include []int) (map[int][]int, []int) {
+	groups := make(map[int][]int)
+	var order []int
+	for _, i := range include {
+		r := topo.Node(workers[i]).Rack
+		if _, seen := groups[r]; !seen {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], i)
+	}
+	return groups, order
+}

@@ -1,0 +1,357 @@
+package strategies
+
+import (
+	"math"
+	"testing"
+
+	"netagg/internal/simnet"
+	"netagg/internal/topology"
+	"netagg/internal/workload"
+)
+
+func buildTopo(t *testing.T) *topology.Topology {
+	t.Helper()
+	topo, err := topology.BuildClos(topology.SmallClos())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// crossRackJob returns a job with workers spread over several racks.
+func crossRackJob(topo *topology.Topology, perRack, racks int, bits float64) *workload.Job {
+	cfg := topology.SmallClos()
+	servers := topo.Servers()
+	job := &workload.Job{ID: 1, Master: servers[0]}
+	for r := 0; r < racks; r++ {
+		base := r * cfg.ServersPerRack
+		for i := 0; i < perRack; i++ {
+			job.Workers = append(job.Workers, servers[base+i+1])
+			job.Bits = append(job.Bits, bits)
+			job.Delay = append(job.Delay, 0)
+		}
+	}
+	return job
+}
+
+func runJob(t *testing.T, topo *topology.Topology, strat Strategy, job *workload.Job, alpha float64) (*simnet.Network, JobFlows) {
+	t.Helper()
+	net := simnet.NewNetwork(topo)
+	jf := strat.AddJob(net, job, alpha)
+	net.Sim.Run()
+	return net, jf
+}
+
+// masterArrivalBits sums the sizes of the flows that deliver data to the
+// master.
+func masterArrivalBits(net *simnet.Network, jf JobFlows) float64 {
+	var sum float64
+	for _, id := range jf.Finals {
+		sum += net.Sim.FlowSpecOf(id).Bits
+	}
+	return sum
+}
+
+func TestDirectDeliversEverything(t *testing.T) {
+	topo := buildTopo(t)
+	job := crossRackJob(topo, 3, 2, 1000)
+	net, jf := runJob(t, topo, Direct{}, job, 0.1)
+	if len(jf.Finals) != len(job.Workers) {
+		t.Fatalf("finals = %d, want %d", len(jf.Finals), len(job.Workers))
+	}
+	if got := masterArrivalBits(net, jf); got != job.TotalBits() {
+		t.Fatalf("master received %g bits, want %g (no aggregation)", got, job.TotalBits())
+	}
+}
+
+func TestRackAggregationSizes(t *testing.T) {
+	topo := buildTopo(t)
+	const alpha = 0.1
+	job := crossRackJob(topo, 4, 2, 1000)
+	net, jf := runJob(t, topo, Rack{}, job, alpha)
+	// One final flow per rack, each α × rack data.
+	if len(jf.Finals) != 2 {
+		t.Fatalf("finals = %d, want 2 (one per rack)", len(jf.Finals))
+	}
+	want := alpha * job.TotalBits()
+	if got := masterArrivalBits(net, jf); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("master received %g bits, want %g", got, want)
+	}
+}
+
+func TestRackSingleWorkerPerRack(t *testing.T) {
+	// A lone worker in a rack has nothing to merge with: it sends its raw
+	// (already locally combined) partial result.
+	topo := buildTopo(t)
+	job := crossRackJob(topo, 1, 3, 1000)
+	net, jf := runJob(t, topo, Rack{}, job, 0.5)
+	if len(jf.Finals) != 3 {
+		t.Fatalf("finals = %d, want 3", len(jf.Finals))
+	}
+	if got := masterArrivalBits(net, jf); math.Abs(got-3000) > 1e-9 {
+		t.Fatalf("master received %g bits, want 3000 (raw, nothing merged)", got)
+	}
+}
+
+func TestDAryNames(t *testing.T) {
+	if (DAry{D: 1}).Name() != "chain" || (DAry{D: 2}).Name() != "binary" || (DAry{D: 4}).Name() != "d4-tree" {
+		t.Fatal("unexpected DAry names")
+	}
+}
+
+func TestDAryOfOriginalDeliversAlphaTotal(t *testing.T) {
+	topo := buildTopo(t)
+	const alpha = 0.25
+	for _, d := range []int{1, 2, 3} {
+		job := crossRackJob(topo, 4, 2, 800)
+		net, jf := runJob(t, topo, DAry{D: d, Mode: ReduceOfOriginal}, job, alpha)
+		if len(jf.Finals) != 1 {
+			t.Fatalf("d=%d: finals = %d, want 1 (single tree root)", d, len(jf.Finals))
+		}
+		want := alpha * job.TotalBits()
+		if got := masterArrivalBits(net, jf); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("d=%d: master received %g bits, want %g", d, got, want)
+		}
+		// One output flow per worker.
+		if len(jf.All) != len(job.Workers) {
+			t.Fatalf("d=%d: flows = %d, want %d", d, len(jf.All), len(job.Workers))
+		}
+	}
+}
+
+// Per-hop semantics: with the heap layout worker 0 is the root and worker 1
+// its leaf child. The leaf sends raw s1; the root merges two streams and
+// sends α(s0 + s1).
+func TestDAryPerHopCompounds(t *testing.T) {
+	topo := buildTopo(t)
+	servers := topo.Servers()
+	job := &workload.Job{
+		ID:      7,
+		Master:  servers[10],
+		Workers: []topology.NodeID{servers[1], servers[2]},
+		Bits:    []float64{1000, 600},
+		Delay:   []float64{0, 0},
+	}
+	const alpha = 0.5
+	net, jf := runJob(t, topo, DAry{D: 1}, job, alpha)
+	want := alpha * (1000 + 600) // leaf raw, one merge at the root
+	if got := masterArrivalBits(net, jf); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("master received %g bits, want %g", got, want)
+	}
+}
+
+// With three chained workers the middle node's merge output is reduced
+// again at the root: out = α(s0 + α(s1 + s2)).
+func TestDAryPerHopThreeWorkerChain(t *testing.T) {
+	topo := buildTopo(t)
+	servers := topo.Servers()
+	job := &workload.Job{
+		ID:      8,
+		Master:  servers[10],
+		Workers: []topology.NodeID{servers[1], servers[2], servers[3]},
+		Bits:    []float64{1000, 600, 400},
+		Delay:   []float64{0, 0, 0},
+	}
+	const alpha = 0.5
+	net, jf := runJob(t, topo, DAry{D: 1}, job, alpha)
+	want := alpha * (1000 + alpha*(600+400))
+	if got := masterArrivalBits(net, jf); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("master received %g bits, want %g", got, want)
+	}
+}
+
+func TestChainUsesMoreLinkTrafficThanRack(t *testing.T) {
+	// §4.1 Fig 9: chain utilises more link bandwidth than rack because
+	// partial results traverse worker inbound links at every hop.
+	topo1 := buildTopo(t)
+	job := crossRackJob(topo1, 8, 2, 100000)
+	netChain, _ := runJob(t, topo1, DAry{D: 1}, job, 0.8)
+	topo2 := buildTopo(t)
+	netRack, _ := runJob(t, topo2, Rack{}, job, 0.8)
+	var chainBits, rackBits float64
+	for _, b := range netChain.LinkTraffic() {
+		chainBits += b
+	}
+	for _, b := range netRack.LinkTraffic() {
+		rackBits += b
+	}
+	if chainBits <= rackBits {
+		t.Fatalf("chain traffic %g should exceed rack traffic %g at high alpha", chainBits, rackBits)
+	}
+}
+
+func TestNetAggFullDeployment(t *testing.T) {
+	topo := buildTopo(t)
+	DeployTiers(topo, TierAll, DefaultBoxSpec())
+	const alpha = 0.1
+	job := crossRackJob(topo, 4, 2, 1000)
+	net, jf := runJob(t, topo, NetAgg{Mode: ReduceOfOriginal}, job, alpha)
+	// With a box at every switch the master receives one fully aggregated
+	// result of α × total from the box at its own ToR.
+	if len(jf.Finals) != 1 {
+		t.Fatalf("finals = %d, want 1", len(jf.Finals))
+	}
+	want := alpha * job.TotalBits()
+	if got := masterArrivalBits(net, jf); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("master received %g bits, want %g", got, want)
+	}
+}
+
+// Per-hop semantics compound along the box chain: rack-0 workers (the
+// master's rack) aggregate once at the master ToR box; rack-1 workers
+// aggregate at their ToR box, then at every further box on the path, and
+// their contribution shrinks by α at each hop.
+func TestNetAggPerHopCompounds(t *testing.T) {
+	topo := buildTopo(t)
+	DeployTiers(topo, TierAll, DefaultBoxSpec())
+	const alpha = 0.5
+	job := crossRackJob(topo, 4, 2, 1000)
+	net, jf := runJob(t, topo, NetAgg{}, job, alpha)
+	if len(jf.Finals) != 1 {
+		t.Fatalf("finals = %d, want 1", len(jf.Finals))
+	}
+	got := masterArrivalBits(net, jf)
+	// Per-hop delivery is strictly less than the single-step α × total
+	// because the remote rack's data is reduced more than once.
+	if ofOriginal := alpha * job.TotalBits(); got >= ofOriginal {
+		t.Fatalf("per-hop delivery %g should be below single-step %g", got, ofOriginal)
+	}
+	// And at least the master-rack single reduction α × 4000.
+	if got < alpha*4000 {
+		t.Fatalf("per-hop delivery %g lost the master-rack contribution", got)
+	}
+}
+
+func TestNetAggNoBoxesFallsBackToDirect(t *testing.T) {
+	topo := buildTopo(t)
+	job := crossRackJob(topo, 2, 2, 1000)
+	net, jf := runJob(t, topo, NetAgg{}, job, 0.1)
+	if len(jf.Finals) != len(job.Workers) {
+		t.Fatalf("finals = %d, want %d (direct fallback)", len(jf.Finals), len(job.Workers))
+	}
+	if got := masterArrivalBits(net, jf); got != job.TotalBits() {
+		t.Fatalf("master received %g bits, want %g", got, job.TotalBits())
+	}
+}
+
+func TestNetAggPartialDeploymentCoreOnly(t *testing.T) {
+	topo := buildTopo(t)
+	DeployTiers(topo, TierCore, DefaultBoxSpec())
+	const alpha = 0.1
+	// Workers in a different pod than the master: their flows cross the
+	// core, so they are aggregated; the same-pod rack flows go direct.
+	cfg := topology.SmallClos()
+	servers := topo.Servers()
+	podSize := cfg.RacksPerPod * cfg.ServersPerRack
+	job := &workload.Job{ID: 2, Master: servers[0]}
+	for i := 0; i < 4; i++ {
+		job.Workers = append(job.Workers, servers[podSize+i]) // pod 1
+		job.Bits = append(job.Bits, 1000)
+		job.Delay = append(job.Delay, 0)
+	}
+	net, jf := runJob(t, topo, NetAgg{}, job, alpha)
+	if len(jf.Finals) != 1 {
+		t.Fatalf("finals = %d, want 1 (all cross-pod flows share a core box)", len(jf.Finals))
+	}
+	if got := masterArrivalBits(net, jf); math.Abs(got-alpha*4000) > 1e-6 {
+		t.Fatalf("master received %g bits, want %g", got, alpha*4000)
+	}
+}
+
+func TestNetAggSameRackWorkers(t *testing.T) {
+	topo := buildTopo(t)
+	DeployTiers(topo, TierAll, DefaultBoxSpec())
+	servers := topo.Servers()
+	job := &workload.Job{
+		ID:      3,
+		Master:  servers[0],
+		Workers: []topology.NodeID{servers[1], servers[2]},
+		Bits:    []float64{500, 700},
+		Delay:   []float64{0, 0},
+	}
+	net, jf := runJob(t, topo, NetAgg{}, job, 0.5)
+	// Both workers share the master's ToR: one box, one final flow.
+	if len(jf.Finals) != 1 {
+		t.Fatalf("finals = %d, want 1", len(jf.Finals))
+	}
+	if got := masterArrivalBits(net, jf); math.Abs(got-600) > 1e-6 {
+		t.Fatalf("master received %g bits, want 600", got)
+	}
+}
+
+func TestNetAggMultipleTrees(t *testing.T) {
+	topo := buildTopo(t)
+	DeployTiers(topo, TierAll, BoxSpec{LinkCapacity: 10 * topology.Gbps, ProcRate: 9.2 * topology.Gbps, PerSwitch: 2})
+	const alpha = 0.1
+	job := crossRackJob(topo, 4, 2, 1000)
+	net, jf := runJob(t, topo, NetAgg{Trees: 2, Mode: ReduceOfOriginal}, job, alpha)
+	// Two trees → two final flows, together α × total.
+	if len(jf.Finals) != 2 {
+		t.Fatalf("finals = %d, want 2", len(jf.Finals))
+	}
+	want := alpha * job.TotalBits()
+	if got := masterArrivalBits(net, jf); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("master received %g bits, want %g", got, want)
+	}
+}
+
+func TestNetAggScaleOutSelectsPerJobBox(t *testing.T) {
+	topo := buildTopo(t)
+	boxes := DeployTiers(topo, TierAll, BoxSpec{LinkCapacity: 10 * topology.Gbps, ProcRate: 9.2 * topology.Gbps, PerSwitch: 2})
+	if len(boxes) != 2*len(topo.ToRs())+2*len(topo.AggSwitches())+2*len(topo.CoreSwitches()) {
+		t.Fatalf("deployed %d boxes", len(boxes))
+	}
+	// Different jobs should (eventually) pick different boxes at a switch.
+	used := map[topology.NodeID]bool{}
+	for id := 0; id < 16; id++ {
+		job := crossRackJob(topo, 2, 2, 100)
+		job.ID = id
+		net := simnet.NewNetwork(topo)
+		jf := NetAgg{}.AddJob(net, job, 0.1)
+		for _, f := range jf.All {
+			spec := net.Sim.FlowSpecOf(f)
+			for _, r := range spec.Resources {
+				if net.Sim.ResourceKindOf(r) == simnet.KindProc {
+					used[topology.NodeID(net.Sim.ResourceRef(r))] = true
+				}
+			}
+		}
+	}
+	if len(used) < 3 {
+		t.Fatalf("only %d distinct boxes used across 16 jobs; expected load spreading", len(used))
+	}
+}
+
+func TestNetAggFlowsCrossProcResources(t *testing.T) {
+	topo := buildTopo(t)
+	DeployTiers(topo, TierAll, DefaultBoxSpec())
+	job := crossRackJob(topo, 2, 2, 1000)
+	net := simnet.NewNetwork(topo)
+	jf := NetAgg{}.AddJob(net, job, 0.1)
+	procCrossings := 0
+	for _, f := range jf.All {
+		for _, r := range net.Sim.FlowSpecOf(f).Resources {
+			if net.Sim.ResourceKindOf(r) == simnet.KindProc {
+				procCrossings++
+			}
+		}
+	}
+	if procCrossings == 0 {
+		t.Fatal("no flow crosses an agg box processing resource")
+	}
+}
+
+func TestDeployBudget(t *testing.T) {
+	topo := buildTopo(t)
+	boxes := DeployBudget(topo, 3, TierCore, DefaultBoxSpec())
+	if len(boxes) != 3 {
+		t.Fatalf("deployed %d boxes, want 3", len(boxes))
+	}
+	// SmallClos has 2 cores: budget 3 wraps around (2 boxes on core0).
+	if len(topo.BoxesAt(topo.CoreSwitches()[0])) != 2 {
+		t.Fatal("budget should wrap round-robin over switches")
+	}
+	if got := DeployBudget(topo, 0, TierCore, DefaultBoxSpec()); got != nil {
+		t.Fatal("zero budget must deploy nothing")
+	}
+}

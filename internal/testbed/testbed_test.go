@@ -1,0 +1,97 @@
+package testbed
+
+import (
+	"testing"
+
+	"netagg/internal/agg"
+)
+
+func reg() *agg.Registry {
+	r := agg.NewRegistry()
+	r.Register("app", agg.KVCombiner{Op: agg.OpSum})
+	return r
+}
+
+func TestNewPlainDeployment(t *testing.T) {
+	tb, err := New(Config{Racks: 2, WorkersPerRack: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	if len(tb.WorkerHosts()) != 6 {
+		t.Fatalf("workers = %d", len(tb.WorkerHosts()))
+	}
+	if len(tb.Boxes) != 0 {
+		t.Fatal("plain deployment must have no boxes")
+	}
+	if _, ok := tb.Dep.Host(MasterHost); !ok {
+		t.Fatal("master host missing")
+	}
+	if _, ok := tb.Dep.ResultAddr(MasterHost); !ok {
+		t.Fatal("master result address not registered")
+	}
+}
+
+func TestNewBoxedDeploymentShape(t *testing.T) {
+	tb, err := New(Config{Racks: 2, WorkersPerRack: 2, BoxesPerSwitch: 2, Registry: reg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	// 2 ToRs + 1 aggregation switch, 2 boxes each.
+	if len(tb.Boxes) != 6 {
+		t.Fatalf("boxes = %d, want 6", len(tb.Boxes))
+	}
+	if len(tb.Dep.Boxes()) != 6 {
+		t.Fatalf("deployment records %d boxes", len(tb.Dep.Boxes()))
+	}
+}
+
+func TestSingleRackHasNoAggSwitchBox(t *testing.T) {
+	tb, err := New(Config{Racks: 1, WorkersPerRack: 2, BoxesPerSwitch: 1, Registry: reg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	if len(tb.Boxes) != 1 {
+		t.Fatalf("one rack should deploy only the ToR box, got %d", len(tb.Boxes))
+	}
+}
+
+func TestNICsSharedPerHost(t *testing.T) {
+	tb, err := New(Config{Racks: 1, WorkersPerRack: 2, EdgeGbps: 1, Scale: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	n := tb.NIC(WorkerName(0, 0))
+	if n == nil {
+		t.Fatal("worker NIC missing")
+	}
+	if tb.NIC(MasterHost) == nil {
+		t.Fatal("master NIC missing")
+	}
+	if tb.NIC("no-such-host") != nil {
+		t.Fatal("unknown host should have no NIC")
+	}
+}
+
+func TestNewRejectsBadConfigs(t *testing.T) {
+	if _, err := New(Config{Racks: 0, WorkersPerRack: 1}); err == nil {
+		t.Fatal("expected error for zero racks")
+	}
+	if _, err := New(Config{Racks: 1, WorkersPerRack: 1, BoxesPerSwitch: 1}); err == nil {
+		t.Fatal("expected error for boxes without a registry")
+	}
+}
+
+func TestBoxStatsAggregates(t *testing.T) {
+	tb, err := New(Config{Racks: 2, WorkersPerRack: 1, BoxesPerSwitch: 1, Registry: reg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	if st := tb.BoxStats(); st.BytesIn != 0 || st.Requests != 0 {
+		t.Fatalf("fresh deployment stats should be zero: %+v", st)
+	}
+}

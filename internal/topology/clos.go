@@ -1,0 +1,140 @@
+package topology
+
+import "fmt"
+
+// Gbps is a convenience constant: one gigabit per second in bits per second.
+const Gbps = 1e9
+
+// ClosConfig describes a three-tier multi-rooted topology (§4.1): pods of
+// racks whose ToR switches connect to every aggregation switch in the pod,
+// and aggregation switches that connect to every core switch. Link
+// capacities above the ToR tier are derived from the edge capacity and the
+// over-subscription ratio so that an Oversubscription of 1 yields a
+// full-bisection network and a ratio of 4 the paper's default 1:4.
+type ClosConfig struct {
+	Pods           int
+	RacksPerPod    int
+	ServersPerRack int
+	AggPerPod      int
+	Cores          int
+	// EdgeCapacity is the server↔ToR link rate in bits per second.
+	EdgeCapacity float64
+	// Oversubscription is the ratio of total ToR downlink to total ToR
+	// uplink capacity. 1 means full bisection.
+	Oversubscription float64
+}
+
+// DefaultClos returns the paper's simulated topology: 1,024 servers in 32
+// racks (8 pods × 4 racks × 32 servers), 16 aggregation and 8 core switches,
+// 1 Gbps edge links, 1:4 over-subscription at the ToR tier.
+func DefaultClos() ClosConfig {
+	return ClosConfig{
+		Pods:             8,
+		RacksPerPod:      4,
+		ServersPerRack:   32,
+		AggPerPod:        2,
+		Cores:            8,
+		EdgeCapacity:     1 * Gbps,
+		Oversubscription: 4,
+	}
+}
+
+// SmallClos returns a scaled-down topology (64 servers) with the same shape,
+// used by tests and fast benchmarks.
+func SmallClos() ClosConfig {
+	return ClosConfig{
+		Pods:             2,
+		RacksPerPod:      2,
+		ServersPerRack:   16,
+		AggPerPod:        2,
+		Cores:            2,
+		EdgeCapacity:     1 * Gbps,
+		Oversubscription: 4,
+	}
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c ClosConfig) Validate() error {
+	switch {
+	case c.Pods < 1:
+		return fmt.Errorf("topology: Pods must be >= 1, got %d", c.Pods)
+	case c.RacksPerPod < 1:
+		return fmt.Errorf("topology: RacksPerPod must be >= 1, got %d", c.RacksPerPod)
+	case c.ServersPerRack < 1:
+		return fmt.Errorf("topology: ServersPerRack must be >= 1, got %d", c.ServersPerRack)
+	case c.AggPerPod < 1:
+		return fmt.Errorf("topology: AggPerPod must be >= 1, got %d", c.AggPerPod)
+	case c.Cores < 1:
+		return fmt.Errorf("topology: Cores must be >= 1, got %d", c.Cores)
+	case c.EdgeCapacity <= 0:
+		return fmt.Errorf("topology: EdgeCapacity must be > 0, got %g", c.EdgeCapacity)
+	case c.Oversubscription < 1:
+		return fmt.Errorf("topology: Oversubscription must be >= 1, got %g", c.Oversubscription)
+	}
+	return nil
+}
+
+// NumServers returns the total number of servers the config describes.
+func (c ClosConfig) NumServers() int { return c.Pods * c.RacksPerPod * c.ServersPerRack }
+
+// NumRacks returns the total number of racks.
+func (c ClosConfig) NumRacks() int { return c.Pods * c.RacksPerPod }
+
+// NumSwitches returns the total switch count across all three tiers.
+func (c ClosConfig) NumSwitches() int {
+	return c.NumRacks() + c.Pods*c.AggPerPod + c.Cores
+}
+
+// TorUplinkCapacity returns the capacity of one ToR→aggregation link.
+func (c ClosConfig) TorUplinkCapacity() float64 {
+	total := float64(c.ServersPerRack) * c.EdgeCapacity / c.Oversubscription
+	return total / float64(c.AggPerPod)
+}
+
+// AggUplinkCapacity returns the capacity of one aggregation→core link. The
+// network is non-blocking above the ToR tier: an aggregation switch's total
+// uplink capacity equals its total downlink capacity.
+func (c ClosConfig) AggUplinkCapacity() float64 {
+	down := float64(c.RacksPerPod) * c.TorUplinkCapacity()
+	return down / float64(c.Cores)
+}
+
+// BuildClos constructs the topology. Node naming: servers "s<p>-<r>-<i>",
+// ToRs "tor<p>-<r>", aggregation switches "agg<p>-<a>", cores "core<c>".
+func BuildClos(c ClosConfig) (*Topology, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	t := New()
+
+	cores := make([]NodeID, c.Cores)
+	for i := range cores {
+		cores[i] = t.AddNode(KindCore, fmt.Sprintf("core%d", i), -1, -1)
+	}
+
+	torUp := c.TorUplinkCapacity()
+	aggUp := c.AggUplinkCapacity()
+
+	rack := 0
+	for p := 0; p < c.Pods; p++ {
+		aggs := make([]NodeID, c.AggPerPod)
+		for a := range aggs {
+			aggs[a] = t.AddNode(KindAgg, fmt.Sprintf("agg%d-%d", p, a), -1, p)
+			for _, core := range cores {
+				t.AddDuplex(aggs[a], core, aggUp)
+			}
+		}
+		for r := 0; r < c.RacksPerPod; r++ {
+			tor := t.AddNode(KindToR, fmt.Sprintf("tor%d-%d", p, r), rack, p)
+			for _, agg := range aggs {
+				t.AddDuplex(tor, agg, torUp)
+			}
+			for s := 0; s < c.ServersPerRack; s++ {
+				srv := t.AddNode(KindServer, fmt.Sprintf("s%d-%d-%d", p, r, s), rack, p)
+				t.wireServer(srv, tor, c.EdgeCapacity)
+			}
+			rack++
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,170 @@
+package topology
+
+import "fmt"
+
+// mix64 is the SplitMix64 finaliser, used to derive independent sub-hashes
+// from a single flow hash so each ECMP decision along a path is made with
+// fresh bits.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func pick(nodes []NodeID, h uint64) NodeID {
+	if len(nodes) == 0 {
+		panic("topology: no candidate nodes for ECMP pick")
+	}
+	return nodes[h%uint64(len(nodes))]
+}
+
+// attachment returns the switch a routing endpoint hangs off: a server's
+// ToR, an agg box's host switch, or the switch itself.
+func (t *Topology) attachment(n NodeID) NodeID {
+	node := t.Node(n)
+	switch node.Kind {
+	case KindServer:
+		return t.ToROf(n)
+	case KindAggBox:
+		return node.Attached
+	default:
+		return n
+	}
+}
+
+// PathNodes returns the node sequence (inclusive of both endpoints) of the
+// ECMP path from src to dst selected by flow hash h. Endpoints may be
+// servers, agg boxes, or switches. Equal-cost choices — which aggregation
+// switch within a pod, which core switch — are resolved by independent
+// sub-hashes of h, matching ECMP flow hashing (§4.1: "uses standard Equal
+// Cost Multi Path for routing").
+func (t *Topology) PathNodes(src, dst NodeID, h uint64) []NodeID {
+	if src == dst {
+		return []NodeID{src}
+	}
+	a := t.attachment(src)
+	b := t.attachment(dst)
+
+	path := make([]NodeID, 0, 7)
+	if src != a {
+		path = append(path, src)
+	}
+	path = append(path, t.switchPath(a, b, h)...)
+	if dst != b {
+		path = append(path, dst)
+	}
+	return path
+}
+
+// switchPath returns the up-down route between two switches, inclusive.
+func (t *Topology) switchPath(a, b NodeID, h uint64) []NodeID {
+	if a == b {
+		return []NodeID{a}
+	}
+	na, nb := t.Node(a), t.Node(b)
+	h1 := mix64(h)     // aggregation switch near the source
+	h2 := mix64(h + 1) // core switch
+	h3 := mix64(h + 2) // aggregation switch near the destination
+
+	switch {
+	case na.Kind == KindToR && nb.Kind == KindToR:
+		if na.Pod == nb.Pod {
+			// Use the destination-side sub-hash so flows of one job converge
+			// on the same aggregation switch whether they originate inside or
+			// outside the destination pod (needed for on-path merging).
+			return []NodeID{a, pick(t.aggsByPod[na.Pod], h3), b}
+		}
+		return []NodeID{a, pick(t.aggsByPod[na.Pod], h1), pick(t.cores, h2), pick(t.aggsByPod[nb.Pod], h3), b}
+
+	case na.Kind == KindToR && nb.Kind == KindAgg:
+		if na.Pod == nb.Pod {
+			return []NodeID{a, b}
+		}
+		return []NodeID{a, pick(t.aggsByPod[na.Pod], h1), pick(t.cores, h2), b}
+
+	case na.Kind == KindToR && nb.Kind == KindCore:
+		return []NodeID{a, pick(t.aggsByPod[na.Pod], h1), b}
+
+	case na.Kind == KindAgg && nb.Kind == KindToR:
+		if na.Pod == nb.Pod {
+			return []NodeID{a, b}
+		}
+		return []NodeID{a, pick(t.cores, h2), pick(t.aggsByPod[nb.Pod], h3), b}
+
+	case na.Kind == KindAgg && nb.Kind == KindAgg:
+		return []NodeID{a, pick(t.cores, h2), b}
+
+	case na.Kind == KindAgg && nb.Kind == KindCore:
+		return []NodeID{a, b}
+
+	case na.Kind == KindCore && nb.Kind == KindAgg:
+		return []NodeID{a, b}
+
+	case na.Kind == KindCore && nb.Kind == KindToR:
+		return []NodeID{a, pick(t.aggsByPod[nb.Pod], h3), b}
+
+	case na.Kind == KindCore && nb.Kind == KindCore:
+		return []NodeID{a, pick(t.aggs, h1), b}
+
+	default:
+		panic(fmt.Sprintf("topology: cannot route between %s and %s", na.Kind, nb.Kind))
+	}
+}
+
+// PathLinks converts a node sequence to the directed links it traverses. It
+// panics if two consecutive nodes are not directly linked, which indicates a
+// routing bug rather than a runtime condition.
+func (t *Topology) PathLinks(nodes []NodeID) []LinkID {
+	if len(nodes) < 2 {
+		return nil
+	}
+	links := make([]LinkID, 0, len(nodes)-1)
+	for i := 0; i+1 < len(nodes); i++ {
+		id, ok := t.LinkBetween(nodes[i], nodes[i+1])
+		if !ok {
+			panic(fmt.Sprintf("topology: no link %s -> %s",
+				t.Node(nodes[i]).Name, t.Node(nodes[i+1]).Name))
+		}
+		links = append(links, id)
+	}
+	return links
+}
+
+// Path returns the links of the ECMP path between src and dst for hash h.
+func (t *Topology) Path(src, dst NodeID, h uint64) []LinkID {
+	return t.PathLinks(t.PathNodes(src, dst, h))
+}
+
+// SwitchesOn filters a node path down to its switches, in traversal order.
+// The NetAgg strategy uses this to find candidate on-path agg box
+// attachment points between a worker and the master (§2.3).
+func (t *Topology) SwitchesOn(nodes []NodeID) []NodeID {
+	var out []NodeID
+	for _, n := range nodes {
+		switch t.Node(n).Kind {
+		case KindToR, KindAgg, KindCore:
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// EqualCostPaths reports how many distinct equal-cost paths exist between
+// two servers, for tests and the multi-tree planner.
+func (t *Topology) EqualCostPaths(src, dst NodeID) int {
+	a, b := t.attachment(src), t.attachment(dst)
+	na, nb := t.Node(a), t.Node(b)
+	if a == b {
+		return 1
+	}
+	if na.Kind == KindToR && nb.Kind == KindToR {
+		if na.Pod == nb.Pod {
+			return len(t.aggsByPod[na.Pod])
+		}
+		return len(t.aggsByPod[na.Pod]) * len(t.cores) * len(t.aggsByPod[nb.Pod])
+	}
+	// Other endpoint combinations are only used for box-to-box hops where a
+	// single deterministic choice suffices.
+	return 1
+}

@@ -1,0 +1,274 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildClosCounts(t *testing.T) {
+	cfg := DefaultClos()
+	topo, err := BuildClos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(topo.Servers()); got != 1024 {
+		t.Fatalf("servers = %d, want 1024", got)
+	}
+	if got := len(topo.ToRs()); got != 32 {
+		t.Fatalf("ToRs = %d, want 32", got)
+	}
+	if got := len(topo.AggSwitches()); got != 16 {
+		t.Fatalf("agg switches = %d, want 16", got)
+	}
+	if got := len(topo.CoreSwitches()); got != 8 {
+		t.Fatalf("cores = %d, want 8", got)
+	}
+	// Paper: "The network consists of 320 switches" is approximated by the
+	// 56 switches of this Clos; what matters is the tier structure.
+	if got := cfg.NumSwitches(); got != 56 {
+		t.Fatalf("switches = %d, want 56", got)
+	}
+}
+
+func TestClosCapacities(t *testing.T) {
+	cfg := DefaultClos()
+	// 32 servers × 1 G / 4 oversub = 8 G uplink total over 2 agg links.
+	if got := cfg.TorUplinkCapacity(); got != 4*Gbps {
+		t.Fatalf("ToR uplink = %g, want 4 Gbps", got)
+	}
+	// Agg: 4 racks × 4 G = 16 G down, over 8 cores = 2 G per core link.
+	if got := cfg.AggUplinkCapacity(); got != 2*Gbps {
+		t.Fatalf("agg uplink = %g, want 2 Gbps", got)
+	}
+
+	full := cfg
+	full.Oversubscription = 1
+	if got := full.TorUplinkCapacity(); got != 16*Gbps {
+		t.Fatalf("full-bisection ToR uplink = %g, want 16 Gbps", got)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []ClosConfig{
+		{},
+		{Pods: 1, RacksPerPod: 1, ServersPerRack: 1, AggPerPod: 1, Cores: 1, EdgeCapacity: 0, Oversubscription: 1},
+		{Pods: 1, RacksPerPod: 1, ServersPerRack: 1, AggPerPod: 1, Cores: 1, EdgeCapacity: 1, Oversubscription: 0.5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestSameRackPath(t *testing.T) {
+	topo, _ := BuildClos(SmallClos())
+	servers := topo.Servers()
+	a, b := servers[0], servers[1] // same rack by construction order
+	nodes := topo.PathNodes(a, b, 1)
+	if len(nodes) != 3 {
+		t.Fatalf("same-rack path has %d nodes, want 3 (server,tor,server)", len(nodes))
+	}
+	if topo.Node(nodes[1]).Kind != KindToR {
+		t.Fatal("middle hop must be the ToR")
+	}
+	if topo.ToROf(a) != nodes[1] {
+		t.Fatal("path must go through the shared ToR")
+	}
+}
+
+func TestSamePodPath(t *testing.T) {
+	cfg := SmallClos()
+	topo, _ := BuildClos(cfg)
+	servers := topo.Servers()
+	a := servers[0]
+	b := servers[cfg.ServersPerRack] // next rack, same pod
+	nodes := topo.PathNodes(a, b, 99)
+	if len(nodes) != 5 {
+		t.Fatalf("same-pod path has %d nodes, want 5", len(nodes))
+	}
+	kinds := []NodeKind{KindServer, KindToR, KindAgg, KindToR, KindServer}
+	for i, k := range kinds {
+		if topo.Node(nodes[i]).Kind != k {
+			t.Fatalf("hop %d is %s, want %s", i, topo.Node(nodes[i]).Kind, k)
+		}
+	}
+}
+
+func TestCrossPodPath(t *testing.T) {
+	cfg := SmallClos()
+	topo, _ := BuildClos(cfg)
+	servers := topo.Servers()
+	a := servers[0]
+	b := servers[cfg.RacksPerPod*cfg.ServersPerRack] // first server of pod 1
+	nodes := topo.PathNodes(a, b, 7)
+	if len(nodes) != 7 {
+		t.Fatalf("cross-pod path has %d nodes, want 7", len(nodes))
+	}
+	kinds := []NodeKind{KindServer, KindToR, KindAgg, KindCore, KindAgg, KindToR, KindServer}
+	for i, k := range kinds {
+		if topo.Node(nodes[i]).Kind != k {
+			t.Fatalf("hop %d is %s, want %s", i, topo.Node(nodes[i]).Kind, k)
+		}
+	}
+}
+
+func TestPathLinksAllExist(t *testing.T) {
+	topo, _ := BuildClos(SmallClos())
+	servers := topo.Servers()
+	// PathLinks panics on a malformed path; crossing many pairs exercises
+	// every case in switchPath.
+	for i := 0; i < len(servers); i += 7 {
+		for j := 0; j < len(servers); j += 11 {
+			if i == j {
+				continue
+			}
+			links := topo.Path(servers[i], servers[j], uint64(i*31+j))
+			if len(links) == 0 {
+				t.Fatalf("no links between servers %d and %d", i, j)
+			}
+		}
+	}
+}
+
+func TestECMPSpreadsPaths(t *testing.T) {
+	cfg := SmallClos()
+	topo, _ := BuildClos(cfg)
+	servers := topo.Servers()
+	a := servers[0]
+	b := servers[cfg.RacksPerPod*cfg.ServersPerRack] // cross-pod
+	distinct := map[string]bool{}
+	for h := uint64(0); h < 256; h++ {
+		nodes := topo.PathNodes(a, b, h)
+		key := ""
+		for _, n := range nodes {
+			key += topo.Node(n).Name + "/"
+		}
+		distinct[key] = true
+	}
+	want := topo.EqualCostPaths(a, b) // 2 aggs × 2 cores × 2 aggs = 8
+	if want != 8 {
+		t.Fatalf("EqualCostPaths = %d, want 8", want)
+	}
+	if len(distinct) != want {
+		t.Fatalf("ECMP explored %d paths, want %d", len(distinct), want)
+	}
+}
+
+func TestECMPDeterministicPerHash(t *testing.T) {
+	topo, _ := BuildClos(SmallClos())
+	servers := topo.Servers()
+	a, b := servers[0], servers[len(servers)-1]
+	p1 := topo.PathNodes(a, b, 12345)
+	p2 := topo.PathNodes(a, b, 12345)
+	if len(p1) != len(p2) {
+		t.Fatal("same hash must give same path")
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("same hash must give same path")
+		}
+	}
+}
+
+func TestAttachAggBox(t *testing.T) {
+	topo, _ := BuildClos(SmallClos())
+	sw := topo.ToRs()[0]
+	box := topo.AttachAggBox(sw, 10*Gbps, 9.2*Gbps)
+	n := topo.Node(box)
+	if n.Kind != KindAggBox || n.Attached != sw || n.ProcRate != 9.2*Gbps {
+		t.Fatalf("unexpected box node %+v", n)
+	}
+	if got := topo.BoxesAt(sw); len(got) != 1 || got[0] != box {
+		t.Fatalf("BoxesAt = %v", got)
+	}
+	if _, ok := topo.LinkBetween(box, sw); !ok {
+		t.Fatal("box must be linked to its switch")
+	}
+	// Second box on the same switch (scale-out).
+	box2 := topo.AttachAggBox(sw, 10*Gbps, 9.2*Gbps)
+	if got := topo.BoxesAt(sw); len(got) != 2 || got[1] != box2 {
+		t.Fatalf("BoxesAt after scale-out = %v", got)
+	}
+}
+
+func TestAggBoxRouting(t *testing.T) {
+	cfg := SmallClos()
+	topo, _ := BuildClos(cfg)
+	torBox := topo.AttachAggBox(topo.ToRs()[0], 10*Gbps, 9.2*Gbps)
+	aggBox := topo.AttachAggBox(topo.AggSwitches()[0], 10*Gbps, 9.2*Gbps)
+	coreBox := topo.AttachAggBox(topo.CoreSwitches()[0], 10*Gbps, 9.2*Gbps)
+	servers := topo.Servers()
+
+	// Server to each kind of box and box-to-box paths must resolve to links.
+	endpoints := []NodeID{torBox, aggBox, coreBox, servers[0], servers[len(servers)-1]}
+	for _, a := range endpoints {
+		for _, b := range endpoints {
+			if a == b {
+				continue
+			}
+			links := topo.Path(a, b, 42)
+			if len(links) == 0 {
+				t.Fatalf("no path %s -> %s", topo.Node(a).Name, topo.Node(b).Name)
+			}
+		}
+	}
+}
+
+func TestSwitchesOn(t *testing.T) {
+	topo, _ := BuildClos(SmallClos())
+	servers := topo.Servers()
+	a, b := servers[0], servers[len(servers)-1]
+	nodes := topo.PathNodes(a, b, 3)
+	sw := topo.SwitchesOn(nodes)
+	if len(sw) != len(nodes)-2 {
+		t.Fatalf("switches = %d, want %d", len(sw), len(nodes)-2)
+	}
+	for _, s := range sw {
+		k := topo.Node(s).Kind
+		if k != KindToR && k != KindAgg && k != KindCore {
+			t.Fatalf("non-switch %s in SwitchesOn", k)
+		}
+	}
+}
+
+func TestAttachBoxToServerPanics(t *testing.T) {
+	topo, _ := BuildClos(SmallClos())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when attaching a box to a server")
+		}
+	}()
+	topo.AttachAggBox(topo.Servers()[0], Gbps, Gbps)
+}
+
+func TestFlowHashDeterministic(t *testing.T) {
+	if FlowHash(1, 2, 3) != FlowHash(1, 2, 3) {
+		t.Fatal("FlowHash must be deterministic")
+	}
+	if FlowHash(1, 2, 3) == FlowHash(3, 2, 1) {
+		t.Fatal("FlowHash should depend on argument order")
+	}
+}
+
+func TestPathPropertyEndpointsAndAdjacency(t *testing.T) {
+	topo, _ := BuildClos(SmallClos())
+	servers := topo.Servers()
+	check := func(i, j uint16, h uint64) bool {
+		a := servers[int(i)%len(servers)]
+		b := servers[int(j)%len(servers)]
+		nodes := topo.PathNodes(a, b, h)
+		if nodes[0] != a || nodes[len(nodes)-1] != b {
+			return false
+		}
+		for k := 0; k+1 < len(nodes); k++ {
+			if _, ok := topo.LinkBetween(nodes[k], nodes[k+1]); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

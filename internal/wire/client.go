@@ -1,0 +1,142 @@
+package wire
+
+import (
+	"net"
+	"sync"
+)
+
+// Client is a persistent outbound frame connection. Writes are serialised;
+// a failed write drops the connection so the next send re-dials. It is the
+// building block of the persistent TCP connections shims and boxes maintain
+// (§3.2.1 "The shim layers also maintain persistent TCP connections").
+type Client struct {
+	addr string
+	dial func(addr string) (net.Conn, error)
+
+	mu   sync.Mutex
+	conn net.Conn
+	w    *Writer
+}
+
+// NewClient returns a client for addr using dial (nil = plain TCP).
+func NewClient(addr string, dial func(string) (net.Conn, error)) *Client {
+	if dial == nil {
+		dial = func(a string) (net.Conn, error) { return net.Dial("tcp", a) }
+	}
+	return &Client{addr: addr, dial: dial}
+}
+
+// Send writes one frame, dialling on demand and retrying once after a
+// reconnect.
+func (c *Client) Send(m *Msg) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		if c.conn == nil {
+			conn, err := c.dial(c.addr)
+			if err != nil {
+				return err
+			}
+			c.conn = conn
+			c.w = NewWriter(conn)
+		}
+		err := c.w.Write(m)
+		if err == nil {
+			err = c.w.Flush()
+		}
+		if err == nil {
+			return nil
+		}
+		c.conn.Close()
+		c.conn = nil
+		c.w = nil
+		if attempt > 0 {
+			return err
+		}
+	}
+}
+
+// SendAll writes several frames with a single flush.
+func (c *Client) SendAll(msgs []*Msg) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		if c.conn == nil {
+			conn, err := c.dial(c.addr)
+			if err != nil {
+				return err
+			}
+			c.conn = conn
+			c.w = NewWriter(conn)
+		}
+		var err error
+		for _, m := range msgs {
+			if err = c.w.Write(m); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			err = c.w.Flush()
+		}
+		if err == nil {
+			return nil
+		}
+		c.conn.Close()
+		c.conn = nil
+		c.w = nil
+		if attempt > 0 {
+			return err
+		}
+	}
+}
+
+// Close tears the connection down.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		c.w = nil
+	}
+}
+
+// Pool caches one Client per destination address.
+type Pool struct {
+	// Dial customises connection establishment (e.g. netem pacing); nil
+	// means plain TCP.
+	Dial func(addr string) (net.Conn, error)
+
+	mu      sync.Mutex
+	clients map[string]*Client
+}
+
+// Get returns the pooled client for addr.
+func (p *Pool) Get(addr string) *Client {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.clients == nil {
+		p.clients = make(map[string]*Client)
+	}
+	c, ok := p.clients[addr]
+	if !ok {
+		c = NewClient(addr, p.Dial)
+		p.clients[addr] = c
+	}
+	return c
+}
+
+// Send routes one frame through the pooled client for addr.
+func (p *Pool) Send(addr string, m *Msg) error {
+	return p.Get(addr).Send(m)
+}
+
+// Close closes every pooled connection.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.clients {
+		c.Close()
+	}
+	p.clients = nil
+}

@@ -1,0 +1,84 @@
+package wire
+
+import "encoding/binary"
+
+// TFanout frames implement the paper's proposed one-to-many extension (§5:
+// "application-specific middleboxes can implement efficient versions of
+// multicast or broadcast protocols"): a master sends a single copy of a
+// payload plus per-target remaining routes; each box forwards one copy per
+// distinct next hop, so a broadcast crosses every link once instead of once
+// per target.
+const TFanout Type = 100
+
+// FanoutPayload is the body of a TFanout frame.
+type FanoutPayload struct {
+	// Inner is the application payload to deliver to every target.
+	Inner []byte
+	// Routes holds, per target, the remaining addresses: intermediate boxes
+	// first, the target's own listener last.
+	Routes [][]string
+}
+
+// Encode serialises the payload.
+func (f *FanoutPayload) Encode() []byte {
+	size := binary.MaxVarintLen64*2 + len(f.Inner)
+	for _, r := range f.Routes {
+		size += binary.MaxVarintLen64
+		for _, a := range r {
+			size += binary.MaxVarintLen64 + len(a)
+		}
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.AppendUvarint(buf, uint64(len(f.Inner)))
+	buf = append(buf, f.Inner...)
+	buf = binary.AppendUvarint(buf, uint64(len(f.Routes)))
+	for _, r := range f.Routes {
+		buf = binary.AppendUvarint(buf, uint64(len(r)))
+		for _, a := range r {
+			buf = binary.AppendUvarint(buf, uint64(len(a)))
+			buf = append(buf, a...)
+		}
+	}
+	return buf
+}
+
+// DecodeFanout parses a TFanout payload.
+func DecodeFanout(p []byte) (*FanoutPayload, error) {
+	innerLen, n := binary.Uvarint(p)
+	if n <= 0 || uint64(len(p[n:])) < innerLen {
+		return nil, ErrCorrupt
+	}
+	p = p[n:]
+	out := &FanoutPayload{Inner: append([]byte(nil), p[:innerLen]...)}
+	p = p[innerLen:]
+	routeCount, n := binary.Uvarint(p)
+	if n <= 0 {
+		return nil, ErrCorrupt
+	}
+	p = p[n:]
+	if routeCount > uint64(len(p))+1 {
+		return nil, ErrCorrupt
+	}
+	for i := uint64(0); i < routeCount; i++ {
+		hopCount, n := binary.Uvarint(p)
+		if n <= 0 {
+			return nil, ErrCorrupt
+		}
+		p = p[n:]
+		route := make([]string, 0, hopCount)
+		for h := uint64(0); h < hopCount; h++ {
+			alen, n := binary.Uvarint(p)
+			if n <= 0 || uint64(len(p[n:])) < alen {
+				return nil, ErrCorrupt
+			}
+			p = p[n:]
+			route = append(route, string(p[:alen]))
+			p = p[alen:]
+		}
+		out.Routes = append(out.Routes, route)
+	}
+	if len(p) != 0 {
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}

@@ -1,0 +1,89 @@
+package wire
+
+import (
+	"net"
+	"sync"
+)
+
+// Server accepts frame connections and dispatches each received Msg to a
+// handler. It tracks accepted connections so Close reliably unblocks the
+// per-connection readers — every NetAgg component (boxes, shims, app
+// servers) needs exactly this shape.
+type Server struct {
+	ln      net.Listener
+	handler func(net.Conn, *Msg)
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts dispatching frames from ln to handler. The handler runs on
+// the connection's reader goroutine; if it blocks, that connection's reads
+// stop (back-pressure). The handler may write responses on the conn, but
+// must serialise its own writes.
+func Serve(ln net.Listener, handler func(net.Conn, *Msg)) *Server {
+	s := &Server{ln: ln, handler: handler, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, closes every open connection, and waits for the
+// reader goroutines to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	r := NewReader(conn)
+	for {
+		m, err := r.Read()
+		if err != nil {
+			return
+		}
+		s.handler(conn, m)
+	}
+}

@@ -1,0 +1,44 @@
+package wire
+
+import "encoding/binary"
+
+// EncodeStrings serialises a string list (route payloads for THello).
+func EncodeStrings(ss []string) []byte {
+	size := binary.MaxVarintLen64
+	for _, s := range ss {
+		size += binary.MaxVarintLen64 + len(s)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.AppendUvarint(buf, uint64(len(ss)))
+	for _, s := range ss {
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	return buf
+}
+
+// DecodeStrings parses a payload produced by EncodeStrings.
+func DecodeStrings(p []byte) ([]string, error) {
+	count, n := binary.Uvarint(p)
+	if n <= 0 {
+		return nil, ErrCorrupt
+	}
+	p = p[n:]
+	if count > uint64(len(p))+1 {
+		return nil, ErrCorrupt
+	}
+	out := make([]string, 0, count)
+	for i := uint64(0); i < count; i++ {
+		slen, n := binary.Uvarint(p)
+		if n <= 0 || uint64(len(p[n:])) < slen {
+			return nil, ErrCorrupt
+		}
+		p = p[n:]
+		out = append(out, string(p[:slen]))
+		p = p[slen:]
+	}
+	if len(p) != 0 {
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}

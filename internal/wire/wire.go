@@ -1,0 +1,219 @@
+// Package wire implements NetAgg's binary network protocol (§3.2.1
+// "Network layer"): compact length-prefixed frames with varint-encoded
+// headers, the Go analogue of the paper's KryoNet-based transport. Shim
+// layers and agg boxes exchange Msg frames over persistent TCP connections.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Type identifies the kind of a frame.
+type Type uint8
+
+const (
+	// THello opens a stream: it announces the sender's identity and role.
+	THello Type = iota + 1
+	// TData carries a chunk of a partial result for a request.
+	TData
+	// TEnd marks the end of one source's partial results for a request.
+	TEnd
+	// TExpect tells a box how many direct sources will feed it for a
+	// request (sent by the master shim, §3.2.2 "Partial result collection").
+	TExpect
+	// TResult carries a fully aggregated result to the master shim.
+	TResult
+	// THeartbeat is the failure detector's liveness probe (§3.1).
+	THeartbeat
+	// TRedirect instructs a node to resend a request's results elsewhere
+	// (failure/straggler recovery, §3.1).
+	TRedirect
+	// TAck acknowledges delivery of a result (used for dedup on failover).
+	TAck
+	// TError reports a fatal per-request error upstream.
+	TError
+)
+
+// String names the frame type.
+func (t Type) String() string {
+	switch t {
+	case THello:
+		return "hello"
+	case TData:
+		return "data"
+	case TEnd:
+		return "end"
+	case TExpect:
+		return "expect"
+	case TResult:
+		return "result"
+	case THeartbeat:
+		return "heartbeat"
+	case TRedirect:
+		return "redirect"
+	case TAck:
+		return "ack"
+	case TError:
+		return "error"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Msg is one protocol frame.
+type Msg struct {
+	Type Type
+	// App names the application whose aggregation function applies.
+	App string
+	// Req identifies the request (or map/reduce partition) being aggregated.
+	Req uint64
+	// Source identifies the sending node (worker index, box id); used for
+	// counting expected sources and deduplication.
+	Source uint64
+	// Seq orders a source's frames within a request, for dedup on failover.
+	Seq uint64
+	// Payload is the serialised application data (TData/TResult), the
+	// expected source count (TExpect, varint), or empty.
+	Payload []byte
+}
+
+// MaxPayload is the largest accepted frame payload (16 MiB). Larger partial
+// results must be chunked into multiple TData frames.
+const MaxPayload = 16 << 20
+
+// maxAppLen bounds the application name.
+const maxAppLen = 255
+
+var (
+	// ErrTooLarge reports a frame exceeding MaxPayload.
+	ErrTooLarge = errors.New("wire: frame payload exceeds limit")
+	// ErrCorrupt reports a malformed frame.
+	ErrCorrupt = errors.New("wire: corrupt frame")
+)
+
+// Writer serialises frames onto a buffered stream. Not safe for concurrent
+// use.
+type Writer struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+// NewWriter returns a Writer on w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 64*1024)}
+}
+
+// Write serialises one frame. The caller must eventually call Flush.
+func (w *Writer) Write(m *Msg) error {
+	if len(m.Payload) > MaxPayload {
+		return ErrTooLarge
+	}
+	if len(m.App) > maxAppLen {
+		return fmt.Errorf("wire: app name %q too long", m.App)
+	}
+	w.buf = w.buf[:0]
+	w.buf = append(w.buf, byte(m.Type))
+	w.buf = append(w.buf, byte(len(m.App)))
+	w.buf = append(w.buf, m.App...)
+	w.buf = binary.AppendUvarint(w.buf, m.Req)
+	w.buf = binary.AppendUvarint(w.buf, m.Source)
+	w.buf = binary.AppendUvarint(w.buf, m.Seq)
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(m.Payload)))
+
+	var lenb [4]byte
+	binary.BigEndian.PutUint32(lenb[:], uint32(len(w.buf)+len(m.Payload)))
+	if _, err := w.w.Write(lenb[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(w.buf); err != nil {
+		return err
+	}
+	_, err := w.w.Write(m.Payload)
+	return err
+}
+
+// Flush drains buffered frames to the underlying stream.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader deserialises frames from a buffered stream. Not safe for
+// concurrent use.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader returns a Reader on r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 64*1024)}
+}
+
+// Read returns the next frame. The returned Msg owns its payload.
+func (r *Reader) Read() (*Msg, error) {
+	var lenb [4]byte
+	if _, err := io.ReadFull(r.r, lenb[:]); err != nil {
+		return nil, err
+	}
+	frameLen := binary.BigEndian.Uint32(lenb[:])
+	// The header is at most 2 bytes of fixed fields, maxAppLen name bytes,
+	// and four varints.
+	const maxHeader = 2 + maxAppLen + 4*binary.MaxVarintLen64
+	if frameLen < 2 || frameLen > MaxPayload+maxHeader {
+		return nil, ErrCorrupt
+	}
+	frame := make([]byte, frameLen)
+	if _, err := io.ReadFull(r.r, frame); err != nil {
+		return nil, err
+	}
+
+	m := &Msg{Type: Type(frame[0])}
+	appLen := int(frame[1])
+	rest := frame[2:]
+	if appLen > len(rest) {
+		return nil, ErrCorrupt
+	}
+	m.App = string(rest[:appLen])
+	rest = rest[appLen:]
+
+	var n int
+	if m.Req, n = binary.Uvarint(rest); n <= 0 {
+		return nil, ErrCorrupt
+	}
+	rest = rest[n:]
+	if m.Source, n = binary.Uvarint(rest); n <= 0 {
+		return nil, ErrCorrupt
+	}
+	rest = rest[n:]
+	if m.Seq, n = binary.Uvarint(rest); n <= 0 {
+		return nil, ErrCorrupt
+	}
+	rest = rest[n:]
+	payloadLen, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, ErrCorrupt
+	}
+	rest = rest[n:]
+	if uint64(len(rest)) != payloadLen {
+		return nil, ErrCorrupt
+	}
+	if payloadLen > 0 {
+		m.Payload = rest
+	}
+	return m, nil
+}
+
+// EncodeCount encodes a source count for a TExpect payload.
+func EncodeCount(n int) []byte {
+	return binary.AppendUvarint(nil, uint64(n))
+}
+
+// DecodeCount decodes a TExpect payload.
+func DecodeCount(p []byte) (int, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, ErrCorrupt
+	}
+	return int(v), nil
+}

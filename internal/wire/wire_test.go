@@ -1,0 +1,181 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, msgs []*Msg) []*Msg {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, m := range msgs {
+		if err := w.Write(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	out := make([]*Msg, 0, len(msgs))
+	for range msgs {
+		m, err := r.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, m)
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("expected EOF after all frames, got %v", err)
+	}
+	return out
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	in := []*Msg{
+		{Type: THello, App: "wc", Req: 1, Source: 2, Payload: EncodeStrings([]string{"a:1", "b:2"})},
+		{Type: TData, App: "wc", Req: 1, Source: 2, Seq: 5, Payload: []byte("hello")},
+		{Type: TEnd, App: "wc", Req: 1, Source: 2},
+		{Type: TExpect, App: "wc", Req: 1, Payload: EncodeCount(7)},
+		{Type: THeartbeat, Seq: 99},
+	}
+	out := roundTrip(t, in)
+	for i := range in {
+		if out[i].Type != in[i].Type || out[i].App != in[i].App ||
+			out[i].Req != in[i].Req || out[i].Source != in[i].Source ||
+			out[i].Seq != in[i].Seq || !bytes.Equal(out[i].Payload, in[i].Payload) {
+			t.Fatalf("frame %d mismatch: %+v vs %+v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	out := roundTrip(t, []*Msg{{Type: TResult, App: "x", Req: 3}})
+	if len(out[0].Payload) != 0 {
+		t.Fatal("payload should be empty")
+	}
+}
+
+func TestRejectsOversizedPayload(t *testing.T) {
+	w := NewWriter(io.Discard)
+	if err := w.Write(&Msg{Type: TData, Payload: make([]byte, MaxPayload+1)}); err != ErrTooLarge {
+		t.Fatalf("want ErrTooLarge, got %v", err)
+	}
+}
+
+func TestRejectsLongAppName(t *testing.T) {
+	w := NewWriter(io.Discard)
+	if err := w.Write(&Msg{Type: TData, App: strings.Repeat("x", 300)}); err == nil {
+		t.Fatal("expected error for long app name")
+	}
+}
+
+func TestReaderRejectsCorruptFrames(t *testing.T) {
+	cases := [][]byte{
+		{0, 0, 0, 0},                   // zero-length frame
+		{0xff, 0xff, 0xff, 0xff},       // absurd length
+		{0, 0, 0, 3, byte(TData), 200}, // app length beyond frame
+	}
+	for i, c := range cases {
+		r := NewReader(bytes.NewReader(c))
+		if _, err := r.Read(); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestReaderEOFMidFrame(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Write(&Msg{Type: TData, App: "a", Payload: []byte("0123456789")})
+	w.Flush()
+	trunc := buf.Bytes()[:buf.Len()-3]
+	r := NewReader(bytes.NewReader(trunc))
+	if _, err := r.Read(); err == nil {
+		t.Fatal("expected error on truncated frame")
+	}
+}
+
+func TestCountCodec(t *testing.T) {
+	for _, n := range []int{0, 1, 127, 128, 1 << 20} {
+		got, err := DecodeCount(EncodeCount(n))
+		if err != nil || got != n {
+			t.Fatalf("count %d round trip: got %d err %v", n, got, err)
+		}
+	}
+	if _, err := DecodeCount(nil); err == nil {
+		t.Fatal("expected error for empty count")
+	}
+}
+
+func TestStringsCodec(t *testing.T) {
+	cases := [][]string{nil, {}, {"one"}, {"a", "", "c:9000"}}
+	for _, c := range cases {
+		got, err := DecodeStrings(EncodeStrings(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(c) {
+			t.Fatalf("length mismatch %v vs %v", got, c)
+		}
+		for i := range c {
+			if got[i] != c[i] {
+				t.Fatalf("mismatch %v vs %v", got, c)
+			}
+		}
+	}
+	if _, err := DecodeStrings([]byte{0xff}); err == nil {
+		t.Fatal("expected error for corrupt strings payload")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	check := func(app string, req, source, seq uint64, payload []byte) bool {
+		if len(app) > maxAppLen {
+			app = app[:maxAppLen]
+		}
+		if len(payload) > 4096 {
+			payload = payload[:4096]
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		in := &Msg{Type: TData, App: app, Req: req, Source: source, Seq: seq, Payload: payload}
+		if err := w.Write(in); err != nil {
+			return false
+		}
+		w.Flush()
+		out, err := NewReader(&buf).Read()
+		if err != nil {
+			return false
+		}
+		return out.App == app && out.Req == req && out.Source == source &&
+			out.Seq == seq && bytes.Equal(out.Payload, payload)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A maximum-size payload with a long application name must round-trip: the
+// reader's frame bound has to leave room for the full header.
+func TestMaxPayloadWithLongAppName(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	app := strings.Repeat("a", maxAppLen)
+	in := &Msg{Type: TData, App: app, Payload: make([]byte, MaxPayload)}
+	if err := w.Write(in); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	out, err := NewReader(&buf).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.App != app || len(out.Payload) != MaxPayload {
+		t.Fatal("max frame round trip failed")
+	}
+}

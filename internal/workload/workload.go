@@ -1,0 +1,295 @@
+// Package workload generates the synthetic traffic the paper evaluates on
+// (§4.1): a mix of partition/aggregation jobs and non-aggregatable
+// background flows modelled after published traces from a cluster running
+// large data-mining jobs. Flow sizes follow a bounded Pareto distribution
+// (mean 100 KB); the number of workers per job follows a power law (most
+// jobs have fewer than 10 workers); 40 % of flows are aggregatable; workers
+// are placed with a locality-aware greedy allocator that packs them onto
+// servers as close to each other as possible; and all flows start at the
+// same time, the worst case for network contention.
+package workload
+
+import (
+	"fmt"
+
+	"netagg/internal/stats"
+	"netagg/internal/topology"
+)
+
+// Config parameterises the generator. Zero values are filled by Default.
+type Config struct {
+	Seed int64
+
+	// FlowsPerServer scales the total number of flows; the paper chooses
+	// the count so the edge load is 25 %, which at the default mean flow
+	// size corresponds to a few flows per server in the simulated burst.
+	FlowsPerServer float64
+
+	// AggregatableFraction is the share of flows belonging to
+	// partition/aggregation jobs (0.4 per Facebook traces).
+	AggregatableFraction float64
+
+	// OutputRatio is α, the ratio of aggregated output size to input size.
+	OutputRatio float64
+
+	// MeanFlowBits and ParetoShape define the flow size distribution; sizes
+	// are bounded to [minFlowBits, MaxFlowBits].
+	MeanFlowBits float64
+	ParetoShape  float64
+	MaxFlowBits  float64
+
+	// MinWorkers/MaxWorkers bound the per-job fan-in; WorkerPowerLawS is the
+	// power-law exponent (s = 1.8 gives ~80 % of jobs fewer than 10 workers).
+	MinWorkers      int
+	MaxWorkers      int
+	WorkerPowerLawS float64
+
+	// StragglerFraction is the share of worker flows that start late;
+	// StragglerDelayMean is the mean of their exponential start delay in
+	// seconds (Fig 14).
+	StragglerFraction  float64
+	StragglerDelayMean float64
+
+	// BgSameRack and BgSamePod control background flow locality: the
+	// probability that a background flow stays within the source rack, or
+	// within the source pod. The remainder crosses pods. DC measurement
+	// studies (Benson et al., cited by the paper) report that most cloud DC
+	// traffic is rack-local.
+	BgSameRack float64
+	BgSamePod  float64
+
+	// RackSlotFraction caps how much of a rack one job's workers may fill
+	// before the greedy placer moves to the next rack, modelling scheduler
+	// slot contention: real placements are locality-aware but cannot pack a
+	// whole job into one rack on a busy cluster. 0.25 means a job takes at
+	// most a quarter of each rack; 1 packs racks completely.
+	RackSlotFraction float64
+}
+
+// Default returns the paper's workload parameters.
+func Default() Config {
+	return Config{
+		Seed:                 1,
+		FlowsPerServer:       3,
+		AggregatableFraction: 0.4,
+		OutputRatio:          0.10,
+		MeanFlowBits:         100 * 8 * 1024, // 100 KB
+		ParetoShape:          1.05,
+		MaxFlowBits:          10 * 8 * 1024 * 1024, // 10 MB cap on the tail
+		MinWorkers:           2,
+		MaxWorkers:           64,
+		WorkerPowerLawS:      1.8,
+		BgSameRack:           0.5,
+		BgSamePod:            0.25,
+		RackSlotFraction:     1.0,
+	}
+}
+
+// Job is one partition/aggregation request: workers each hold a partial
+// result that must reach the master, aggregated or not depending on the
+// strategy simulated.
+type Job struct {
+	ID      int
+	Master  topology.NodeID
+	Workers []topology.NodeID
+	// Bits[i] is the partial result size of Workers[i].
+	Bits []float64
+	// Delay[i] is the start delay of Workers[i] (stragglers); zero normally.
+	Delay []float64
+}
+
+// TotalBits returns the total intermediate data of the job.
+func (j *Job) TotalBits() float64 {
+	var t float64
+	for _, b := range j.Bits {
+		t += b
+	}
+	return t
+}
+
+// Background is one non-aggregatable flow (e.g. distributed file system
+// traffic in a map/reduce cluster).
+type Background struct {
+	Src, Dst topology.NodeID
+	Bits     float64
+}
+
+// Workload is a generated traffic mix.
+type Workload struct {
+	Config     Config
+	Jobs       []Job
+	Background []Background
+}
+
+// NumFlows returns the number of worker flows plus background flows.
+func (w *Workload) NumFlows() int {
+	n := len(w.Background)
+	for i := range w.Jobs {
+		n += len(w.Jobs[i].Workers)
+	}
+	return n
+}
+
+const minFlowBits = 8 * 1024 // 1 KB floor on flow sizes
+
+// Generate builds a workload for the given topology.
+func Generate(topo *topology.Topology, cfg Config) *Workload {
+	if cfg.FlowsPerServer <= 0 || cfg.AggregatableFraction < 0 || cfg.AggregatableFraction > 1 {
+		panic(fmt.Sprintf("workload: invalid config %+v", cfg))
+	}
+	rn := stats.NewRand(cfg.Seed)
+	servers := topo.Servers()
+	targetFlows := int(cfg.FlowsPerServer * float64(len(servers)))
+	targetAgg := int(cfg.AggregatableFraction * float64(targetFlows))
+
+	w := &Workload{Config: cfg}
+	placer := newPlacer(topo, rn.Split(), cfg.RackSlotFraction)
+
+	// Calibrate the truncated Pareto minimum so the bounded distribution's
+	// mean hits MeanFlowBits exactly, even for heavy-tailed shapes.
+	xm := stats.BoundedParetoMinForMean(cfg.MeanFlowBits, cfg.MaxFlowBits, cfg.ParetoShape)
+	flowBits := func() float64 {
+		v := rn.BoundedPareto(xm, cfg.MaxFlowBits, cfg.ParetoShape)
+		if v < minFlowBits {
+			v = minFlowBits
+		}
+		return v
+	}
+
+	// Jobs until the aggregatable flow budget is spent.
+	aggFlows := 0
+	for aggFlows < targetAgg {
+		nw := rn.PowerLaw(cfg.MinWorkers, cfg.MaxWorkers, cfg.WorkerPowerLawS)
+		if rem := targetAgg - aggFlows; nw > rem {
+			nw = rem
+			if nw < 1 {
+				break
+			}
+		}
+		master, workers := placer.place(nw)
+		job := Job{
+			ID:      len(w.Jobs),
+			Master:  master,
+			Workers: workers,
+			Bits:    make([]float64, nw),
+			Delay:   make([]float64, nw),
+		}
+		for i := range job.Bits {
+			job.Bits[i] = flowBits()
+			if cfg.StragglerFraction > 0 && rn.Float64() < cfg.StragglerFraction {
+				job.Delay[i] = rn.Exp(cfg.StragglerDelayMean)
+			}
+		}
+		w.Jobs = append(w.Jobs, job)
+		aggFlows += nw
+	}
+
+	// Background flows with configurable locality: a destination in the
+	// source's rack, the source's pod, or anywhere else.
+	for i := aggFlows; i < targetFlows; i++ {
+		src := servers[rn.Intn(len(servers))]
+		dst := pickBackgroundDst(topo, rn, servers, src, cfg)
+		w.Background = append(w.Background, Background{Src: src, Dst: dst, Bits: flowBits()})
+	}
+	return w
+}
+
+// pickBackgroundDst chooses a destination distinct from src respecting the
+// configured locality mix. If the preferred locality class has no other
+// server (e.g. one-server racks), it falls back to any other server.
+func pickBackgroundDst(topo *topology.Topology, rn *stats.Rand, servers []topology.NodeID, src topology.NodeID, cfg Config) topology.NodeID {
+	srcNode := topo.Node(src)
+	u := rn.Float64()
+	match := func(n topology.Node) bool { // cross-pod
+		return n.Pod != srcNode.Pod
+	}
+	switch {
+	case u < cfg.BgSameRack:
+		match = func(n topology.Node) bool { return n.Rack == srcNode.Rack }
+	case u < cfg.BgSameRack+cfg.BgSamePod:
+		match = func(n topology.Node) bool { return n.Pod == srcNode.Pod && n.Rack != srcNode.Rack }
+	}
+	// Rejection-sample with a bounded number of tries, then fall back.
+	for tries := 0; tries < 64; tries++ {
+		dst := servers[rn.Intn(len(servers))]
+		if dst != src && match(topo.Node(dst)) {
+			return dst
+		}
+	}
+	for {
+		dst := servers[rn.Intn(len(servers))]
+		if dst != src {
+			return dst
+		}
+	}
+}
+
+// placer assigns workers to servers as close to each other as possible
+// (§4.1: "a locality-aware allocation algorithm that greedily assigns
+// workers to servers as close to each other as possible"), rotating the
+// starting rack so jobs spread over the cluster.
+type placer struct {
+	topo    *topology.Topology
+	rn      *stats.Rand
+	byRack  [][]topology.NodeID
+	nextUse []int // round-robin offset per rack so co-located jobs vary hosts
+	perRack int   // max workers of one job per rack
+}
+
+func newPlacer(topo *topology.Topology, rn *stats.Rand, rackSlotFraction float64) *placer {
+	racks := make(map[int][]topology.NodeID)
+	maxRack := -1
+	for _, s := range topo.Servers() {
+		r := topo.Node(s).Rack
+		racks[r] = append(racks[r], s)
+		if r > maxRack {
+			maxRack = r
+		}
+	}
+	byRack := make([][]topology.NodeID, maxRack+1)
+	perRack := 0
+	for r, svs := range racks {
+		byRack[r] = svs
+		if len(svs) > perRack {
+			perRack = len(svs)
+		}
+	}
+	if rackSlotFraction > 0 && rackSlotFraction < 1 {
+		perRack = int(float64(perRack) * rackSlotFraction)
+	}
+	if perRack < 1 {
+		perRack = 1
+	}
+	return &placer{topo: topo, rn: rn, byRack: byRack, nextUse: make([]int, maxRack+1), perRack: perRack}
+}
+
+// place returns a master and nw workers. Workers are packed greedily from a
+// random starting rack, spilling into subsequent racks only when the
+// current one is exhausted (§4.1's locality-aware allocation). The master —
+// the frontend or reducer — is placed independently of the workers, as
+// cluster schedulers place service endpoints without co-scheduling them
+// with the data-parallel tasks; this is what makes the aggregation step a
+// cross-rack, often cross-pod transfer that on-path aggregation can help.
+func (p *placer) place(nw int) (master topology.NodeID, workers []topology.NodeID) {
+	start := p.rn.Intn(len(p.byRack))
+	pickFrom := func(rack int) topology.NodeID {
+		svs := p.byRack[rack]
+		s := svs[p.nextUse[rack]%len(svs)]
+		p.nextUse[rack]++
+		return s
+	}
+	masterRack := p.rn.Intn(len(p.byRack))
+	master = pickFrom(masterRack)
+	workers = make([]topology.NodeID, 0, nw)
+	for r := 0; len(workers) < nw; r++ {
+		rack := (start + r) % len(p.byRack)
+		quota := p.perRack
+		if max := len(p.byRack[rack]); quota > max {
+			quota = max
+		}
+		for i := 0; i < quota && len(workers) < nw; i++ {
+			workers = append(workers, pickFrom(rack))
+		}
+	}
+	return master, workers
+}

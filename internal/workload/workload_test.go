@@ -1,0 +1,228 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"netagg/internal/topology"
+)
+
+func smallTopo(t *testing.T) *topology.Topology {
+	t.Helper()
+	topo, err := topology.BuildClos(topology.SmallClos())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestGenerateFlowBudget(t *testing.T) {
+	topo := smallTopo(t)
+	cfg := Default()
+	w := Generate(topo, cfg)
+	want := int(cfg.FlowsPerServer * float64(len(topo.Servers())))
+	if got := w.NumFlows(); got != want {
+		t.Fatalf("NumFlows = %d, want %d", got, want)
+	}
+	agg := 0
+	for i := range w.Jobs {
+		agg += len(w.Jobs[i].Workers)
+	}
+	wantAgg := int(cfg.AggregatableFraction * float64(want))
+	if agg != wantAgg {
+		t.Fatalf("aggregatable flows = %d, want %d", agg, wantAgg)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	topo := smallTopo(t)
+	cfg := Default()
+	w1 := Generate(topo, cfg)
+	w2 := Generate(topo, cfg)
+	if len(w1.Jobs) != len(w2.Jobs) || len(w1.Background) != len(w2.Background) {
+		t.Fatal("same seed must give same workload shape")
+	}
+	for i := range w1.Jobs {
+		if w1.Jobs[i].Master != w2.Jobs[i].Master {
+			t.Fatal("same seed must give same placement")
+		}
+		for j := range w1.Jobs[i].Bits {
+			if w1.Jobs[i].Bits[j] != w2.Jobs[i].Bits[j] {
+				t.Fatal("same seed must give same flow sizes")
+			}
+		}
+	}
+}
+
+func TestGenerateSeedVariation(t *testing.T) {
+	topo := smallTopo(t)
+	a := Default()
+	b := Default()
+	b.Seed = 2
+	w1, w2 := Generate(topo, a), Generate(topo, b)
+	same := len(w1.Jobs) == len(w2.Jobs)
+	if same {
+		for i := range w1.Jobs {
+			if w1.Jobs[i].Master != w2.Jobs[i].Master {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different workloads")
+	}
+}
+
+func TestMeanFlowSizeCalibrated(t *testing.T) {
+	topo, _ := topology.BuildClos(topology.ClosConfig{
+		Pods: 4, RacksPerPod: 4, ServersPerRack: 16, AggPerPod: 2, Cores: 2,
+		EdgeCapacity: topology.Gbps, Oversubscription: 4,
+	})
+	cfg := Default()
+	cfg.FlowsPerServer = 40 // many samples for a tight mean estimate
+	w := Generate(topo, cfg)
+	var sum float64
+	var n int
+	for i := range w.Jobs {
+		for _, b := range w.Jobs[i].Bits {
+			sum += b
+			n++
+		}
+	}
+	for _, b := range w.Background {
+		sum += b.Bits
+		n++
+	}
+	mean := sum / float64(n)
+	if mean < 0.7*cfg.MeanFlowBits || mean > 1.3*cfg.MeanFlowBits {
+		t.Fatalf("empirical mean flow size %g, want ≈%g", mean, cfg.MeanFlowBits)
+	}
+}
+
+func TestWorkerFanInPowerLaw(t *testing.T) {
+	topo := smallTopo(t)
+	cfg := Default()
+	cfg.FlowsPerServer = 50
+	w := Generate(topo, cfg)
+	if len(w.Jobs) < 20 {
+		t.Fatalf("too few jobs (%d) to check fan-in distribution", len(w.Jobs))
+	}
+	small := 0
+	for i := range w.Jobs {
+		if len(w.Jobs[i].Workers) < 10 {
+			small++
+		}
+	}
+	// §4.1: "80 % of requests or jobs have fewer than 10 workers".
+	if frac := float64(small) / float64(len(w.Jobs)); frac < 0.6 {
+		t.Fatalf("only %.2f of jobs have <10 workers; expected power-law fan-in", frac)
+	}
+}
+
+func TestPlacementLocality(t *testing.T) {
+	topo := smallTopo(t)
+	w := Generate(topo, Default())
+	cfg := Default()
+	perRack := int(float64(topology.SmallClos().ServersPerRack) * cfg.RackSlotFraction)
+	for i := range w.Jobs {
+		job := &w.Jobs[i]
+		racks := map[int]bool{}
+		for _, wk := range job.Workers {
+			racks[topo.Node(wk).Rack] = true
+		}
+		// Greedy locality under slot contention: a job with W workers and a
+		// per-rack quota Q spans at most ceil(W/Q) consecutive racks (plus
+		// wrap-around effects on tiny clusters).
+		maxRacks := (len(job.Workers)+perRack-1)/perRack + 1
+		if len(racks) > maxRacks {
+			t.Fatalf("job %d spans %d racks for %d workers (max %d)",
+				job.ID, len(racks), len(job.Workers), maxRacks)
+		}
+		if len(job.Workers) > perRack && len(racks) < 2 {
+			t.Fatalf("job %d with %d workers should span racks (quota %d)",
+				job.ID, len(job.Workers), perRack)
+		}
+	}
+}
+
+func TestStragglerDelays(t *testing.T) {
+	topo := smallTopo(t)
+	cfg := Default()
+	cfg.StragglerFraction = 0.5
+	cfg.StragglerDelayMean = 0.2
+	w := Generate(topo, cfg)
+	delayed, total := 0, 0
+	for i := range w.Jobs {
+		for _, d := range w.Jobs[i].Delay {
+			total++
+			if d > 0 {
+				delayed++
+			}
+		}
+	}
+	frac := float64(delayed) / float64(total)
+	if frac < 0.3 || frac > 0.7 {
+		t.Fatalf("straggler fraction %.2f, want ≈0.5", frac)
+	}
+}
+
+func TestNoStragglersByDefault(t *testing.T) {
+	topo := smallTopo(t)
+	w := Generate(topo, Default())
+	for i := range w.Jobs {
+		for _, d := range w.Jobs[i].Delay {
+			if d != 0 {
+				t.Fatal("default workload must not delay flows")
+			}
+		}
+	}
+}
+
+func TestBackgroundFlowsDistinctEndpoints(t *testing.T) {
+	topo := smallTopo(t)
+	w := Generate(topo, Default())
+	if len(w.Background) == 0 {
+		t.Fatal("expected background flows")
+	}
+	for _, b := range w.Background {
+		if b.Src == b.Dst {
+			t.Fatal("background flow with identical endpoints")
+		}
+		if b.Bits <= 0 {
+			t.Fatal("background flow with non-positive size")
+		}
+	}
+}
+
+func TestTotalBits(t *testing.T) {
+	j := Job{Bits: []float64{1, 2, 3}}
+	if j.TotalBits() != 6 {
+		t.Fatalf("TotalBits = %g, want 6", j.TotalBits())
+	}
+}
+
+func TestGeneratePropertySizesPositiveAndBounded(t *testing.T) {
+	topo := smallTopo(t)
+	check := func(seed int64) bool {
+		cfg := Default()
+		cfg.Seed = seed
+		w := Generate(topo, cfg)
+		for i := range w.Jobs {
+			for _, b := range w.Jobs[i].Bits {
+				if b < minFlowBits || b > cfg.MaxFlowBits {
+					return false
+				}
+			}
+		}
+		for _, b := range w.Background {
+			if b.Bits < minFlowBits || b.Bits > cfg.MaxFlowBits {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
