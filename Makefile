@@ -1,0 +1,28 @@
+# NetAgg reproduction — build/verify entry points. Stdlib-only Go module;
+# no tool downloads, so every target works offline.
+
+GO ?= go
+
+.PHONY: build test lint vet race verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# netagg-lint: repo-specific analyzers (determinism, lockdiscipline,
+# errcheck-wire, goroutine-hygiene). Exit 1 on findings; suppress audited
+# false positives with //lint:ignore <analyzer> <reason> or the
+# .netagg-lint-allow file.
+lint:
+	$(GO) run ./cmd/netagg-lint ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# The tier-1 gate: everything CI and pre-commit should run.
+verify: build vet lint race

@@ -32,13 +32,9 @@ import (
 	"netagg/internal/corpus"
 )
 
-func main() {
-	addr := flag.String("addr", "127.0.0.1:7100", "listen address")
-	id := flag.Uint64("id", 1, "box identifier (must be unique per deployment)")
-	workers := flag.Int("workers", 8, "scheduler thread pool size")
-	fixed := flag.Bool("fixed-wfq", false, "disable adaptive weighted fair queuing")
-	flag.Parse()
-
+// newRegistry builds the box's application registry (shared with the
+// shutdown test).
+func newRegistry() *agg.Registry {
 	reg := agg.NewRegistry()
 	reg.Register("wordcount", agg.KVCombiner{Op: agg.OpSum})
 	reg.Register("kvmax", agg.KVCombiner{Op: agg.OpMax})
@@ -47,6 +43,17 @@ func main() {
 	reg.Register("sample", agg.Sample{Ratio: 0.05})
 	reg.Register("categorise", agg.Categorise{K: 10, Categories: corpus.Categories()})
 	reg.Register("concat", agg.Concat{})
+	return reg
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7100", "listen address")
+	id := flag.Uint64("id", 1, "box identifier (must be unique per deployment)")
+	workers := flag.Int("workers", 8, "scheduler thread pool size")
+	fixed := flag.Bool("fixed-wfq", false, "disable adaptive weighted fair queuing")
+	flag.Parse()
+
+	reg := newRegistry()
 
 	box, err := core.Start(core.Config{
 		ID:           *id << 32,

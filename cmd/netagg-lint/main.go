@@ -1,0 +1,249 @@
+// Command netagg-lint runs the repo-specific static analyzer suite over
+// the netagg tree (see internal/lint). It is part of the tier-1 verify
+// gate:
+//
+//	go run ./cmd/netagg-lint ./...
+//
+// exits 0 when the tree is clean, 1 when any analyzer reports a finding
+// that is neither suppressed at the site (//lint:ignore <analyzer>
+// <reason>) nor recorded in the allowlist, and 2 on usage or parse
+// errors.
+//
+// Usage:
+//
+//	netagg-lint [-json] [-allow file] [-only a,b] [patterns...]
+//
+// Patterns are package directories relative to the module root; the
+// pattern ./... (the default) walks the whole module. The allowlist
+// defaults to .netagg-lint-allow next to go.mod; each line is the
+// tab-separated key `path<TAB>analyzer<TAB>message` of an audited
+// pre-existing finding (use -json to obtain keys).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"netagg/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fl := flag.NewFlagSet("netagg-lint", flag.ContinueOnError)
+	fl.SetOutput(stderr)
+	jsonOut := fl.Bool("json", false, "emit findings as a JSON array")
+	allowPath := fl.String("allow", "", "allowlist file (default: .netagg-lint-allow next to go.mod)")
+	only := fl.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fl.Bool("analyzers", false, "list analyzers and exit")
+	if err := fl.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-18s %s\n", a.Name(), a.Doc())
+		}
+		return 0
+	}
+	if *only != "" {
+		want := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var sel []lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name()] {
+				sel = append(sel, a)
+				delete(want, a.Name())
+			}
+		}
+		if len(want) > 0 {
+			fmt.Fprintf(stderr, "netagg-lint: unknown analyzers in -only: %v\n", keys(want))
+			return 2
+		}
+		analyzers = sel
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(stderr, "netagg-lint: %v\n", err)
+		return 2
+	}
+
+	patterns := fl.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	paths, err := expand(root, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "netagg-lint: %v\n", err)
+		return 2
+	}
+	if len(paths) == 0 {
+		fmt.Fprintf(stderr, "netagg-lint: no Go files matched %v\n", patterns)
+		return 2
+	}
+
+	fset := token.NewFileSet()
+	var files []*lint.File
+	for _, p := range paths {
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			rel = p
+		}
+		f, err := lint.Parse(fset, p, filepath.ToSlash(rel))
+		if err != nil {
+			fmt.Fprintf(stderr, "netagg-lint: %v\n", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	findings := lint.Run(files, analyzers)
+
+	ap := *allowPath
+	if ap == "" {
+		ap = filepath.Join(root, ".netagg-lint-allow")
+	}
+	allow, err := lint.LoadAllowlist(ap)
+	if err != nil {
+		fmt.Fprintf(stderr, "netagg-lint: %v\n", err)
+		return 2
+	}
+	findings = allow.Filter(findings)
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(stderr, "netagg-lint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f.String())
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(stderr, "netagg-lint: %d finding(s)\n", len(findings))
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// moduleRoot walks up from the working directory to the directory
+// containing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("go.mod not found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// expand resolves package patterns to a sorted list of Go file paths.
+// Supported patterns: "./...", "dir/...", plain directories, and single
+// .go files.
+func expand(root string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			if err := walkGoFiles(root, add); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := filepath.Join(root, strings.TrimSuffix(pat, "/..."))
+			if err := walkGoFiles(base, add); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, ".go"):
+			p := pat
+			if !filepath.IsAbs(p) {
+				p = filepath.Join(root, p)
+			}
+			if _, err := os.Stat(p); err != nil {
+				return nil, err
+			}
+			add(p)
+		default:
+			dir := pat
+			if !filepath.IsAbs(dir) {
+				dir = filepath.Join(root, dir)
+			}
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range entries {
+				if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+					add(filepath.Join(dir, e.Name()))
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// walkGoFiles adds every .go file below base, skipping hidden
+// directories and testdata.
+func walkGoFiles(base string, add func(string)) error {
+	return filepath.WalkDir(base, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") {
+			add(path)
+		}
+		return nil
+	})
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

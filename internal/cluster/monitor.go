@@ -105,7 +105,11 @@ func (m *Monitor) probe(b BoxInfo) {
 				conn = nil
 				return false
 			}
-			conn.SetReadDeadline(time.Now().Add(m.interval))
+			if err := conn.SetReadDeadline(time.Now().Add(m.interval)); err != nil {
+				conn.Close()
+				conn = nil
+				return false
+			}
 			msg, err := r.Read()
 			if err != nil || msg.Type != wire.THeartbeat {
 				conn.Close()

@@ -209,7 +209,6 @@ func (b *Box) serveConn(conn net.Conn) {
 	}()
 	r := wire.NewReader(conn)
 	w := wire.NewWriter(conn)
-	var wmu sync.Mutex
 	for {
 		m, err := r.Read()
 		if err != nil {
@@ -220,11 +219,16 @@ func (b *Box) serveConn(conn net.Conn) {
 		}
 		switch m.Type {
 		case wire.THeartbeat:
-			wmu.Lock()
-			if err := w.Write(&wire.Msg{Type: wire.THeartbeat, Source: b.cfg.ID, Seq: m.Seq}); err == nil {
+			// Only this reader goroutine writes to w, so no lock is needed
+			// — and a reply failure means the connection is gone.
+			err := w.Write(&wire.Msg{Type: wire.THeartbeat, Source: b.cfg.ID, Seq: m.Seq})
+			if err == nil {
 				err = w.Flush()
 			}
-			wmu.Unlock()
+			if err != nil {
+				b.logf("box %d: heartbeat reply: %v", b.cfg.ID, err)
+				return
+			}
 		case wire.THello, wire.TData, wire.TEnd, wire.TExpect:
 			if err := b.handle(m); err != nil {
 				b.logf("box %d: %s: %v", b.cfg.ID, m.Type, err)

@@ -69,6 +69,7 @@ type Scheduler struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	apps   map[string]*appState
+	order  []*appState // registration order: keeps the seeded pick deterministic
 	rng    *rand.Rand
 	closed bool
 	queued int
@@ -112,7 +113,9 @@ func (s *Scheduler) Register(app string, share float64) {
 	if _, dup := s.apps[app]; dup {
 		panic(fmt.Sprintf("core: application %q already registered", app))
 	}
-	s.apps[app] = &appState{name: app, share: share, avg: stats.NewEWMA(s.cfg.EWMAAlpha)}
+	st := &appState{name: app, share: share, avg: stats.NewEWMA(s.cfg.EWMAAlpha)}
+	s.apps[app] = st
+	s.order = append(s.order, st)
 }
 
 // Submit queues a task for an application. It returns an error if the
@@ -169,16 +172,19 @@ func (s *Scheduler) worker() {
 // "the scheduler offers that thread to a task of application i with
 // probability w_i/Σw").
 func (s *Scheduler) pickLocked() *appState {
+	// Iterate s.order, not the apps map: with a seeded rng the weighted
+	// pick is only reproducible if the candidate order (and the float
+	// summation order of the weights) is fixed across runs.
 	fallback := s.fallbackAvgLocked()
 	var total float64
-	for _, st := range s.apps {
+	for _, st := range s.order {
 		if st.pending() > 0 {
 			total += s.weightLocked(st, fallback)
 		}
 	}
 	r := s.rng.Float64() * total
 	var last *appState
-	for _, st := range s.apps {
+	for _, st := range s.order {
 		if st.pending() == 0 {
 			continue
 		}
@@ -201,7 +207,7 @@ func (s *Scheduler) fallbackAvgLocked() float64 {
 		return 1
 	}
 	sum, n := 0.0, 0
-	for _, st := range s.apps {
+	for _, st := range s.order {
 		if st.avg.Initialized() && st.avg.Value() > 0 {
 			sum += st.avg.Value()
 			n++
@@ -271,7 +277,7 @@ func (s *Scheduler) closeWith(drop bool) {
 	s.mu.Lock()
 	s.closed = true
 	if drop {
-		for _, st := range s.apps {
+		for _, st := range s.order {
 			st.queue = nil
 			st.head = 0
 		}

@@ -1,0 +1,323 @@
+// Package lint is netagg's repo-specific static analyzer framework. It
+// enforces the two invariants the reproduction's correctness claims rest
+// on: the agg-box data plane (core, wire, shim, cluster) must stay
+// race-free and leak-free under churn, and the flow-level simulator
+// (simnet, strategies, simexp, stats, figures, workload) must stay
+// deterministic so the paper's FCT-percentile figures reproduce
+// bit-for-bit across runs.
+//
+// The framework is pure go/ast + go/parser + go/token — no go/types, no
+// golang.org/x/tools — so it parses and checks the whole tree in
+// milliseconds and has no dependency on build state. Analyzers are
+// syntactic and package-scoped; where type information would be needed
+// (e.g. "is this expression a map?") they use conservative local
+// heuristics documented on each analyzer.
+//
+// Findings can be suppressed at the site with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the flagged line or the line above it, or globally via an allowlist
+// file (see Allowlist) that records audited pre-existing findings.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer diagnostic.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	// File is the path as given to Parse (repo-relative in the driver).
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// String formats a finding like a compiler diagnostic.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Key is the finding's stable identity used by allowlist matching. It
+// deliberately excludes line/column so audited findings survive unrelated
+// edits to the file.
+func (f Finding) Key() string {
+	return f.File + "\t" + f.Analyzer + "\t" + f.Message
+}
+
+// File is one parsed source file presented to analyzers.
+type File struct {
+	Fset *token.FileSet
+	AST  *ast.File
+	// Path is the file path, as reported in findings.
+	Path string
+	// PkgDir is the last element of the directory holding the file
+	// ("simnet", "core", ...). Analyzers scope themselves by it.
+	PkgDir string
+	// Test reports whether this is a _test.go file.
+	Test bool
+	// Src is the raw source, used to classify comments as standalone or
+	// trailing.
+	Src []byte
+
+	// ignores maps line number -> analyzer names suppressed on that line.
+	ignores map[int][]string
+}
+
+// Analyzer checks one file and reports findings via report.
+type Analyzer interface {
+	// Name is the analyzer identifier used in findings, suppression
+	// comments and the allowlist.
+	Name() string
+	// Doc is a one-line description of the enforced invariant.
+	Doc() string
+	// Check inspects the file. Implementations call report for each
+	// violation; scoping (which packages the analyzer applies to) is the
+	// analyzer's own responsibility.
+	Check(f *File, report func(pos token.Pos, msg string))
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []Analyzer {
+	return []Analyzer{
+		Determinism{},
+		LockDiscipline{},
+		ErrcheckWire{},
+		GoroutineHygiene{},
+	}
+}
+
+// Parse reads and parses one file for analysis. displayPath is the path
+// recorded in findings (usually repo-relative).
+func Parse(fset *token.FileSet, osPath, displayPath string) (*File, error) {
+	src, err := os.ReadFile(osPath)
+	if err != nil {
+		return nil, err
+	}
+	return ParseSource(fset, displayPath, src)
+}
+
+// ParseSource parses in-memory source (used by tests with fixtures).
+func ParseSource(fset *token.FileSet, displayPath string, src []byte) (*File, error) {
+	astf, err := parser.ParseFile(fset, displayPath, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{
+		Fset:   fset,
+		AST:    astf,
+		Path:   displayPath,
+		PkgDir: filepath.Base(filepath.Dir(displayPath)),
+		Test:   strings.HasSuffix(displayPath, "_test.go"),
+		Src:    src,
+	}
+	f.collectIgnores()
+	return f, nil
+}
+
+// collectIgnores indexes //lint:ignore comments by line.
+func (f *File) collectIgnores() {
+	f.ignores = make(map[int][]string)
+	for _, cg := range f.AST.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "lint:ignore") {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:ignore"))
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				// An ignore without a reason is itself ignored: the reason
+				// is the audit trail.
+				continue
+			}
+			pos := f.Fset.Position(c.Pos())
+			// A standalone comment (only whitespace before it on the
+			// line) suppresses the next code line; a trailing comment
+			// suppresses its own line.
+			lines := []int{pos.Line}
+			if f.standalone(pos) {
+				lines = append(lines, pos.Line+1)
+			}
+			for _, line := range lines {
+				f.ignores[line] = append(f.ignores[line], fields[0])
+			}
+		}
+	}
+}
+
+// standalone reports whether only whitespace precedes the position on its
+// line.
+func (f *File) standalone(pos token.Position) bool {
+	if f.Src == nil {
+		return true
+	}
+	start := pos.Offset - (pos.Column - 1)
+	if start < 0 || pos.Offset > len(f.Src) {
+		return true
+	}
+	return strings.TrimSpace(string(f.Src[start:pos.Offset])) == ""
+}
+
+// suppressed reports whether analyzer findings on the given line are
+// ignored.
+func (f *File) suppressed(analyzer string, line int) bool {
+	for _, name := range f.ignores[line] {
+		if name == analyzer || name == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies the analyzers to the files and returns surviving findings
+// sorted by file, line, column, analyzer. //lint:ignore suppressions are
+// applied here; allowlist filtering is the caller's concern.
+func Run(files []*File, analyzers []Analyzer) []Finding {
+	var out []Finding
+	for _, file := range files {
+		for _, a := range analyzers {
+			f, an := file, a // pin for the closure
+			a.Check(f, func(pos token.Pos, msg string) {
+				p := f.Fset.Position(pos)
+				if f.suppressed(an.Name(), p.Line) {
+					return
+				}
+				out = append(out, Finding{
+					Analyzer: an.Name(),
+					File:     f.Path,
+					Line:     p.Line,
+					Col:      p.Column,
+					Message:  msg,
+				})
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// Allowlist is the set of audited pre-existing findings tolerated by the
+// gate. The file format is one Finding.Key per line — tab-separated
+// path, analyzer, message — with '#' comments and blank lines skipped.
+type Allowlist struct {
+	keys map[string]bool
+}
+
+// LoadAllowlist reads an allowlist file. A missing file yields an empty
+// (non-nil) allowlist.
+func LoadAllowlist(path string) (*Allowlist, error) {
+	al := &Allowlist{keys: make(map[string]bool)}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return al, nil
+		}
+		return nil, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		al.keys[line] = true
+	}
+	return al, nil
+}
+
+// Allowed reports whether the finding is on the allowlist.
+func (al *Allowlist) Allowed(f Finding) bool {
+	if al == nil {
+		return false
+	}
+	return al.keys[f.Key()]
+}
+
+// Filter drops allowlisted findings.
+func (al *Allowlist) Filter(fs []Finding) []Finding {
+	if al == nil || len(al.keys) == 0 {
+		return fs
+	}
+	out := fs[:0]
+	for _, f := range fs {
+		if !al.Allowed(f) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// importName returns the local name under which the file imports the
+// given path ("" if not imported). A dot or blank import returns "".
+func importName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "." || imp.Name.Name == "_" {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		// Default name: last path element.
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			return p[i+1:]
+		}
+		return p
+	}
+	return ""
+}
+
+// exprString renders a (small) expression for messages and lock naming.
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprString(v.X)
+	case *ast.ParenExpr:
+		return exprString(v.X)
+	case *ast.IndexExpr:
+		return exprString(v.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(v.Fun) + "(...)"
+	default:
+		return "expr"
+	}
+}
+
+// inScope reports whether the file's package directory is in the set.
+func inScope(f *File, dirs ...string) bool {
+	for _, d := range dirs {
+		if f.PkgDir == d {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,585 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// runOn parses one fixture at displayPath and returns the findings of the
+// named analyzer (all analyzers when name == "").
+func runOn(t *testing.T, displayPath, src, name string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := ParseSource(fset, displayPath, []byte(src))
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	var analyzers []Analyzer
+	for _, a := range All() {
+		if name == "" || a.Name() == name {
+			analyzers = append(analyzers, a)
+		}
+	}
+	return Run([]*File{f}, analyzers)
+}
+
+// expectMessages asserts findings count and that each expected substring
+// appears in the corresponding finding message.
+func expectMessages(t *testing.T, got []Finding, want ...string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d findings, want %d:\n%v", len(got), len(want), got)
+	}
+	for i, w := range want {
+		if !strings.Contains(got[i].Message, w) {
+			t.Errorf("finding %d = %q, want substring %q", i, got[i].Message, w)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cases := []struct {
+		name string
+		path string
+		src  string
+		want []string
+	}{
+		{
+			name: "wall clock flagged in sim package",
+			path: "internal/simnet/x.go",
+			src: `package simnet
+import "time"
+func now() time.Time { return time.Now() }
+func since(t0 time.Time) time.Duration { return time.Since(t0) }
+`,
+			want: []string{"time.Now", "time.Since"},
+		},
+		{
+			name: "wall clock flagged in package-level initializer",
+			path: "internal/simnet/x.go",
+			src: `package simnet
+import "time"
+var started = time.Now()
+var stamp = func() int64 { return time.Now().UnixNano() }
+`,
+			want: []string{"time.Now", "time.Now"},
+		},
+		{
+			name: "global rand flagged, seeded Rand allowed",
+			path: "internal/strategies/x.go",
+			src: `package strategies
+import "math/rand"
+func pick(n int) int { return rand.Intn(n) }
+func seeded(n int) int {
+	r := rand.New(rand.NewSource(7))
+	return r.Intn(n)
+}
+`,
+			want: []string{"rand.Intn"},
+		},
+		{
+			name: "renamed math/rand import still flagged",
+			path: "internal/stats/x.go",
+			src: `package stats
+import mrand "math/rand"
+func pick(n int) int { return mrand.Intn(n) }
+`,
+			want: []string{"rand.Intn"},
+		},
+		{
+			name: "non-sim package not in scope",
+			path: "internal/core/x.go",
+			src: `package core
+import "time"
+func now() time.Time { return time.Now() }
+`,
+			want: nil,
+		},
+		{
+			name: "test files not in scope",
+			path: "internal/simnet/x_test.go",
+			src: `package simnet
+import "time"
+func now() time.Time { return time.Now() }
+`,
+			want: nil,
+		},
+		{
+			name: "map range with order-dependent append flagged",
+			path: "internal/figures/x.go",
+			src: `package figures
+func rows(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+`,
+			want: []string{`iteration over map "m"`},
+		},
+		{
+			name: "collect-then-sort idiom allowed",
+			path: "internal/figures/x.go",
+			src: `package figures
+import "sort"
+func keys(m map[string]float64) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+`,
+			want: nil,
+		},
+		{
+			name: "map range without observable output allowed",
+			path: "internal/simexp/x.go",
+			src: `package simexp
+func total(m map[string]float64) float64 {
+	// Summation order affects float rounding, but the analyzer only
+	// flags order-observable emission; totals are the caller's business.
+	var sum float64
+	max := 0.0
+	for _, v := range m {
+		if v > max {
+			max = v
+		}
+	}
+	_ = sum
+	return max
+}
+`,
+			want: nil,
+		},
+		{
+			name: "locally made map flagged",
+			path: "internal/workload/x.go",
+			src: `package workload
+import "fmt"
+func dump(n int) {
+	seen := make(map[int]bool)
+	for i := 0; i < n; i++ {
+		seen[i] = true
+	}
+	for k := range seen {
+		fmt.Println(k)
+	}
+}
+`,
+			want: []string{`iteration over map "seen"`},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			expectMessages(t, runOn(t, tc.path, tc.src, "determinism"), tc.want...)
+		})
+	}
+}
+
+func TestLockDiscipline(t *testing.T) {
+	cases := []struct {
+		name string
+		path string
+		src  string
+		want []string
+	}{
+		{
+			name: "write while holding mutex flagged",
+			path: "internal/core/x.go",
+			src: `package core
+import "sync"
+type conn struct{ mu sync.Mutex; w writer }
+type writer struct{}
+func (writer) Write(p []byte) (int, error) { return len(p), nil }
+func (c *conn) send(p []byte) {
+	c.mu.Lock()
+	c.w.Write(p)
+	c.mu.Unlock()
+}
+`,
+			want: []string{"c.w.Write is dropped", "c.w.Write while holding c.mu"},
+		},
+		{
+			name: "write after unlock allowed",
+			path: "internal/core/x.go",
+			src: `package core
+import "sync"
+func send(mu *sync.Mutex, w interface{ Flush() error }) error {
+	mu.Lock()
+	mu.Unlock()
+	return w.Flush()
+}
+`,
+			want: nil,
+		},
+		{
+			name: "defer unlock holds to function end",
+			path: "internal/shim/x.go",
+			src: `package shim
+import "sync"
+func send(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	ch <- 1
+}
+`,
+			want: []string{"channel send while holding mu"},
+		},
+		{
+			name: "early-exit unlock in branch does not leak into fallthrough",
+			path: "internal/wire/x.go",
+			src: `package wire
+import "sync"
+func send(mu *sync.Mutex, closed bool, ch chan int) {
+	mu.Lock()
+	if closed {
+		mu.Unlock()
+		return
+	}
+	mu.Unlock()
+	ch <- 1
+}
+`,
+			want: nil,
+		},
+		{
+			name: "cond wait exempt",
+			path: "internal/core/x.go",
+			src: `package core
+import "sync"
+type q struct{ mu sync.Mutex; cond *sync.Cond; n int }
+func (q *q) take() {
+	q.mu.Lock()
+	for q.n == 0 {
+		q.cond.Wait()
+	}
+	q.n--
+	q.mu.Unlock()
+}
+`,
+			want: nil,
+		},
+		{
+			name: "time.Sleep under lock flagged",
+			path: "internal/cluster/x.go",
+			src: `package cluster
+import (
+	"sync"
+	"time"
+)
+func nap(mu *sync.Mutex) {
+	mu.Lock()
+	time.Sleep(time.Second)
+	mu.Unlock()
+}
+`,
+			want: []string{"time.Sleep while holding mu"},
+		},
+		{
+			name: "select with default is non-blocking",
+			path: "internal/core/x.go",
+			src: `package core
+import "sync"
+func poll(mu *sync.Mutex, ch chan int) (v int) {
+	mu.Lock()
+	select {
+	case v = <-ch:
+	default:
+	}
+	mu.Unlock()
+	return v
+}
+`,
+			want: nil,
+		},
+		{
+			name: "goroutine body starts with fresh lock set",
+			path: "internal/shim/x.go",
+			src: `package shim
+import "sync"
+func spawn(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	go func() {
+		for range ch {
+		}
+	}()
+	mu.Unlock()
+}
+`,
+			want: nil,
+		},
+		{
+			name: "out-of-scope package ignored",
+			path: "internal/simnet/x.go",
+			src: `package simnet
+import "sync"
+func send(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	ch <- 1
+	mu.Unlock()
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			expectMessages(t, runOn(t, tc.path, tc.src, ""), tc.want...)
+		})
+	}
+}
+
+func TestErrcheckWire(t *testing.T) {
+	cases := []struct {
+		name string
+		path string
+		src  string
+		want []string
+	}{
+		{
+			name: "dropped send and flush flagged",
+			path: "internal/shim/x.go",
+			src: `package shim
+type client struct{}
+func (client) Send(v int) error  { return nil }
+func (client) Flush() error      { return nil }
+func fire(c client) {
+	c.Send(1)
+	c.Flush()
+}
+`,
+			want: []string{"c.Send is dropped", "c.Flush is dropped"},
+		},
+		{
+			name: "handled and blank-assigned errors allowed",
+			path: "internal/core/x.go",
+			src: `package core
+type client struct{}
+func (client) Send(v int) error { return nil }
+func fire(c client) error {
+	if err := c.Send(1); err != nil {
+		return err
+	}
+	_ = c.Send(2) // audited discard
+	return nil
+}
+`,
+			want: nil,
+		},
+		{
+			name: "deadline setter flagged",
+			path: "internal/cluster/x.go",
+			src: `package cluster
+import (
+	"net"
+	"time"
+)
+func probe(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+}
+`,
+			want: []string{"conn.SetReadDeadline is dropped"},
+		},
+		{
+			name: "in-memory buffer writes allowed",
+			path: "internal/wire/x.go",
+			src: `package wire
+import "bytes"
+func build(buf *bytes.Buffer) {
+	buf.Write([]byte("x"))
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			expectMessages(t, runOn(t, tc.path, tc.src, "errcheck-wire"), tc.want...)
+		})
+	}
+}
+
+func TestGoroutineHygiene(t *testing.T) {
+	cases := []struct {
+		name string
+		path string
+		src  string
+		want []string
+	}{
+		{
+			name: "range variable captured",
+			path: "internal/core/x.go",
+			src: `package core
+func fanout(items []int, f func(int)) {
+	for _, it := range items {
+		go func() {
+			f(it)
+		}()
+	}
+}
+`,
+			want: []string{`captures loop variable "it"`},
+		},
+		{
+			name: "variable passed as argument allowed",
+			path: "internal/core/x.go",
+			src: `package core
+func fanout(items []int, f func(int)) {
+	for _, it := range items {
+		go func(it int) {
+			f(it)
+		}(it)
+	}
+}
+`,
+			want: nil,
+		},
+		{
+			name: "classic for loop variable captured",
+			path: "internal/shim/x.go",
+			src: `package shim
+func fanout(n int, f func(int)) {
+	for i := 0; i < n; i++ {
+		go func() {
+			f(i)
+		}()
+	}
+}
+`,
+			want: []string{`captures loop variable "i"`},
+		},
+		{
+			name: "unstoppable infinite loop flagged",
+			path: "internal/netem/x.go",
+			src: `package netem
+func spin(f func()) {
+	go func() {
+		for {
+			f()
+		}
+	}()
+}
+`,
+			want: []string{"no shutdown path"},
+		},
+		{
+			name: "loop with stop channel allowed",
+			path: "internal/netem/x.go",
+			src: `package netem
+func run(stop chan struct{}, f func()) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			f()
+		}
+	}()
+}
+`,
+			want: nil,
+		},
+		{
+			name: "loop with error return allowed",
+			path: "internal/wire/x.go",
+			src: `package wire
+func reader(next func() error) {
+	go func() {
+		for {
+			if err := next(); err != nil {
+				return
+			}
+		}
+	}()
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			expectMessages(t, runOn(t, tc.path, tc.src, "goroutine-hygiene"), tc.want...)
+		})
+	}
+}
+
+func TestIgnoreSuppression(t *testing.T) {
+	src := `package shim
+type client struct{}
+func (client) Send(v int) error { return nil }
+func fire(c client) {
+	//lint:ignore errcheck-wire best-effort notification, audited 2026-08
+	c.Send(1)
+	c.Send(2) //lint:ignore errcheck-wire same-line suppression, audited 2026-08
+	c.Send(3)
+}
+`
+	got := runOn(t, "internal/shim/x.go", src, "errcheck-wire")
+	expectMessages(t, got, "c.Send is dropped")
+	if got[0].Line != 8 {
+		t.Errorf("surviving finding at line %d, want 8 (only the unsuppressed call)", got[0].Line)
+	}
+
+	// An ignore without a reason does not suppress.
+	src = `package shim
+type client struct{}
+func (client) Send(v int) error { return nil }
+func fire(c client) {
+	//lint:ignore errcheck-wire
+	c.Send(1)
+}
+`
+	expectMessages(t, runOn(t, "internal/shim/x.go", src, "errcheck-wire"), "c.Send is dropped")
+
+	// "all" suppresses any analyzer.
+	src = `package shim
+type client struct{}
+func (client) Send(v int) error { return nil }
+func fire(c client) {
+	//lint:ignore all fixture
+	c.Send(1)
+}
+`
+	expectMessages(t, runOn(t, "internal/shim/x.go", src, "errcheck-wire"))
+}
+
+func TestAllowlist(t *testing.T) {
+	src := `package shim
+type client struct{}
+func (client) Send(v int) error { return nil }
+func fire(c client) {
+	c.Send(1)
+}
+`
+	got := runOn(t, "internal/shim/x.go", src, "errcheck-wire")
+	if len(got) != 1 {
+		t.Fatalf("got %d findings, want 1", len(got))
+	}
+
+	al := &Allowlist{keys: map[string]bool{got[0].Key(): true}}
+	if rest := al.Filter(got); len(rest) != 0 {
+		t.Errorf("allowlisted finding survived: %v", rest)
+	}
+
+	// The key is position-independent: a finding with a different line
+	// but same file/analyzer/message still matches.
+	moved := got[0]
+	moved.Line += 10
+	if !al.Allowed(moved) {
+		t.Error("allowlist key should not depend on line numbers")
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Analyzer: "determinism", File: "internal/simnet/x.go", Line: 3, Col: 7, Message: "m"}
+	want := "internal/simnet/x.go:3:7: determinism: m"
+	if f.String() != want {
+		t.Errorf("String() = %q, want %q", f.String(), want)
+	}
+}

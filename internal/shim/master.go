@@ -2,6 +2,7 @@ package shim
 
 import (
 	"fmt"
+	"log"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -258,10 +259,15 @@ func (m *Master) redirect(p *Pending) {
 		if !ok {
 			continue
 		}
-		m.pool.Send(addr, &wire.Msg{
+		// Redirects are best-effort: a worker shim we cannot reach simply
+		// misses this attempt and the straggler timer fires again, but the
+		// failure must not be silent.
+		if err := m.pool.Send(addr, &wire.Msg{
 			Type: wire.TRedirect, App: p.app, Req: p.req,
 			Payload: wire.EncodeCount(attempt),
-		})
+		}); err != nil {
+			log.Printf("shim: redirect request %d attempt %d to %s: %v", p.req, attempt, addr, err)
+		}
 	}
 }
 
@@ -293,15 +299,19 @@ func (m *Master) remove(p *Pending) {
 // fail delivers an error result once.
 func (p *Pending) fail(err error) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.done {
+		p.mu.Unlock()
 		return
 	}
 	p.done = true
 	if p.timer != nil {
 		p.timer.Stop()
 	}
-	p.c <- Result{Err: err, Attempts: p.attempt}
+	attempts := p.attempt
+	p.mu.Unlock()
+	// done flipped under the lock, so exactly one goroutine reaches this
+	// send; deliver outside the lock.
+	p.c <- Result{Err: err, Attempts: attempts}
 }
 
 // acceptLoop serves the result listener.
@@ -365,6 +375,7 @@ func (m *Master) handle(msg *wire.Msg) {
 		return
 	}
 	complete := false
+	var final *Result // set when this frame finishes the request
 	switch msg.Type {
 	case wire.TResult:
 		// A fully aggregated result from an agg box chain root.
@@ -384,28 +395,25 @@ func (m *Master) handle(msg *wire.Msg) {
 		p.sourcesDone++
 		complete = p.sourcesDone >= p.needed
 	case wire.TError:
-		p.done = true
-		if p.timer != nil {
-			p.timer.Stop()
-		}
-		p.c <- Result{Err: fmt.Errorf("shim: aggregation failed: %s", msg.Payload), Attempts: p.attempt}
-		p.mu.Unlock()
-		m.remove(p)
-		return
+		final = &Result{Err: fmt.Errorf("shim: aggregation failed: %s", msg.Payload), Attempts: p.attempt}
 	default:
 		p.mu.Unlock()
 		return
 	}
 	if complete {
+		final = &Result{Parts: p.received, Attempts: p.attempt}
+	}
+	if final != nil {
+		// Flip done under the lock so exactly one frame completes the
+		// request, then deliver outside it.
 		p.done = true
 		if p.timer != nil {
 			p.timer.Stop()
 		}
-		parts := p.received
-		p.c <- Result{Parts: parts, Attempts: p.attempt}
-		p.mu.Unlock()
-		m.remove(p)
-		return
 	}
 	p.mu.Unlock()
+	if final != nil {
+		p.c <- *final
+		m.remove(p)
+	}
 }

@@ -71,12 +71,14 @@ func (n NetAgg) addTree(net *simnet.Network, job *workload.Job, alpha float64, t
 	}
 
 	nodes := make(map[topology.NodeID]*boxNode) // keyed by box
+	var order []*boxNode                        // creation order: deterministic (follows job.Workers)
 	getNode := func(box topology.NodeID) *boxNode {
 		if bn, ok := nodes[box]; ok {
 			return bn
 		}
 		bn := &boxNode{box: box, next: -1}
 		nodes[box] = bn
+		order = append(order, bn)
 		return bn
 	}
 
@@ -148,8 +150,11 @@ func (n NetAgg) addTree(net *simnet.Network, job *workload.Job, alpha float64, t
 		}
 	}
 
-	// Wire box-to-box dependencies.
-	for _, bn := range nodes {
+	// Wire box-to-box dependencies. Iterate in creation order, not map
+	// order: boxIns order determines flow creation order and the float
+	// summation order of arriving bits, both of which must reproduce
+	// bit-for-bit across runs.
+	for _, bn := range order {
 		if bn.nextIsBox {
 			down := nodes[bn.next]
 			down.boxIns = append(down.boxIns, bn)
@@ -195,13 +200,13 @@ func (n NetAgg) addTree(net *simnet.Network, job *workload.Job, alpha float64, t
 		}
 		return raw, arriving
 	}
-	for _, bn := range nodes {
+	for _, bn := range order {
 		if !bn.nextIsBox && !bn.emitted {
 			emit(bn)
 		}
 	}
 	// Every box must have been reached from a master-facing root.
-	for _, bn := range nodes {
+	for _, bn := range order {
 		if !bn.emitted {
 			panic("strategies: orphaned agg box in aggregation tree")
 		}

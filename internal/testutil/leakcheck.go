@@ -1,0 +1,152 @@
+// Package testutil holds shared test infrastructure. Its centrepiece is
+// the goroutine leak checker applied to the data-plane test suites
+// (core, wire, shim, cluster): NetAgg's correctness under churn depends
+// on every box, shim, monitor, and connection reader shutting down
+// cleanly, and a leaked reader goroutine is the earliest observable
+// symptom of a broken Close path.
+package testutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// leakGrace is how long the checker waits for goroutines to wind down
+// before declaring a leak. Connection readers unblock asynchronously
+// after Close, so a brief retry loop avoids false positives without
+// hiding real leaks.
+const leakGrace = 2 * time.Second
+
+// LeakCheckMain wraps testing.M.Run with a whole-package goroutine leak
+// check. Use from TestMain:
+//
+//	func TestMain(m *testing.M) { testutil.LeakCheckMain(m) }
+//
+// The package's tests run normally; afterwards, any non-baseline
+// goroutine still alive past the grace period fails the suite with the
+// offending stacks. This catches leaks that per-test checks miss (state
+// shared across tests) and costs one snapshot per package.
+func LeakCheckMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if leaked := waitForQuiescence(); len(leaked) > 0 {
+			fmt.Fprintf(os.Stderr, "testutil: %d goroutine(s) leaked after all tests:\n\n%s\n",
+				len(leaked), strings.Join(leaked, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// CheckLeaks snapshots the interesting goroutines at call time and, via
+// t.Cleanup, fails the test if new goroutines outlive the grace period.
+// Use it at the top of tests that start boxes/shims/monitors:
+//
+//	func TestBoxShutdown(t *testing.T) {
+//		testutil.CheckLeaks(t)
+//		...
+//	}
+func CheckLeaks(t testing.TB) {
+	t.Helper()
+	before := make(map[string]bool)
+	for _, g := range interestingGoroutines() {
+		before[g] = true
+	}
+	t.Cleanup(func() {
+		deadline := time.Now().Add(leakGrace)
+		var leaked []string
+		for {
+			leaked = leaked[:0]
+			for _, g := range interestingGoroutines() {
+				if !before[g] {
+					leaked = append(leaked, g)
+				}
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("testutil: %d goroutine(s) leaked by this test:\n\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	})
+}
+
+// waitForQuiescence retries until no interesting goroutines remain or the
+// grace period expires, returning the stragglers.
+func waitForQuiescence() []string {
+	deadline := time.Now().Add(leakGrace)
+	for {
+		leaked := interestingGoroutines()
+		if len(leaked) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// ignoredFrames mark goroutines that are part of the runtime, the testing
+// framework, or this checker — never leaks of the code under test.
+var ignoredFrames = []string{
+	"testing.Main(",
+	"testing.(*T).Run(",
+	"testing.(*M).",
+	"testing.runTests(",
+	"testing.tRunner(",
+	"runtime.goexit",
+	"runtime.MHeap_Scavenger",
+	"runtime.gc(",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"netagg/internal/testutil.interestingGoroutines",
+	"netagg/internal/testutil.LeakCheckMain",
+	"created by runtime.gc",
+	"created by testing.RunTests",
+	"created by os/signal.Notify",
+}
+
+// interestingGoroutines returns the stacks of goroutines that belong to
+// the code under test, one stanza per goroutine.
+func interestingGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var out []string
+stanza:
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		g = strings.TrimSpace(g)
+		if g == "" || strings.HasPrefix(g, "goroutine ") && strings.Contains(firstLine(g), "[running]") && strings.Contains(g, "runtime.Stack") {
+			continue // the checker itself
+		}
+		for _, f := range ignoredFrames {
+			if strings.Contains(g, f) {
+				continue stanza
+			}
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

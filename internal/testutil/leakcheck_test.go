@@ -1,0 +1,59 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMain(m *testing.M) { LeakCheckMain(m) }
+
+func TestInterestingGoroutinesIgnoresHarness(t *testing.T) {
+	// The test harness itself (testing.tRunner, the checker) must not
+	// show up as a leak.
+	for _, g := range interestingGoroutines() {
+		if strings.Contains(g, "testing.") {
+			t.Errorf("harness goroutine reported as interesting:\n%s", g)
+		}
+	}
+}
+
+func TestCheckLeaksSeesSpawnedGoroutine(t *testing.T) {
+	// Run a throwaway sub-test that leaks a goroutine on purpose and
+	// confirm the checker notices, without failing this suite.
+	stop := make(chan struct{})
+	leaky := func(t testing.TB) {
+		before := make(map[string]bool)
+		for _, g := range interestingGoroutines() {
+			before[g] = true
+		}
+		go func() { <-stop }()
+		// Mirror the Cleanup body with a zero grace period.
+		var leaked []string
+		deadline := time.Now().Add(200 * time.Millisecond)
+		for {
+			leaked = leaked[:0]
+			for _, g := range interestingGoroutines() {
+				if !before[g] {
+					leaked = append(leaked, g)
+				}
+			}
+			if len(leaked) > 0 || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if len(leaked) == 0 {
+			t.Error("leak checker missed a deliberately leaked goroutine")
+		}
+	}
+	leaky(t)
+	close(stop) // clean up so the suite-level check stays green
+}
+
+func TestCheckLeaksCleanGoroutinePasses(t *testing.T) {
+	CheckLeaks(t)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}

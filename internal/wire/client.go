@@ -40,8 +40,10 @@ func (c *Client) Send(m *Msg) error {
 			c.conn = conn
 			c.w = NewWriter(conn)
 		}
+		//lint:ignore lockdiscipline c.mu exists to serialise this connection's writes; holding it across the write is the invariant
 		err := c.w.Write(m)
 		if err == nil {
+			//lint:ignore lockdiscipline c.mu serialises the flush with the write above
 			err = c.w.Flush()
 		}
 		if err == nil {
@@ -71,11 +73,13 @@ func (c *Client) SendAll(msgs []*Msg) error {
 		}
 		var err error
 		for _, m := range msgs {
+			//lint:ignore lockdiscipline c.mu exists to serialise this connection's writes; holding it across the batch is the invariant
 			if err = c.w.Write(m); err != nil {
 				break
 			}
 		}
 		if err == nil {
+			//lint:ignore lockdiscipline c.mu serialises the flush with the writes above
 			err = c.w.Flush()
 		}
 		if err == nil {
