@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -55,21 +56,25 @@ func main() {
 
 	reg := newRegistry()
 
+	// The signal context is the box's lifetime: SIGINT/SIGTERM cancels
+	// it, which tears the transport layer down; Close drains the rest.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	box, err := core.Start(core.Config{
 		ID:           *id << 32,
 		Addr:         *addr,
 		Workers:      *workers,
 		FixedWeights: *fixed,
 		Registry:     reg,
+		Context:      ctx,
 	})
 	if err != nil {
 		log.Fatalf("aggbox: %v", err)
 	}
 	fmt.Printf("aggbox %d listening on %s (apps: %v)\n", *id, box.Addr(), reg.Apps())
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	<-ctx.Done()
 	st := box.Stats()
 	fmt.Printf("aggbox shutting down: %d requests, %.1f MB in, %.1f MB out, %d combines\n",
 		st.Requests, float64(st.BytesIn)/1e6, float64(st.BytesOut)/1e6, st.Combines)

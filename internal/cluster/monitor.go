@@ -1,10 +1,11 @@
 package cluster
 
 import (
-	"net"
+	"context"
 	"sync"
 	"time"
 
+	"netagg/internal/transport"
 	"netagg/internal/wire"
 )
 
@@ -13,16 +14,21 @@ import (
 // box dead in the deployment — removing it from future plans — after a run
 // of missed heartbeats, notifying the registered callback so in-flight
 // requests can be redirected.
+//
+// The heartbeat connections ride on transport.Conn, so probing a dead box
+// costs one bounded dial per backoff window instead of one unbounded dial
+// per interval. Probers keep watching a dead box and mark it alive again
+// if it comes back, completing the restart-under-churn story (§3.3).
 type Monitor struct {
 	dep      *Deployment
 	interval time.Duration
 	misses   int
 	onFail   func(BoxInfo)
 
-	mu      sync.Mutex
-	stopped bool
-	stop    chan struct{}
-	wg      sync.WaitGroup
+	mu     sync.Mutex
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
 }
 
 // NewMonitor creates a monitor probing every box each interval and
@@ -40,95 +46,117 @@ func NewMonitor(dep *Deployment, interval time.Duration, misses int, onFail func
 		interval: interval,
 		misses:   misses,
 		onFail:   onFail,
-		stop:     make(chan struct{}),
 	}
 }
 
 // Start launches one prober per currently deployed box.
-func (m *Monitor) Start() {
+func (m *Monitor) Start() { m.StartContext(context.Background()) }
+
+// StartContext is Start with a lifetime bound: cancelling ctx is
+// equivalent to Stop (Stop still waits for the drain).
+func (m *Monitor) StartContext(ctx context.Context) {
+	m.mu.Lock()
+	if m.ctx != nil {
+		m.mu.Unlock()
+		return // already started
+	}
+	m.ctx, m.cancel = context.WithCancel(ctx)
+	probeCtx := m.ctx
+	m.mu.Unlock()
 	for _, b := range m.dep.Boxes() {
 		m.wg.Add(1)
-		go m.probe(b)
+		go m.probe(probeCtx, b)
 	}
 }
 
-// Stop terminates all probers.
+// Stop terminates all probers and waits for them to exit.
 func (m *Monitor) Stop() {
 	m.mu.Lock()
-	if !m.stopped {
-		m.stopped = true
-		close(m.stop)
-	}
+	cancel := m.cancel
 	m.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
 	m.wg.Wait()
 }
 
-// probe heartbeats one box until failure or Stop.
-func (m *Monitor) probe(b BoxInfo) {
+// probe heartbeats one box until the monitor stops, tracking the box
+// through dead and revived states.
+func (m *Monitor) probe(ctx context.Context, b BoxInfo) {
 	defer m.wg.Done()
-	var conn net.Conn
-	var w *wire.Writer
-	var r *wire.Reader
-	missed := 0
-	seq := uint64(0)
-	defer func() {
-		if conn != nil {
-			conn.Close()
-		}
-	}()
+	replies := make(chan uint64, 16)
+	conn := transport.NewConn(ctx, b.Addr, transport.Options{
+		DialTimeout: m.interval,
+		// One dial per backoff window while the box is down, instead of
+		// one per heartbeat interval: misses still accrue every tick (the
+		// failure declaration does not slow down), only dialing does.
+		Backoff:         transport.Backoff{Min: 2 * m.interval, Max: 16 * m.interval},
+		MaxSendAttempts: 1,
+		OnFrame: func(msg *wire.Msg) {
+			if msg.Type != wire.THeartbeat {
+				return
+			}
+			select {
+			case replies <- msg.Seq:
+			default: // prober is behind; dropping an echo just costs a miss
+			}
+		},
+	})
+	defer conn.Close()
 	ticker := time.NewTicker(m.interval)
 	defer ticker.Stop()
+	missed := 0
+	dead := false
+	var seq uint64
 	for {
 		select {
-		case <-m.stop:
+		case <-ctx.Done():
 			return
 		case <-ticker.C:
 		}
-		ok := func() bool {
-			if conn == nil {
-				c, err := net.DialTimeout("tcp", b.Addr, m.interval)
-				if err != nil {
-					return false
-				}
-				conn = c
-				w = wire.NewWriter(conn)
-				r = wire.NewReader(conn)
-			}
-			seq++
-			if err := w.Write(&wire.Msg{Type: wire.THeartbeat, Seq: seq}); err != nil {
-				conn.Close()
-				conn = nil
-				return false
-			}
-			if err := w.Flush(); err != nil {
-				conn.Close()
-				conn = nil
-				return false
-			}
-			if err := conn.SetReadDeadline(time.Now().Add(m.interval)); err != nil {
-				conn.Close()
-				conn = nil
-				return false
-			}
-			msg, err := r.Read()
-			if err != nil || msg.Type != wire.THeartbeat {
-				conn.Close()
-				conn = nil
-				return false
-			}
-			return true
-		}()
-		if ok {
+		seq++
+		if m.heartbeat(ctx, conn, replies, seq) {
 			missed = 0
+			if dead {
+				dead = false
+				m.dep.MarkAlive(b.ID)
+			}
 			continue
 		}
 		missed++
-		if missed >= m.misses {
+		if missed >= m.misses && !dead {
+			dead = true
 			m.dep.MarkDead(b.ID)
 			if m.onFail != nil {
 				m.onFail(b)
 			}
-			return
+		}
+	}
+}
+
+// heartbeat sends one probe and waits up to the probe interval for an
+// echo carrying this (or a newer) sequence number.
+func (m *Monitor) heartbeat(ctx context.Context, conn *transport.Conn, replies <-chan uint64, seq uint64) bool {
+	if err := conn.Send(&wire.Msg{Type: wire.THeartbeat, Seq: seq}); err != nil {
+		return false
+	}
+	timer := time.NewTimer(m.interval)
+	defer timer.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return false
+		case got := <-replies:
+			if got >= seq {
+				return true
+			}
+			// A stale echo from an earlier probe: keep draining.
+		case <-timer.C:
+			// No echo in time: the box is wedged or the write landed in a
+			// dead socket's buffer. Drop the connection so the next probe
+			// re-dials instead of writing into the void.
+			conn.Reset()
+			return false
 		}
 	}
 }

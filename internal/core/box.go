@@ -1,16 +1,16 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"io"
 	"log"
-	"net"
 	"sync"
 	"time"
 
 	"netagg/internal/agg"
 	"netagg/internal/netem"
+	"netagg/internal/transport"
 	"netagg/internal/wire"
 )
 
@@ -44,26 +44,30 @@ type Config struct {
 	// panics (default 3); the paper leaves fault isolation to future work,
 	// this is the straightforward realisation.
 	MaxCrashes int
+	// Context optionally bounds the box's lifetime: cancelling it is
+	// equivalent to Close (nil = Background).
+	Context context.Context
 }
 
 // Box is a running agg box.
 type Box struct {
 	cfg   Config
-	ln    net.Listener
+	srv   *transport.Server
 	sched *Scheduler
 
 	guard *faultGuard
 
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	mu       sync.Mutex
 	requests map[reqKey]*boxRequest
-	pool     *wire.Pool
-	inbound  map[net.Conn]struct{}
+	pool     *transport.Pool
 	closed   bool
 
 	stats BoxStats
 
-	wg   sync.WaitGroup
-	stop chan struct{}
+	wg sync.WaitGroup
 }
 
 // BoxStats aggregates counters across the box's lifetime.
@@ -111,16 +115,15 @@ func Start(cfg Config) (*Box, error) {
 	if cfg.IdleTimeout <= 0 {
 		cfg.IdleTimeout = 30 * time.Second
 	}
-	ln, err := net.Listen("tcp", cfg.Addr)
-	if err != nil {
-		return nil, err
+	parent := cfg.Context
+	if parent == nil {
+		parent = context.Background()
 	}
-	if cfg.NIC != nil {
-		ln = netem.NewListener(ln, cfg.NIC)
-	}
+	ctx, cancel := context.WithCancel(parent)
 	b := &Box{
-		cfg: cfg,
-		ln:  ln,
+		cfg:    cfg,
+		ctx:    ctx,
+		cancel: cancel,
 		sched: NewScheduler(SchedulerConfig{
 			Workers:  cfg.Workers,
 			Adaptive: !cfg.FixedWeights,
@@ -128,9 +131,7 @@ func Start(cfg Config) (*Box, error) {
 		}),
 		guard:    newFaultGuard(cfg.MaxCrashes),
 		requests: make(map[reqKey]*boxRequest),
-		pool:     newPool(cfg.NIC),
-		inbound:  make(map[net.Conn]struct{}),
-		stop:     make(chan struct{}),
+		pool:     transport.NewPool(ctx, transport.Options{NIC: cfg.NIC}),
 	}
 	for _, app := range cfg.Registry.Apps() {
 		share := cfg.Shares[app]
@@ -139,14 +140,23 @@ func Start(cfg Config) (*Box, error) {
 		}
 		b.sched.Register(app, share)
 	}
-	b.wg.Add(2)
-	go b.acceptLoop()
+	// The box must be fully initialised before the listener goes live:
+	// frames can arrive the moment Listen returns.
+	srv, err := transport.Listen(ctx, cfg.Addr, b.serveFrame, transport.ServerOptions{NIC: cfg.NIC})
+	if err != nil {
+		cancel()
+		b.pool.Close()
+		b.sched.Close()
+		return nil, err
+	}
+	b.srv = srv
+	b.wg.Add(1)
 	go b.janitor()
 	return b, nil
 }
 
 // Addr returns the box's listen address.
-func (b *Box) Addr() string { return b.ln.Addr().String() }
+func (b *Box) Addr() string { return b.srv.Addr() }
 
 // Scheduler exposes the task scheduler for resource-share measurements
 // (Figs 25-26).
@@ -159,7 +169,9 @@ func (b *Box) Stats() BoxStats {
 	return b.stats
 }
 
-// Close shuts the box down.
+// Close shuts the box down: cancel the context shared by the listener,
+// the inbound connections, the outbound pool, and the janitor, then
+// drain every goroutine.
 func (b *Box) Close() {
 	b.mu.Lock()
 	if b.closed {
@@ -167,79 +179,37 @@ func (b *Box) Close() {
 		return
 	}
 	b.closed = true
-	close(b.stop)
-	b.pool.Close()
-	for conn := range b.inbound {
-		conn.Close()
-	}
 	b.mu.Unlock()
-	b.ln.Close()
+	b.cancel()
+	b.srv.Close()
+	b.pool.Close()
 	b.sched.Close()
 	b.wg.Wait()
 }
 
-func (b *Box) acceptLoop() {
-	defer b.wg.Done()
-	for {
-		conn, err := b.ln.Accept()
-		if err != nil {
-			return
+// serveFrame handles one frame from an inbound persistent connection
+// (shim or upstream box). It runs on the transport server's reader
+// goroutine for that connection, so blocking here back-pressures that
+// sender only.
+func (b *Box) serveFrame(conn *transport.ServerConn, m *wire.Msg) {
+	switch m.Type {
+	case wire.THeartbeat:
+		// The echo goes back on the same connection; a reply failure
+		// means the prober is gone, so drop the connection.
+		if err := conn.Reply(&wire.Msg{Type: wire.THeartbeat, Source: b.cfg.ID, Seq: m.Seq}); err != nil {
+			b.logf("box %d: heartbeat reply: %v", b.cfg.ID, err)
+			_ = conn.Close()
 		}
-		b.wg.Add(1)
-		go b.serveConn(conn)
-	}
-}
-
-// serveConn handles one inbound persistent connection from a shim or an
-// upstream box.
-func (b *Box) serveConn(conn net.Conn) {
-	defer b.wg.Done()
-	defer conn.Close()
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
-		return
-	}
-	b.inbound[conn] = struct{}{}
-	b.mu.Unlock()
-	defer func() {
-		b.mu.Lock()
-		delete(b.inbound, conn)
-		b.mu.Unlock()
-	}()
-	r := wire.NewReader(conn)
-	w := wire.NewWriter(conn)
-	for {
-		m, err := r.Read()
-		if err != nil {
-			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
-				b.logf("box %d: read: %v", b.cfg.ID, err)
-			}
-			return
+	case wire.THello, wire.TData, wire.TEnd, wire.TExpect:
+		if err := b.handle(m); err != nil {
+			b.logf("box %d: %s: %v", b.cfg.ID, m.Type, err)
 		}
-		switch m.Type {
-		case wire.THeartbeat:
-			// Only this reader goroutine writes to w, so no lock is needed
-			// — and a reply failure means the connection is gone.
-			err := w.Write(&wire.Msg{Type: wire.THeartbeat, Source: b.cfg.ID, Seq: m.Seq})
-			if err == nil {
-				err = w.Flush()
-			}
-			if err != nil {
-				b.logf("box %d: heartbeat reply: %v", b.cfg.ID, err)
-				return
-			}
-		case wire.THello, wire.TData, wire.TEnd, wire.TExpect:
-			if err := b.handle(m); err != nil {
-				b.logf("box %d: %s: %v", b.cfg.ID, m.Type, err)
-			}
-		case wire.TFanout:
-			if err := b.handleFanout(m); err != nil {
-				b.logf("box %d: fanout: %v", b.cfg.ID, err)
-			}
-		default:
-			b.logf("box %d: unexpected frame %s", b.cfg.ID, m.Type)
+	case wire.TFanout:
+		if err := b.handleFanout(m); err != nil {
+			b.logf("box %d: fanout: %v", b.cfg.ID, err)
 		}
+	default:
+		b.logf("box %d: unexpected frame %s", b.cfg.ID, m.Type)
 	}
 }
 
@@ -418,7 +388,7 @@ func (b *Box) janitor() {
 	defer tick.Stop()
 	for {
 		select {
-		case <-b.stop:
+		case <-b.ctx.Done():
 			return
 		case <-tick.C:
 			now := time.Now()

@@ -1,28 +1,11 @@
 package core
 
-import (
-	"net"
+import "netagg/internal/wire"
 
-	"netagg/internal/netem"
-	"netagg/internal/wire"
-)
-
-// newPool builds the box's outbound connection pool, pacing through the
-// box's NIC when one is configured.
-func newPool(nic *netem.NIC) *wire.Pool {
-	if nic == nil {
-		return &wire.Pool{}
-	}
-	return &wire.Pool{Dial: func(addr string) (net.Conn, error) {
-		conn, err := net.Dial("tcp", addr)
-		if err != nil {
-			return nil, err
-		}
-		return netem.Wrap(conn, nic), nil
-	}}
-}
-
-// send routes a frame through the box's pooled connection for addr.
+// send routes a frame through the box's pooled outbound connection for
+// addr. transport handles dialling (bounded, NIC-paced) and reconnect
+// backoff; forwarding is best-effort, so failures are logged and the
+// master's straggler recovery replans around them (§3.1).
 func (b *Box) send(addr string, m *wire.Msg) {
 	if err := b.pool.Send(addr, m); err != nil {
 		b.logf("box %d: send %s to %s: %v", b.cfg.ID, m.Type, addr, err)

@@ -17,9 +17,9 @@ var droppedErrorMethods = map[string]bool{
 	"SetDeadline": true, "SetReadDeadline": true, "SetWriteDeadline": true,
 }
 
-// ErrcheckWire flags statements in core/wire/shim/cluster that call a
-// wire-protocol send/encode function or an io.Writer write and drop the
-// error result (the call is used as a bare statement).
+// ErrcheckWire flags statements in core/wire/shim/cluster/transport that
+// call a wire-protocol send/encode function or an io.Writer write and
+// drop the error result (the call is used as a bare statement).
 //
 // Purely syntactic: a call x.M(...) used as a statement is flagged when M
 // is in droppedErrorMethods, except for in-memory writers recognised by

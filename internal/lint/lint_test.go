@@ -325,6 +325,38 @@ func send(mu *sync.Mutex, ch chan int) {
 `,
 			want: nil,
 		},
+		{
+			name: "transport package in scope: dial under lock flagged",
+			path: "internal/transport/x.go",
+			src: `package transport
+import (
+	"net"
+	"sync"
+)
+func connect(mu *sync.Mutex, addr string) (net.Conn, error) {
+	mu.Lock()
+	defer mu.Unlock()
+	return net.Dial("tcp", addr)
+}
+`,
+			want: []string{"net.Dial while holding mu"},
+		},
+		{
+			name: "transport blocking select under lock flagged",
+			path: "internal/transport/x.go",
+			src: `package transport
+import "sync"
+func waitReply(mu *sync.Mutex, ch chan int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	select {
+	case v := <-ch:
+		return v
+	}
+}
+`,
+			want: []string{"blocking select while holding mu"},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -394,6 +426,20 @@ func build(buf *bytes.Buffer) {
 }
 `,
 			want: nil,
+		},
+		{
+			name: "transport package in scope: dropped reply flagged",
+			path: "internal/transport/x.go",
+			src: `package transport
+type serverConn struct{}
+func (serverConn) Send(v int) error { return nil }
+func (serverConn) Flush() error     { return nil }
+func echo(sc serverConn) {
+	sc.Send(1)
+	_ = sc.Flush() // audited discard stays allowed
+}
+`,
+			want: []string{"sc.Send is dropped"},
 		},
 	}
 	for _, tc := range cases {

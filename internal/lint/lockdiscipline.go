@@ -10,8 +10,9 @@ import (
 // dataPlanePackages are the lock-and-goroutine heavy agg-box packages
 // where holding a mutex across a blocking operation stalls every other
 // request sharing the lock (and under churn risks deadlock against
-// back-pressure).
-var dataPlanePackages = []string{"core", "wire", "shim", "cluster"}
+// back-pressure). transport is the shared connection layer they all ride
+// on, so it is held to the same discipline.
+var dataPlanePackages = []string{"core", "wire", "shim", "cluster", "transport"}
 
 // blockingMethods are method names that perform (or can perform) network
 // I/O or otherwise block indefinitely. The set is tuned to this repo's
@@ -46,7 +47,7 @@ func (LockDiscipline) Name() string { return "lockdiscipline" }
 
 // Doc implements Analyzer.
 func (LockDiscipline) Doc() string {
-	return "no blocking I/O, channel operations, or sleeps while a mutex is held in core/wire/shim/cluster"
+	return "no blocking I/O, channel operations, or sleeps while a mutex is held in core/wire/shim/cluster/transport"
 }
 
 // Check implements Analyzer.

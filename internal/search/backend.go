@@ -1,11 +1,12 @@
 package search
 
 import (
-	"net"
+	"context"
 
 	"netagg/internal/agg"
 	"netagg/internal/netem"
 	"netagg/internal/shim"
+	"netagg/internal/transport"
 	"netagg/internal/wire"
 )
 
@@ -37,29 +38,27 @@ type BackendConfig struct {
 // to the first on-path agg box (§3.3).
 type Backend struct {
 	cfg BackendConfig
-	srv *wire.Server
+	srv *transport.Server
 }
 
 // StartBackend launches a backend server.
 func StartBackend(cfg BackendConfig) (*Backend, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	b := &Backend{cfg: cfg}
+	srv, err := transport.Listen(context.Background(), "127.0.0.1:0",
+		func(_ *transport.ServerConn, m *wire.Msg) {
+			if m.Type != wire.TData {
+				return
+			}
+			q, err := DecodeQuery(m.Payload)
+			if err != nil {
+				return
+			}
+			b.answer(m.Req, q)
+		}, transport.ServerOptions{NIC: cfg.NIC})
 	if err != nil {
 		return nil, err
 	}
-	if cfg.NIC != nil {
-		ln = netem.NewListener(ln, cfg.NIC)
-	}
-	b := &Backend{cfg: cfg}
-	b.srv = wire.Serve(ln, func(_ net.Conn, m *wire.Msg) {
-		if m.Type != wire.TData {
-			return
-		}
-		q, err := DecodeQuery(m.Payload)
-		if err != nil {
-			return
-		}
-		b.answer(m.Req, q)
-	})
+	b.srv = srv
 	return b, nil
 }
 

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"netagg/internal/agg"
 	"netagg/internal/netem"
 	"netagg/internal/shim"
+	"netagg/internal/transport"
 	"netagg/internal/wire"
 )
 
@@ -42,7 +44,7 @@ type BackendRef struct {
 // result.
 type Frontend struct {
 	cfg   FrontendConfig
-	pool  *wire.Pool
+	pool  *transport.Pool
 	reqID atomic.Uint64
 }
 
@@ -55,10 +57,7 @@ func NewFrontend(cfg FrontendConfig) *Frontend {
 		cfg.Trees = 1
 	}
 	f := &Frontend{cfg: cfg}
-	f.pool = &wire.Pool{}
-	if cfg.NIC != nil {
-		f.pool = &wire.Pool{Dial: netem.Dialer{NIC: cfg.NIC}.DialAddr}
-	}
+	f.pool = transport.NewPool(context.Background(), transport.Options{NIC: cfg.NIC})
 	return f
 }
 

@@ -1,15 +1,16 @@
 package shim
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"netagg/internal/cluster"
 	"netagg/internal/netem"
+	"netagg/internal/transport"
 	"netagg/internal/wire"
 )
 
@@ -28,6 +29,9 @@ type MasterConfig struct {
 	// MaxAttempts bounds recovery attempts per request (default 3; the wire
 	// encoding supports at most 16).
 	MaxAttempts int
+	// Context optionally bounds the shim's lifetime: cancelling it is
+	// equivalent to Close (nil = Background).
+	Context context.Context
 }
 
 // Result is a completed request's aggregated data.
@@ -71,15 +75,14 @@ type srcKey struct {
 
 // Master is a master host's shim layer.
 type Master struct {
-	cfg  MasterConfig
-	ln   net.Listener
-	pool *wire.Pool
+	cfg    MasterConfig
+	srv    *transport.Server
+	pool   *transport.Pool
+	cancel context.CancelFunc
 
 	mu      sync.Mutex
 	pending map[pendKey]*Pending
-	inbound map[net.Conn]struct{}
 	closed  bool
-	wg      sync.WaitGroup
 
 	bytesIn atomic.Int64
 }
@@ -101,28 +104,35 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 	if cfg.MaxAttempts > 15 {
 		cfg.MaxAttempts = 15
 	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return nil, err
+	parent := cfg.Context
+	if parent == nil {
+		parent = context.Background()
 	}
-	if cfg.NIC != nil {
-		ln = netem.NewListener(ln, cfg.NIC)
-	}
+	ctx, cancel := context.WithCancel(parent)
 	m := &Master{
 		cfg:     cfg,
-		ln:      ln,
-		pool:    poolWithNIC(cfg.NIC),
+		cancel:  cancel,
+		pool:    transport.NewPool(ctx, transport.Options{NIC: cfg.NIC}),
 		pending: make(map[pendKey]*Pending),
-		inbound: make(map[net.Conn]struct{}),
 	}
-	cfg.Deployment.SetResultAddr(cfg.Host.Name, ln.Addr().String())
-	m.wg.Add(1)
-	go m.acceptLoop()
+	// The result listener: every frame lands in handle on its
+	// connection's reader goroutine; the transport server owns the accept
+	// loop, reader lifecycle, and drain.
+	srv, err := transport.Listen(ctx, "127.0.0.1:0",
+		func(_ *transport.ServerConn, msg *wire.Msg) { m.handle(msg) },
+		transport.ServerOptions{NIC: cfg.NIC})
+	if err != nil {
+		cancel()
+		m.pool.Close()
+		return nil, err
+	}
+	m.srv = srv
+	cfg.Deployment.SetResultAddr(cfg.Host.Name, srv.Addr())
 	return m, nil
 }
 
 // ResultAddr returns the listener address results arrive on.
-func (m *Master) ResultAddr() string { return m.ln.Addr().String() }
+func (m *Master) ResultAddr() string { return m.srv.Addr() }
 
 // Close stops the shim. Outstanding requests fail with an error.
 func (m *Master) Close() {
@@ -137,16 +147,13 @@ func (m *Master) Close() {
 		pend = append(pend, p)
 	}
 	m.pending = map[pendKey]*Pending{}
-	for conn := range m.inbound {
-		conn.Close()
-	}
 	m.mu.Unlock()
 	for _, p := range pend {
 		p.fail(fmt.Errorf("shim: master closed"))
 	}
-	m.ln.Close()
+	m.cancel()
+	m.srv.Close()
 	m.pool.Close()
-	m.wg.Wait()
 }
 
 // Submit registers a request: it plans the aggregation trees, announces the
@@ -312,43 +319,6 @@ func (p *Pending) fail(err error) {
 	// done flipped under the lock, so exactly one goroutine reaches this
 	// send; deliver outside the lock.
 	p.c <- Result{Err: err, Attempts: attempts}
-}
-
-// acceptLoop serves the result listener.
-func (m *Master) acceptLoop() {
-	defer m.wg.Done()
-	for {
-		conn, err := m.ln.Accept()
-		if err != nil {
-			return
-		}
-		m.mu.Lock()
-		if m.closed {
-			m.mu.Unlock()
-			conn.Close()
-			return
-		}
-		m.inbound[conn] = struct{}{}
-		m.mu.Unlock()
-		m.wg.Add(1)
-		go func() {
-			defer m.wg.Done()
-			defer func() {
-				m.mu.Lock()
-				delete(m.inbound, conn)
-				m.mu.Unlock()
-				conn.Close()
-			}()
-			r := wire.NewReader(conn)
-			for {
-				msg, err := r.Read()
-				if err != nil {
-					return
-				}
-				m.handle(msg)
-			}
-		}()
-	}
 }
 
 // ResultBytes reports the total payload bytes the result listener has

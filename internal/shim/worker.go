@@ -7,14 +7,15 @@
 package shim
 
 import (
+	"context"
 	"fmt"
-	"net"
 	"sync"
 	"time"
 
 	"netagg/internal/cluster"
 	"netagg/internal/netem"
 	"netagg/internal/topology"
+	"netagg/internal/transport"
 	"netagg/internal/wire"
 )
 
@@ -29,19 +30,21 @@ type WorkerConfig struct {
 	// Retention bounds how long sent partial results stay buffered for
 	// recovery resends (default 30s).
 	Retention time.Duration
+	// Context optionally bounds the shim's lifetime: cancelling it is
+	// equivalent to Close (nil = Background).
+	Context context.Context
 }
 
 // Worker is a worker host's shim layer.
 type Worker struct {
-	cfg  WorkerConfig
-	pool *wire.Pool
-	ctl  net.Listener
+	cfg    WorkerConfig
+	pool   *transport.Pool
+	ctl    *transport.Server
+	cancel context.CancelFunc
 
 	mu       sync.Mutex
 	buffered map[bufKey]*bufferedSend
-	inbound  map[net.Conn]struct{}
 	closed   bool
-	wg       sync.WaitGroup
 }
 
 type bufKey struct {
@@ -76,39 +79,33 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.Retention <= 0 {
 		cfg.Retention = 30 * time.Second
 	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return nil, err
+	parent := cfg.Context
+	if parent == nil {
+		parent = context.Background()
 	}
+	ctx, cancel := context.WithCancel(parent)
 	w := &Worker{
 		cfg:      cfg,
-		pool:     poolWithNIC(cfg.NIC),
-		ctl:      ln,
+		cancel:   cancel,
+		pool:     transport.NewPool(ctx, transport.Options{NIC: cfg.NIC}),
 		buffered: make(map[bufKey]*bufferedSend),
-		inbound:  make(map[net.Conn]struct{}),
 	}
-	cfg.Deployment.SetControlAddr(cfg.Host.Name, ln.Addr().String())
-	w.wg.Add(1)
-	go w.controlLoop()
+	// The control listener carries only tiny redirect frames, so it is
+	// deliberately not NIC-paced (recovery signalling should not queue
+	// behind a congested emulated edge link).
+	ctl, err := transport.Listen(ctx, "127.0.0.1:0", w.control, transport.ServerOptions{})
+	if err != nil {
+		cancel()
+		w.pool.Close()
+		return nil, err
+	}
+	w.ctl = ctl
+	cfg.Deployment.SetControlAddr(cfg.Host.Name, ctl.Addr())
 	return w, nil
 }
 
-// poolWithNIC builds a frame connection pool paced by the host NIC.
-func poolWithNIC(nic *netem.NIC) *wire.Pool {
-	if nic == nil {
-		return &wire.Pool{}
-	}
-	return &wire.Pool{Dial: func(addr string) (net.Conn, error) {
-		conn, err := net.Dial("tcp", addr)
-		if err != nil {
-			return nil, err
-		}
-		return netem.Wrap(conn, nic), nil
-	}}
-}
-
 // ControlAddr returns the shim's control listener address.
-func (w *Worker) ControlAddr() string { return w.ctl.Addr().String() }
+func (w *Worker) ControlAddr() string { return w.ctl.Addr() }
 
 // Close stops the shim.
 func (w *Worker) Close() {
@@ -118,13 +115,10 @@ func (w *Worker) Close() {
 		return
 	}
 	w.closed = true
-	for conn := range w.inbound {
-		conn.Close()
-	}
 	w.mu.Unlock()
+	w.cancel()
 	w.ctl.Close()
 	w.pool.Close()
-	w.wg.Wait()
 }
 
 // SendPartials ships one worker's partial results for a request towards the
@@ -209,60 +203,29 @@ func treeOf(req uint64, partIdx, trees int) int {
 	return int(topology.FlowHash(0x7EE, req, uint64(partIdx)) % uint64(trees))
 }
 
-// controlLoop serves redirect messages from master shims.
-func (w *Worker) controlLoop() {
-	defer w.wg.Done()
-	for {
-		conn, err := w.ctl.Accept()
-		if err != nil {
-			return
-		}
-		w.mu.Lock()
-		if w.closed {
-			w.mu.Unlock()
-			conn.Close()
-			return
-		}
-		w.inbound[conn] = struct{}{}
-		w.mu.Unlock()
-		w.wg.Add(1)
-		go func() {
-			defer w.wg.Done()
-			defer func() {
-				w.mu.Lock()
-				delete(w.inbound, conn)
-				w.mu.Unlock()
-				conn.Close()
-			}()
-			r := wire.NewReader(conn)
-			for {
-				m, err := r.Read()
-				if err != nil {
-					return
-				}
-				if m.Type != wire.TRedirect {
-					continue
-				}
-				attempt, err := wire.DecodeCount(m.Payload)
-				if err != nil {
-					continue
-				}
-				w.mu.Lock()
-				b, ok := w.buffered[bufKey{m.App, m.Req}]
-				if ok && attempt <= b.lastAttempt {
-					ok = false // duplicate or stale redirect
-				}
-				if ok {
-					b.lastAttempt = attempt
-				}
-				w.mu.Unlock()
-				if ok {
-					// Replan happens inside send: dead boxes are excluded
-					// from chains, and the new attempt id keeps the replayed
-					// streams distinct at every box.
-					_ = w.send(b, attempt)
-				}
-			}
-		}()
+// control processes one redirect frame from a master shim. It runs on
+// the control server's reader goroutine for the sending master.
+func (w *Worker) control(_ *transport.ServerConn, m *wire.Msg) {
+	if m.Type != wire.TRedirect {
+		return
+	}
+	attempt, err := wire.DecodeCount(m.Payload)
+	if err != nil {
+		return
+	}
+	w.mu.Lock()
+	b, ok := w.buffered[bufKey{m.App, m.Req}]
+	if ok && attempt <= b.lastAttempt {
+		ok = false // duplicate or stale redirect
+	}
+	if ok {
+		b.lastAttempt = attempt
+	}
+	w.mu.Unlock()
+	if ok {
+		// Replan happens inside send: dead boxes are excluded from
+		// chains, and the new attempt id keeps the replayed streams
+		// distinct at every box.
+		_ = w.send(b, attempt)
 	}
 }

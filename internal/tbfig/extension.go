@@ -1,14 +1,14 @@
 package tbfig
 
 import (
+	"context"
 	"fmt"
-	"net"
-	"sync"
 	"time"
 
 	"netagg/internal/agg"
 	"netagg/internal/metrics"
 	"netagg/internal/testbed"
+	"netagg/internal/transport"
 	"netagg/internal/wire"
 )
 
@@ -62,22 +62,19 @@ func broadcastOnce(o Options, boxes bool, size int) time.Duration {
 	}
 	defer tb.Close()
 
-	var mu sync.Mutex
 	delivered := make(chan struct{}, 64)
 	targets := make(map[string]string)
-	var servers []*wire.Server
+	var servers []*transport.Server
 	for _, host := range tb.WorkerHosts() {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		srv, err := transport.Listen(context.Background(), "127.0.0.1:0",
+			func(_ *transport.ServerConn, m *wire.Msg) {
+				if m.Type == wire.TData {
+					delivered <- struct{}{}
+				}
+			}, transport.ServerOptions{})
 		if err != nil {
 			panic(err)
 		}
-		srv := wire.Serve(ln, func(_ net.Conn, m *wire.Msg) {
-			if m.Type == wire.TData {
-				mu.Lock()
-				delivered <- struct{}{}
-				mu.Unlock()
-			}
-		})
 		servers = append(servers, srv)
 		targets[host] = srv.Addr()
 	}

@@ -7,6 +7,7 @@
 package testbed
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -46,6 +47,10 @@ type Config struct {
 	StragglerTimeout time.Duration
 	// Seed makes box scheduling deterministic.
 	Seed int64
+	// Context optionally bounds the whole deployment's lifetime: it is
+	// passed to every box and shim, so cancelling it tears the transport
+	// layer down everywhere (Close still drains).
+	Context context.Context
 }
 
 // Testbed is a running deployment.
@@ -124,6 +129,7 @@ func New(cfg Config) (*Testbed, error) {
 					Shares:       cfg.Shares,
 					NIC:          nic(fmt.Sprintf("box-%s-%d", sw, k), cfg.BoxGbps),
 					SchedSeed:    cfg.Seed + int64(id>>32),
+					Context:      cfg.Context,
 				})
 				if err != nil {
 					tb.Close()
@@ -143,6 +149,7 @@ func New(cfg Config) (*Testbed, error) {
 			Host:       h,
 			Deployment: tb.Dep,
 			NIC:        nic(name, cfg.EdgeGbps),
+			Context:    cfg.Context,
 		})
 		if err != nil {
 			tb.Close()
@@ -155,6 +162,7 @@ func New(cfg Config) (*Testbed, error) {
 		Deployment:       tb.Dep,
 		NIC:              nic(MasterHost, cfg.EdgeGbps),
 		StragglerTimeout: cfg.StragglerTimeout,
+		Context:          cfg.Context,
 	})
 	if err != nil {
 		tb.Close()

@@ -1,0 +1,41 @@
+package transport
+
+import (
+	"context"
+	"testing"
+
+	"netagg/internal/wire"
+)
+
+// BenchmarkTransportEcho is the baseline for the comms hot path: one
+// 1 KiB frame to a Server whose handler echoes it back through the
+// ServerConn, round-tripped serially over one persistent connection.
+// Two frames cross the wire per iteration, reported as frames/s.
+func BenchmarkTransportEcho(b *testing.B) {
+	srv, err := Listen(context.Background(), "127.0.0.1:0", func(c *ServerConn, m *wire.Msg) {
+		_ = c.Reply(m)
+	}, ServerOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	replies := make(chan *wire.Msg, 1)
+	c := NewConn(context.Background(), srv.Addr(), Options{
+		OnFrame: func(m *wire.Msg) { replies <- m },
+	})
+	defer c.Close()
+
+	msg := &wire.Msg{Type: wire.TData, App: "bench", Payload: make([]byte, 1024)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msg.Seq = uint64(i)
+		if err := c.Send(msg); err != nil {
+			b.Fatal(err)
+		}
+		<-replies
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(2*b.N)/b.Elapsed().Seconds(), "frames/s")
+}

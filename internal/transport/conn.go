@@ -1,0 +1,255 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"netagg/internal/netem"
+	"netagg/internal/wire"
+)
+
+// ErrBackingOff reports a send refused because the last dial failed and
+// the backoff window has not elapsed; no network activity happened.
+var ErrBackingOff = errors.New("transport: backing off after failed dial")
+
+// ErrClosed reports use of a closed connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// Conn is a persistent outbound frame connection — the client side of
+// the data plane, subsuming the legacy wire.Client. It dials lazily with
+// a bounded timeout, serialises writes, drops the connection on a write
+// failure so the next send re-dials, paces re-dials to a dead peer with
+// jittered exponential backoff, and optionally replays recent frames
+// after a reconnect. Cancelling the constructor's context closes it.
+type Conn struct {
+	addr string
+	opts Options
+	ctx  context.Context
+	stop func() bool // detaches the context→Close hook
+
+	stats counters
+
+	mu         sync.Mutex
+	conn       net.Conn
+	w          *wire.Writer
+	closed     bool
+	everUp     bool        // a connection has been established before
+	needReplay bool        // the previous connection died with frames possibly unread
+	replay     []*wire.Msg // last ReplayWindow frames written
+	dialFails  int         // consecutive dial failures
+	nextDial   time.Time   // start of the next allowed dial (backoff)
+
+	wg sync.WaitGroup // reader goroutines
+}
+
+// NewConn returns a connection to addr. Nothing is dialled until the
+// first Send. Cancelling ctx is equivalent to Close. If opts.OnFrame is
+// set it must not block indefinitely, or Close will hang draining the
+// reader goroutine.
+func NewConn(ctx context.Context, addr string, opts Options) *Conn {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c := &Conn{addr: addr, opts: opts.withDefaults(), ctx: ctx}
+	c.stop = context.AfterFunc(ctx, c.Close)
+	return c
+}
+
+// Addr returns the destination address.
+func (c *Conn) Addr() string { return c.addr }
+
+// Stats returns a snapshot of the connection's counters.
+func (c *Conn) Stats() Stats { return c.stats.snapshot() }
+
+// Send writes one frame, dialling (bounded, backoff-paced) on demand and
+// retrying across reconnects up to MaxSendAttempts.
+func (c *Conn) Send(m *wire.Msg) error {
+	one := [1]*wire.Msg{m}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sendLocked(one[:])
+}
+
+// SendAll writes several frames with a single flush, with the same
+// dial/retry behaviour as Send.
+func (c *Conn) SendAll(msgs []*wire.Msg) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sendLocked(msgs)
+}
+
+// sendLocked runs the dial/write/retry loop. c.mu exists to serialise
+// all traffic on the connection, so holding it across these bounded
+// operations (dial timeout, kernel send buffer) is the invariant.
+func (c *Conn) sendLocked(msgs []*wire.Msg) error {
+	var err error
+	for attempt := 0; attempt < c.opts.MaxSendAttempts; attempt++ {
+		if err = c.ensureLocked(); err != nil {
+			// Dial failed or we are inside a backoff window: the window
+			// paces the next try, retrying here would just busy-dial.
+			return err
+		}
+		if err = c.writeLocked(msgs); err == nil {
+			c.retainLocked(msgs)
+			return nil
+		}
+		c.dropLocked()
+	}
+	return err
+}
+
+// writeLocked writes msgs followed by one flush and counts them.
+func (c *Conn) writeLocked(msgs []*wire.Msg) error {
+	for _, m := range msgs {
+		if err := c.w.Write(m); err != nil {
+			return err
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	for _, m := range msgs {
+		c.stats.framesOut.Add(1)
+		c.stats.bytesOut.Add(int64(len(m.Payload)))
+	}
+	return nil
+}
+
+// retainLocked appends msgs to the replay window, trimming to the
+// configured size.
+func (c *Conn) retainLocked(msgs []*wire.Msg) {
+	n := c.opts.ReplayWindow
+	if n <= 0 {
+		return
+	}
+	c.replay = append(c.replay, msgs...)
+	if len(c.replay) > n {
+		c.replay = append([]*wire.Msg(nil), c.replay[len(c.replay)-n:]...)
+	}
+}
+
+// ensureLocked establishes the connection if needed, honouring the
+// backoff window, and replays retained frames after a reconnect.
+func (c *Conn) ensureLocked() error {
+	if c.closed {
+		return ErrClosed
+	}
+	if err := c.ctx.Err(); err != nil {
+		return err
+	}
+	if c.conn != nil {
+		return nil
+	}
+	if !c.nextDial.IsZero() && time.Now().Before(c.nextDial) {
+		c.stats.backoffSkips.Add(1)
+		return fmt.Errorf("%w (next dial in %v)", ErrBackingOff,
+			time.Until(c.nextDial).Round(time.Millisecond))
+	}
+	dial := c.opts.Dial
+	if dial == nil {
+		dial = func(ctx context.Context, addr string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	dctx, cancel := context.WithTimeout(c.ctx, c.opts.DialTimeout)
+	nc, err := dial(dctx, c.addr)
+	cancel()
+	if err != nil {
+		c.dialFails++
+		c.stats.dialFailures.Add(1)
+		c.nextDial = time.Now().Add(c.opts.Backoff.Delay(c.dialFails))
+		return err
+	}
+	if c.opts.NIC != nil {
+		nc = netem.Wrap(nc, c.opts.NIC)
+	}
+	c.conn = nc
+	c.w = wire.NewWriter(nc)
+	c.dialFails = 0
+	c.nextDial = time.Time{}
+	c.stats.dials.Add(1)
+	if c.everUp {
+		c.stats.reconnects.Add(1)
+	}
+	c.everUp = true
+	if c.opts.OnFrame != nil {
+		c.wg.Add(1)
+		go c.readLoop(nc)
+	}
+	if c.needReplay && len(c.replay) > 0 {
+		c.stats.replayed.Add(int64(len(c.replay)))
+		if err := c.writeLocked(c.replay); err != nil {
+			c.dropLocked()
+			return err
+		}
+	}
+	c.needReplay = false
+	return nil
+}
+
+// dropLocked tears down the current connection so the next send
+// re-dials. With a replay window configured, the frames retained are
+// marked for rewrite on the next connection: a write that "succeeded"
+// into a dead peer's socket buffer is indistinguishable from a delivered
+// one, so recovery must resend (receivers dedup, §3.1).
+func (c *Conn) dropLocked() {
+	if c.conn == nil {
+		return
+	}
+	c.conn.Close()
+	c.conn = nil
+	c.w = nil
+	if c.opts.ReplayWindow > 0 {
+		c.needReplay = true
+	}
+}
+
+// readLoop delivers inbound frames to OnFrame until the connection dies.
+func (c *Conn) readLoop(nc net.Conn) {
+	defer c.wg.Done()
+	r := wire.NewReader(nc)
+	for {
+		m, err := r.Read()
+		if err != nil {
+			// Ensure the writer side notices promptly even if it is the
+			// peer that went away.
+			nc.Close()
+			return
+		}
+		c.stats.framesIn.Add(1)
+		c.stats.bytesIn.Add(int64(len(m.Payload)))
+		c.opts.OnFrame(m)
+	}
+}
+
+// Reset drops the current connection (if any) so the next Send re-dials.
+// The failure monitor uses it when a peer stops replying without the
+// connection erroring.
+func (c *Conn) Reset() {
+	c.mu.Lock()
+	c.dropLocked()
+	c.mu.Unlock()
+}
+
+// Close tears the connection down and drains its reader goroutine. It is
+// idempotent and is also invoked by cancellation of the constructor's
+// context.
+func (c *Conn) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.dropLocked()
+	c.mu.Unlock()
+	if c.stop != nil {
+		c.stop()
+	}
+	c.wg.Wait()
+}

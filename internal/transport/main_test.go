@@ -1,0 +1,12 @@
+package transport
+
+import (
+	"testing"
+
+	"netagg/internal/testutil"
+)
+
+// The transport package owns every data-plane goroutine (accept loops,
+// connection readers), so it runs under the same leak gate as the
+// packages built on it.
+func TestMain(m *testing.M) { testutil.LeakCheckMain(m) }

@@ -1,0 +1,177 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"sync"
+
+	"netagg/internal/netem"
+	"netagg/internal/wire"
+)
+
+// Handler processes one inbound frame. It runs on the connection's
+// reader goroutine: blocking in it back-pressures that sender only (the
+// box relies on this for §3.2.2 flow control). Replies go through the
+// ServerConn, which serialises concurrent writers itself.
+type Handler func(c *ServerConn, m *wire.Msg)
+
+// ServerOptions configure a Server.
+type ServerOptions struct {
+	// NIC, when set, paces every accepted connection through the host's
+	// emulated access link.
+	NIC *netem.NIC
+}
+
+// Server is the inbound side of the data plane: a listener whose accept
+// loop hands each connection to a reader goroutine feeding the handler.
+// Every goroutine is tracked in one WaitGroup and cancelled through the
+// constructor's context; Close cancels and drains.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+	ctx     context.Context
+	cancel  context.CancelFunc
+
+	stats counters
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// Listen starts a server on addr (":0" picks a free port). Cancelling
+// ctx is equivalent to Close (Close still waits for the drain).
+func Listen(ctx context.Context, addr string, handler Handler, opts ServerOptions) (*Server, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if opts.NIC != nil {
+		ln = netem.NewListener(ln, opts.NIC)
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	s := &Server{
+		ln:      ln,
+		handler: handler,
+		ctx:     sctx,
+		cancel:  cancel,
+		conns:   make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(2)
+	go s.watch()
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats { return s.stats.snapshot() }
+
+// Close cancels the server's context and waits for the accept loop and
+// every per-connection reader to exit. Idempotent.
+func (s *Server) Close() {
+	s.cancel()
+	s.wg.Wait()
+}
+
+// watch turns context cancellation into the actual teardown: mark
+// closed, kill open connections (unblocking their readers), close the
+// listener (unblocking the accept loop).
+func (s *Server) watch() {
+	defer s.wg.Done()
+	<-s.ctx.Done()
+	s.mu.Lock()
+	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.stats.accepted.Add(1)
+		s.stats.active.Add(1)
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+// serve reads frames off one accepted connection into the handler.
+func (s *Server) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+		s.stats.active.Add(-1)
+	}()
+	sc := &ServerConn{conn: conn, w: wire.NewWriter(conn), srv: s}
+	r := wire.NewReader(conn)
+	for {
+		m, err := r.Read()
+		if err != nil {
+			return
+		}
+		s.stats.framesIn.Add(1)
+		s.stats.bytesIn.Add(int64(len(m.Payload)))
+		s.handler(sc, m)
+	}
+}
+
+// ServerConn is the server's handle on one accepted connection, used by
+// handlers to reply on the same connection (heartbeat echoes, acks).
+type ServerConn struct {
+	conn net.Conn
+	srv  *Server
+
+	mu sync.Mutex
+	w  *wire.Writer
+}
+
+// Reply writes one frame back on the connection. Safe for concurrent
+// use; a failure means the peer is gone.
+func (sc *ServerConn) Reply(m *wire.Msg) error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	//lint:ignore lockdiscipline sc.mu exists to serialise replies on this connection; holding it across the write is the invariant
+	if err := sc.w.Write(m); err != nil {
+		return err
+	}
+	//lint:ignore lockdiscipline sc.mu serialises the flush with the write above
+	if err := sc.w.Flush(); err != nil {
+		return err
+	}
+	sc.srv.stats.framesOut.Add(1)
+	sc.srv.stats.bytesOut.Add(int64(len(m.Payload)))
+	return nil
+}
+
+// RemoteAddr identifies the peer.
+func (sc *ServerConn) RemoteAddr() net.Addr { return sc.conn.RemoteAddr() }
+
+// Close tears this one connection down; its reader goroutine exits and
+// is reaped by the server's WaitGroup.
+func (sc *ServerConn) Close() error { return sc.conn.Close() }

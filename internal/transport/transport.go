@@ -1,0 +1,161 @@
+// Package transport is the single connection layer of the NetAgg data
+// plane. The paper's §3.2.1 design rests on persistent TCP connections —
+// shims and boxes "maintain persistent TCP connections" carrying framed
+// partial results — and before this package the repo hand-rolled that
+// machinery five times (core.Box, shim.Master, shim.Worker,
+// cluster.Monitor, and the search/testbed servers), each with its own
+// goroutine lifecycle and none with dial timeouts or reconnect backoff.
+//
+// transport unifies both sides:
+//
+//   - Server: listener + accept loop + one reader goroutine per accepted
+//     connection, all tracked in a WaitGroup and cancelled through a
+//     context.Context, delivering frames to a handler callback.
+//   - Conn: persistent outbound connection with bounded dials, jittered
+//     exponential reconnect backoff, bounded write retry, an optional
+//     replay window for §3.1 recovery resends, and optional netem.NIC
+//     pacing injected once instead of per call site.
+//   - Pool: one Conn per destination address, sharing a context.
+//
+// Every endpoint keeps per-connection counters (frames/bytes in and out,
+// dials, dial failures, reconnects) exposed as a Stats snapshot — the
+// seam for observability work. Close is everywhere equivalent to
+// cancelling the endpoint's context and draining its WaitGroup, so the
+// §3.3 restart-under-churn story rests on one audited lifecycle.
+package transport
+
+import (
+	"context"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"netagg/internal/netem"
+	"netagg/internal/wire"
+)
+
+const (
+	// defaultDialTimeout bounds connection establishment. The legacy
+	// wire.Client dialled with no bound while holding its send mutex, so
+	// one hung dial stalled every sender sharing the client.
+	defaultDialTimeout = 5 * time.Second
+	// defaultSendAttempts is the original try plus one retry after a
+	// reconnect, matching the legacy client's behaviour.
+	defaultSendAttempts = 2
+)
+
+// Options configure an outbound Conn (and every Conn a Pool creates).
+// The zero value is usable: plain TCP, 5s dial timeout, one retry, the
+// default backoff, no reader, no replay.
+type Options struct {
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+	// Backoff paces re-dials after a dial failure: sends inside the
+	// backoff window return ErrBackingOff without touching the network,
+	// so a dead peer costs one dial per window, not one per send.
+	Backoff Backoff
+	// MaxSendAttempts bounds how many times one Send is tried across
+	// reconnects before the error is surfaced (default 2).
+	MaxSendAttempts int
+	// NIC, when set, paces every connection through the host's emulated
+	// access link. Injected here once instead of wrapped at each dial
+	// call site.
+	NIC *netem.NIC
+	// Dial overrides connection establishment (tests, alternative
+	// transports). The NIC wrap still applies to its result. ctx carries
+	// the dial timeout.
+	Dial func(ctx context.Context, addr string) (net.Conn, error)
+	// OnFrame, when set, starts one reader goroutine per established
+	// connection and delivers every inbound frame to it (heartbeat
+	// replies, acks). Nil keeps the connection write-only.
+	OnFrame func(m *wire.Msg)
+	// ReplayWindow > 0 retains the last N frames written and rewrites
+	// them after a reconnect. Frames buffered in a dead peer's socket are
+	// thereby delivered at-least-once; receivers dedup by the attempt id
+	// carried in the wire request (§3.1 recovery).
+	ReplayWindow int
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = defaultDialTimeout
+	}
+	if o.MaxSendAttempts <= 0 {
+		o.MaxSendAttempts = defaultSendAttempts
+	}
+	o.Backoff = o.Backoff.withDefaults()
+	return o
+}
+
+// Stats is a point-in-time snapshot of an endpoint's counters. Conn and
+// Server fill the fields that apply to them; Pool sums across its
+// connections.
+type Stats struct {
+	// FramesIn / BytesIn count inbound frames and their payload bytes.
+	FramesIn, BytesIn int64
+	// FramesOut / BytesOut count outbound frames and their payload bytes
+	// (replayed frames are counted again — they cross the wire again).
+	FramesOut, BytesOut int64
+	// Dials counts successful connection establishments.
+	Dials int64
+	// DialFailures counts failed connection attempts.
+	DialFailures int64
+	// Reconnects counts successful dials that replaced a previously
+	// established connection.
+	Reconnects int64
+	// BackoffSkips counts sends refused inside a backoff window without
+	// a dial being attempted.
+	BackoffSkips int64
+	// Replayed counts frames rewritten from the replay window after a
+	// reconnect.
+	Replayed int64
+	// Accepted counts inbound connections accepted (Server only).
+	Accepted int64
+	// Active is the number of currently open inbound connections
+	// (Server only).
+	Active int64
+}
+
+// merge adds o into s (Pool aggregation).
+func (s Stats) merge(o Stats) Stats {
+	s.FramesIn += o.FramesIn
+	s.BytesIn += o.BytesIn
+	s.FramesOut += o.FramesOut
+	s.BytesOut += o.BytesOut
+	s.Dials += o.Dials
+	s.DialFailures += o.DialFailures
+	s.Reconnects += o.Reconnects
+	s.BackoffSkips += o.BackoffSkips
+	s.Replayed += o.Replayed
+	s.Accepted += o.Accepted
+	s.Active += o.Active
+	return s
+}
+
+// counters is the lock-free mutable backing of Stats.
+type counters struct {
+	framesIn, bytesIn   atomic.Int64
+	framesOut, bytesOut atomic.Int64
+	dials, dialFailures atomic.Int64
+	reconnects          atomic.Int64
+	backoffSkips        atomic.Int64
+	replayed            atomic.Int64
+	accepted, active    atomic.Int64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		FramesIn:     c.framesIn.Load(),
+		BytesIn:      c.bytesIn.Load(),
+		FramesOut:    c.framesOut.Load(),
+		BytesOut:     c.bytesOut.Load(),
+		Dials:        c.dials.Load(),
+		DialFailures: c.dialFailures.Load(),
+		Reconnects:   c.reconnects.Load(),
+		BackoffSkips: c.backoffSkips.Load(),
+		Replayed:     c.replayed.Load(),
+		Accepted:     c.accepted.Load(),
+		Active:       c.active.Load(),
+	}
+}

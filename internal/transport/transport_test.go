@@ -1,0 +1,265 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netagg/internal/wire"
+)
+
+// waitFor polls cond until it holds or the test deadline expires.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// dedupSink models a §3.1 receiver: it applies each frame once, keyed by
+// the sequence number that carries the attempt identity, and counts raw
+// deliveries separately so tests can see replay duplicates arriving.
+type dedupSink struct {
+	mu      sync.Mutex
+	applied map[uint64]bool
+	raw     int
+}
+
+func newDedupSink() *dedupSink {
+	return &dedupSink{applied: make(map[uint64]bool)}
+}
+
+func (s *dedupSink) handle(_ *ServerConn, m *wire.Msg) {
+	s.mu.Lock()
+	s.raw++
+	s.applied[m.Seq] = true
+	s.mu.Unlock()
+}
+
+func (s *dedupSink) appliedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.applied)
+}
+
+// TestServerRestartReplayDedup kills a server mid-stream, restarts it on
+// the same address, and checks that the client's buffered replay
+// redelivers everything the dead server may not have processed — applied
+// exactly once after dedup — while Stats counts exactly one reconnect.
+func TestServerRestartReplayDedup(t *testing.T) {
+	sink := newDedupSink()
+	srv, err := Listen(context.Background(), "127.0.0.1:0", sink.handle, ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	c := NewConn(context.Background(), addr, Options{
+		ReplayWindow: 32,
+		DialTimeout:  2 * time.Second,
+		Backoff:      Backoff{Min: 5 * time.Millisecond, Max: 20 * time.Millisecond},
+	})
+	defer c.Close()
+
+	for seq := uint64(1); seq <= 5; seq++ {
+		if err := c.Send(&wire.Msg{Type: wire.TData, App: "t", Seq: seq, Payload: []byte("x")}); err != nil {
+			t.Fatalf("send %d: %v", seq, err)
+		}
+	}
+	waitFor(t, "first batch", func() bool { return sink.appliedCount() == 5 })
+
+	// Kill the server mid-stream and restart it on the same address.
+	srv.Close()
+	srv2, err := Listen(context.Background(), addr, sink.handle, ServerOptions{})
+	if err != nil {
+		t.Fatalf("restart on %s: %v", addr, err)
+	}
+	defer srv2.Close()
+
+	// The client discovers the death on write: the first send after the
+	// kill may land in the dead socket's buffer or fail outright, so keep
+	// sending until the transport has reconnected and accepted the frame.
+	for seq := uint64(6); seq <= 10; seq++ {
+		var err error
+		for try := 0; try < 400; try++ {
+			if err = c.Send(&wire.Msg{Type: wire.TData, App: "t", Seq: seq, Payload: []byte("x")}); err == nil {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if err != nil {
+			t.Fatalf("send %d never succeeded: %v", seq, err)
+		}
+	}
+
+	waitFor(t, "all 10 frames applied", func() bool { return sink.appliedCount() == 10 })
+
+	st := c.Stats()
+	if st.Reconnects != 1 {
+		t.Fatalf("Stats.Reconnects = %d, want exactly 1 (dials=%d, failures=%d)",
+			st.Reconnects, st.Dials, st.DialFailures)
+	}
+	if st.Replayed == 0 {
+		t.Fatalf("expected the replay window to rewrite frames after the reconnect, Stats.Replayed = 0")
+	}
+	sink.mu.Lock()
+	raw, applied := sink.raw, len(sink.applied)
+	sink.mu.Unlock()
+	if raw < applied {
+		t.Fatalf("raw deliveries %d < applied %d", raw, applied)
+	}
+	t.Logf("raw deliveries %d, applied after dedup %d, replayed %d", raw, applied, st.Replayed)
+}
+
+// TestDialBackoffWindow checks that a dead destination costs one dial
+// per backoff window: sends inside the window are refused without
+// touching the dialer.
+func TestDialBackoffWindow(t *testing.T) {
+	var dials atomic.Int32
+	c := NewConn(context.Background(), "nowhere:0", Options{
+		Dial: func(ctx context.Context, addr string) (net.Conn, error) {
+			dials.Add(1)
+			return nil, errors.New("destination down")
+		},
+		Backoff: Backoff{Min: 300 * time.Millisecond, Max: time.Second, Jitter: 0.01},
+	})
+	defer c.Close()
+
+	msg := &wire.Msg{Type: wire.TData}
+	if err := c.Send(msg); err == nil {
+		t.Fatal("expected a dial error")
+	}
+	if got := dials.Load(); got != 1 {
+		t.Fatalf("dials after first send = %d, want 1", got)
+	}
+	if err := c.Send(msg); !errors.Is(err, ErrBackingOff) {
+		t.Fatalf("send inside backoff window: err = %v, want ErrBackingOff", err)
+	}
+	if got := dials.Load(); got != 1 {
+		t.Fatalf("dialled inside the backoff window: %d dials", got)
+	}
+	st := c.Stats()
+	if st.DialFailures != 1 || st.BackoffSkips == 0 {
+		t.Fatalf("stats = %+v, want DialFailures=1 and BackoffSkips>0", st)
+	}
+	// Min 300ms with 1% jitter caps the window at ~303ms.
+	time.Sleep(350 * time.Millisecond)
+	if err := c.Send(msg); err == nil || errors.Is(err, ErrBackingOff) {
+		t.Fatalf("send after backoff window: err = %v, want a fresh dial error", err)
+	}
+	if got := dials.Load(); got != 2 {
+		t.Fatalf("dials after window elapsed = %d, want 2", got)
+	}
+}
+
+// TestReplyAndOnFrame round-trips a heartbeat: handler replies through
+// the ServerConn, the client's reader delivers the echo to OnFrame, and
+// both endpoints count the frames.
+func TestReplyAndOnFrame(t *testing.T) {
+	srv, err := Listen(context.Background(), "127.0.0.1:0", func(c *ServerConn, m *wire.Msg) {
+		if m.Type == wire.THeartbeat {
+			_ = c.Reply(&wire.Msg{Type: wire.THeartbeat, Seq: m.Seq})
+		}
+	}, ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	replies := make(chan uint64, 4)
+	c := NewConn(context.Background(), srv.Addr(), Options{
+		OnFrame: func(m *wire.Msg) { replies <- m.Seq },
+	})
+	defer c.Close()
+
+	if err := c.Send(&wire.Msg{Type: wire.THeartbeat, Seq: 7}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-replies:
+		if got != 7 {
+			t.Fatalf("echoed seq = %d, want 7", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no heartbeat echo")
+	}
+	if st := srv.Stats(); st.FramesIn != 1 || st.FramesOut != 1 || st.Accepted != 1 {
+		t.Fatalf("server stats = %+v, want 1 in / 1 out / 1 accepted", st)
+	}
+	if st := c.Stats(); st.FramesIn != 1 || st.FramesOut != 1 || st.Dials != 1 {
+		t.Fatalf("conn stats = %+v, want 1 in / 1 out / 1 dial", st)
+	}
+}
+
+// TestContextCancellation checks that cancelling the constructor context
+// is equivalent to Close on both endpoints.
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	sink := newDedupSink()
+	srv, err := Listen(ctx, "127.0.0.1:0", sink.handle, ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConn(ctx, srv.Addr(), Options{})
+	if err := c.Send(&wire.Msg{Type: wire.TData, Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "frame delivery", func() bool { return sink.appliedCount() == 1 })
+
+	cancel()
+	srv.Close() // waits for the drain the cancellation started
+
+	// The context hook closes the Conn asynchronously; once it lands,
+	// sends fail permanently.
+	waitFor(t, "conn to observe cancellation", func() bool {
+		return c.Send(&wire.Msg{Type: wire.TData, Seq: 2}) != nil
+	})
+	if err := c.Send(&wire.Msg{Type: wire.TData, Seq: 3}); err == nil {
+		t.Fatal("send succeeded on a cancelled connection")
+	}
+	c.Close()
+
+	// A fresh dial to the cancelled server must fail: its listener is gone.
+	c2 := NewConn(context.Background(), srv.Addr(), Options{DialTimeout: 500 * time.Millisecond})
+	defer c2.Close()
+	if err := c2.Send(&wire.Msg{Type: wire.TData}); err == nil {
+		t.Fatal("dial to a closed server succeeded")
+	}
+}
+
+// TestPoolSharesConnections checks the pool caches one Conn per address
+// and aggregates stats across them.
+func TestPoolSharesConnections(t *testing.T) {
+	sink := newDedupSink()
+	srv, err := Listen(context.Background(), "127.0.0.1:0", sink.handle, ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	p := NewPool(context.Background(), Options{})
+	defer p.Close()
+	if p.Get(srv.Addr()) != p.Get(srv.Addr()) {
+		t.Fatal("pool returned distinct conns for one address")
+	}
+	if err := p.Send(srv.Addr(), &wire.Msg{Type: wire.TData, Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SendAll(srv.Addr(), []*wire.Msg{
+		{Type: wire.TData, Seq: 2}, {Type: wire.TData, Seq: 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "three frames", func() bool { return sink.appliedCount() == 3 })
+	if st := p.Stats(); st.FramesOut != 3 || st.Dials != 1 {
+		t.Fatalf("pool stats = %+v, want FramesOut=3 Dials=1", st)
+	}
+}

@@ -3,12 +3,22 @@ package wire
 import (
 	"net"
 	"sync"
+	"time"
 )
+
+// defaultDialTimeout bounds the default dialer. Send holds c.mu while
+// dialling, so an unbounded dial to a dead peer would stall every sender
+// sharing the client until the kernel gave up.
+const defaultDialTimeout = 5 * time.Second
 
 // Client is a persistent outbound frame connection. Writes are serialised;
 // a failed write drops the connection so the next send re-dials. It is the
 // building block of the persistent TCP connections shims and boxes maintain
 // (§3.2.1 "The shim layers also maintain persistent TCP connections").
+//
+// The data plane proper now rides on transport.Conn, which adds reconnect
+// backoff, replay, and counters on top of this behaviour; Client remains
+// as the thin seam for tests and tooling that talk wire frames directly.
 type Client struct {
 	addr string
 	dial func(addr string) (net.Conn, error)
@@ -18,10 +28,11 @@ type Client struct {
 	w    *Writer
 }
 
-// NewClient returns a client for addr using dial (nil = plain TCP).
+// NewClient returns a client for addr using dial (nil = plain TCP with a
+// bounded dial timeout).
 func NewClient(addr string, dial func(string) (net.Conn, error)) *Client {
 	if dial == nil {
-		dial = func(a string) (net.Conn, error) { return net.Dial("tcp", a) }
+		dial = func(a string) (net.Conn, error) { return net.DialTimeout("tcp", a, defaultDialTimeout) }
 	}
 	return &Client{addr: addr, dial: dial}
 }
