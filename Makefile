@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint vet race verify
+.PHONY: build test lint vet race verify profile bench-smoke
 
 build:
 	$(GO) build ./...
@@ -26,3 +26,18 @@ race:
 
 # The tier-1 gate: everything CI and pre-commit should run.
 verify: build vet lint race
+
+# Flamegraph entry point for the next perf PR: profile the full-scale Fig 6
+# regeneration (the allocator-bound path). Inspect with
+# `go tool pprof -http=: cpu.prof`.
+profile:
+	$(GO) run ./cmd/netagg-sim -scale full -cpuprofile cpu.prof -memprofile mem.prof fig06
+
+# CI bench smoke: the allocator micro-benchmarks (small, seconds) recorded
+# as a benchstat-compatible artifact — BENCH_simnet.json holds raw Go
+# benchmark text (the input format benchstat consumes); the fixed name is
+# the CI artifact convention. Compare two commits with
+# `benchstat old/BENCH_simnet.json new/BENCH_simnet.json`.
+bench-smoke:
+	$(GO) test ./internal/simnet -run '^$$' -bench BenchmarkAllocate \
+		-benchmem -benchtime 200x -count 5 | tee BENCH_simnet.json

@@ -1,10 +1,12 @@
 // Package bench regenerates every table and figure of the paper's
 // evaluation as Go benchmarks: one benchmark per figure, printing the same
 // rows/series the paper plots. Simulation figures (Figs 2, 3, 6-14) run on
-// the flow-level simulator at the medium (256-server) scale; testbed
-// figures (Figs 15-26) run on the emulated testbed. A single iteration of
-// each benchmark regenerates the whole figure, so -benchtime is typically
-// left at its default (every benchmark runs once).
+// the flow-level simulator at the paper's full (1,024-server) scale — the
+// incremental allocator made full-scale regeneration cheaper than the old
+// medium-scale default; testbed figures (Figs 15-26) run on the emulated
+// testbed. A single iteration of each benchmark regenerates the whole
+// figure, so -benchtime is typically left at its default (every benchmark
+// runs once).
 //
 //	go test -bench=. -benchmem
 //
@@ -19,8 +21,10 @@ import (
 	"netagg/internal/tbfig"
 )
 
-// simOpts runs the simulation figures at the benchmark default scale.
-var simOpts = figures.Options{Scale: figures.ScaleMedium, Seed: 1}
+// simOpts runs the simulation figures at the benchmark default scale:
+// ScaleFull, the paper's 1,024 servers. Tests and the CI bench smoke stay
+// on ScaleSmall.
+var simOpts = figures.Options{Scale: figures.ScaleFull, Seed: 1}
 
 // tbOpts shortens the per-point measurement window slightly so the full
 // testbed suite stays in the minutes range.

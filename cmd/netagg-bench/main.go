@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	netagg-bench [-window 3s] [-seed N] [fig ...]
+//	netagg-bench [-window 3s] [-seed N] [-cpuprofile f] [-memprofile f] [fig ...]
 //
 // With no figure arguments, every testbed figure is regenerated.
 package main
@@ -16,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"netagg/internal/profiling"
 	"netagg/internal/tbfig"
 )
 
@@ -43,6 +44,7 @@ var order = []string{
 func main() {
 	window := flag.Duration("window", 3*time.Second, "measurement window per data point")
 	seed := flag.Int64("seed", 1, "query/input random seed")
+	prof := profiling.AddFlags(flag.CommandLine)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] [fig ...]\nfigures: %v\nflags:\n", os.Args[0], order)
 		flag.PrintDefaults()
@@ -55,14 +57,17 @@ func main() {
 		targets = order
 	}
 	for _, name := range targets {
-		fn, ok := all[name]
-		if !ok {
+		if _, ok := all[name]; !ok {
 			fmt.Fprintf(os.Stderr, "unknown figure %q (have %v)\n", name, order)
 			os.Exit(2)
 		}
+	}
+	stop := prof.Start()
+	for _, name := range targets {
 		start := time.Now()
-		report := fn(opts)
+		report := all[name](opts)
 		fmt.Print(report.String())
 		fmt.Printf("(%s regenerated in %.1fs)\n\n", report.ID, time.Since(start).Seconds())
 	}
+	stop()
 }

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	netagg-sim [-scale small|medium|full] [-seed N] [fig ...]
+//	netagg-sim [-scale small|medium|full] [-seed N] [-workers N]
+//	           [-cpuprofile f] [-memprofile f] [fig ...]
 //
 // With no figure arguments, every simulation figure is regenerated.
 package main
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"netagg/internal/figures"
+	"netagg/internal/profiling"
 )
 
 var all = map[string]func(figures.Options) *figures.Report{
@@ -38,15 +40,17 @@ var order = []string{
 }
 
 func main() {
-	scale := flag.String("scale", "medium", "cluster scale: small (64 servers), medium (256), full (1024, the paper's)")
+	scale := flag.String("scale", "full", "cluster scale: small (64 servers), medium (256), full (1024, the paper's)")
 	seed := flag.Int64("seed", 1, "workload random seed")
+	workers := flag.Int("workers", 0, "scenario fan-out parallelism (0 = GOMAXPROCS); figures are byte-identical for any value")
+	prof := profiling.AddFlags(flag.CommandLine)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] [fig ...]\nfigures: %v\nflags:\n", os.Args[0], order)
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
-	opts := figures.Options{Seed: *seed}
+	opts := figures.Options{Seed: *seed, Workers: *workers}
 	switch *scale {
 	case "small":
 		opts.Scale = figures.ScaleSmall
@@ -64,14 +68,17 @@ func main() {
 		targets = order
 	}
 	for _, name := range targets {
-		fn, ok := all[name]
-		if !ok {
+		if _, ok := all[name]; !ok {
 			fmt.Fprintf(os.Stderr, "unknown figure %q (have %v)\n", name, order)
 			os.Exit(2)
 		}
+	}
+	stop := prof.Start()
+	for _, name := range targets {
 		start := time.Now()
-		report := fn(opts)
+		report := all[name](opts)
 		fmt.Print(report.String())
 		fmt.Printf("(%s regenerated in %.1fs at %s scale)\n\n", report.ID, time.Since(start).Seconds(), opts.Scale)
 	}
+	stop()
 }

@@ -17,14 +17,6 @@ func Fig12(o Options) *Report {
 	wcfg := o.workload()
 	spec := strategies.DefaultBoxSpec()
 
-	base := run(scenario{clos: clos, workload: wcfg, strategy: strategies.Rack{}})
-	rackP99 := base.AllFCT.P99()
-
-	netaggAt := func(deploy func(*topology.Topology)) float64 {
-		res := run(scenario{clos: clos, deploy: deploy, workload: wcfg, strategy: strategies.NetAgg{}})
-		return res.AllFCT.P99() / rackP99
-	}
-
 	table := metrics.NewTable(
 		"Fig 12 — relative 99th FCT of partial NetAgg deployments",
 		"deployment", "rel_99th_FCT",
@@ -38,13 +30,6 @@ func Fig12(o Options) *Report {
 		{"core-only", strategies.TierCore},
 		{"full", strategies.TierAll},
 	}
-	for _, tc := range tierConfigs {
-		tier := tc.tier
-		table.AddRow(tc.name, netaggAt(func(t *topology.Topology) {
-			strategies.DeployTiers(t, tier, spec)
-		}))
-	}
-
 	// Fixed budget: as many boxes as there are aggregation-tier switches.
 	budget := clos.Pods * clos.AggPerPod
 	budgetConfigs := []struct {
@@ -55,11 +40,33 @@ func Fig12(o Options) *Report {
 		{"budget-agg", strategies.TierAgg},
 		{"budget-agg+core", strategies.TierAgg | strategies.TierCore},
 	}
+
+	// Scenario list: the rack baseline, one NetAgg run per tier config, one
+	// per budget config.
+	scs := []scenario{{clos: clos, workload: wcfg, strategy: strategies.Rack{}}}
+	netaggAt := func(deploy func(*topology.Topology)) scenario {
+		return scenario{clos: clos, deploy: deploy, workload: wcfg, strategy: strategies.NetAgg{}}
+	}
+	for _, tc := range tierConfigs {
+		tier := tc.tier
+		scs = append(scs, netaggAt(func(t *topology.Topology) {
+			strategies.DeployTiers(t, tier, spec)
+		}))
+	}
 	for _, bc := range budgetConfigs {
 		tiers := bc.tiers
-		table.AddRow(fmt.Sprintf("%s(n=%d)", bc.name, budget), netaggAt(func(t *topology.Topology) {
+		scs = append(scs, netaggAt(func(t *topology.Topology) {
 			strategies.DeployBudget(t, budget, tiers, spec)
 		}))
+	}
+	results := runAll(o, scs)
+	rackP99 := results[0].AllFCT.P99()
+	for i, tc := range tierConfigs {
+		table.AddRow(tc.name, results[1+i].AllFCT.P99()/rackP99)
+	}
+	for i, bc := range budgetConfigs {
+		table.AddRow(fmt.Sprintf("%s(n=%d)", bc.name, budget),
+			results[1+len(tierConfigs)+i].AllFCT.P99()/rackP99)
 	}
 	return &Report{
 		ID:    "fig12",
@@ -77,23 +84,31 @@ func Fig13(o Options) *Report {
 		"Fig 13 — relative 99th FCT in a 10G network (scale-out boxes per switch)",
 		"oversub_1:x", "netagg_1xbox", "netagg_2xbox", "netagg_4xbox",
 	)
+	scaleOut := []int{1, 2, 4}
+	var scs []scenario
 	for _, ov := range oversubs {
 		clos := o.Scale.Clos()
 		clos.EdgeCapacity = 10 * topology.Gbps
 		clos.Oversubscription = ov
-		base := run(scenario{clos: clos, workload: o.workload(), strategy: strategies.Rack{}})
-		rackP99 := base.AllFCT.P99()
-		row := []interface{}{ov}
-		for _, k := range []int{1, 2, 4} {
+		scs = append(scs, scenario{clos: clos, workload: o.workload(), strategy: strategies.Rack{}})
+		for _, k := range scaleOut {
 			spec := strategies.DefaultBoxSpec()
 			spec.PerSwitch = k
-			res := run(scenario{
+			scs = append(scs, scenario{
 				clos:     clos,
 				deploy:   deployAll(spec),
 				workload: o.workload(),
 				strategy: strategies.NetAgg{Trees: k},
 			})
-			row = append(row, res.AllFCT.P99()/rackP99)
+		}
+	}
+	results := runAll(o, scs)
+	stride := 1 + len(scaleOut)
+	for oi, ov := range oversubs {
+		rackP99 := results[oi*stride].AllFCT.P99()
+		row := []interface{}{ov}
+		for ki := range scaleOut {
+			row = append(row, results[oi*stride+1+ki].AllFCT.P99()/rackP99)
 		}
 		table.AddRow(row...)
 	}
@@ -113,12 +128,15 @@ func Fig14(o Options) *Report {
 		"Fig 14 — relative 99th FCT vs straggler ratio",
 		"straggler_ratio", "rack", "binary", "chain", "netagg",
 	)
-	for _, r := range ratios {
+	points := make([]relPoint, len(ratios))
+	for i, r := range ratios {
 		wcfg := o.workload()
 		wcfg.StragglerFraction = r
 		wcfg.StragglerDelayMean = 0.05 // ≈5× the typical FCT in this network
-		rel := relP99(o.Scale.Clos(), wcfg, strategies.DefaultBoxSpec())
-		table.AddRow(r, rel["rack"], rel["binary"], rel["chain"], rel["netagg"])
+		points[i] = relPoint{clos: o.Scale.Clos(), wcfg: wcfg}
+	}
+	for i, rel := range relP99Batch(o, points, strategies.DefaultBoxSpec()) {
+		table.AddRow(ratios[i], rel["rack"], rel["binary"], rel["chain"], rel["netagg"])
 	}
 	return &Report{
 		ID:    "fig14",

@@ -9,16 +9,21 @@ import (
 // cdfPercentiles are the points at which CDF figures are tabulated.
 var cdfPercentiles = []float64{5, 10, 25, 50, 75, 90, 95, 99, 100}
 
-// runBaselines executes all four strategies on the default network and
-// returns results keyed by strategy name.
+// runBaselines executes all four strategies on the default network in
+// parallel and returns results keyed by strategy name.
 func runBaselines(o Options) map[string]*simexp.Result {
-	out := make(map[string]*simexp.Result)
-	for _, st := range baselines() {
-		sc := scenario{clos: o.Scale.Clos(), workload: o.workload(), strategy: st}
+	strats := baselines()
+	scs := make([]scenario, len(strats))
+	for i, st := range strats {
+		scs[i] = scenario{clos: o.Scale.Clos(), workload: o.workload(), strategy: st}
 		if _, ok := st.(strategies.NetAgg); ok {
-			sc.deploy = deployAll(strategies.DefaultBoxSpec())
+			scs[i].deploy = deployAll(strategies.DefaultBoxSpec())
 		}
-		out[st.Name()] = run(sc)
+	}
+	results := runAll(o, scs)
+	out := make(map[string]*simexp.Result, len(strats))
+	for i, st := range strats {
+		out[st.Name()] = results[i]
 	}
 	return out
 }
@@ -70,11 +75,14 @@ func Fig08(o Options) *Report {
 		"Fig 8 — relative 99th FCT vs aggregation output ratio α",
 		"alpha", "rack", "binary", "chain", "netagg", "netagg_job",
 	)
-	for _, a := range alphas {
+	points := make([]relPoint, len(alphas))
+	for i, a := range alphas {
 		wcfg := o.workload()
 		wcfg.OutputRatio = a
-		rel := relP99(o.Scale.Clos(), wcfg, strategies.DefaultBoxSpec())
-		table.AddRow(a, rel["rack"], rel["binary"], rel["chain"], rel["netagg"], rel["netagg_job"])
+		points[i] = relPoint{clos: o.Scale.Clos(), wcfg: wcfg}
+	}
+	for i, rel := range relP99Batch(o, points, strategies.DefaultBoxSpec()) {
+		table.AddRow(alphas[i], rel["rack"], rel["binary"], rel["chain"], rel["netagg"], rel["netagg_job"])
 	}
 	return &Report{
 		ID:    "fig08",
@@ -105,11 +113,14 @@ func Fig10(o Options) *Report {
 		"Fig 10 — relative 99th FCT vs fraction of aggregatable flows",
 		"agg_fraction", "rack", "binary", "chain", "netagg",
 	)
-	for _, f := range fractions {
+	points := make([]relPoint, len(fractions))
+	for i, f := range fractions {
 		wcfg := o.workload()
 		wcfg.AggregatableFraction = f
-		rel := relP99(o.Scale.Clos(), wcfg, strategies.DefaultBoxSpec())
-		table.AddRow(f, rel["rack"], rel["binary"], rel["chain"], rel["netagg"])
+		points[i] = relPoint{clos: o.Scale.Clos(), wcfg: wcfg}
+	}
+	for i, rel := range relP99Batch(o, points, strategies.DefaultBoxSpec()) {
+		table.AddRow(fractions[i], rel["rack"], rel["binary"], rel["chain"], rel["netagg"])
 	}
 	return &Report{
 		ID:    "fig10",
@@ -126,11 +137,14 @@ func Fig11(o Options) *Report {
 		"Fig 11 — relative 99th FCT vs over-subscription (1G edge, α = 10%)",
 		"oversub_1:x", "rack", "binary", "chain", "netagg",
 	)
-	for _, ov := range oversubs {
+	points := make([]relPoint, len(oversubs))
+	for i, ov := range oversubs {
 		clos := o.Scale.Clos()
 		clos.Oversubscription = ov
-		rel := relP99(clos, o.workload(), strategies.DefaultBoxSpec())
-		table.AddRow(ov, rel["rack"], rel["binary"], rel["chain"], rel["netagg"])
+		points[i] = relPoint{clos: clos, wcfg: o.workload()}
+	}
+	for i, rel := range relP99Batch(o, points, strategies.DefaultBoxSpec()) {
+		table.AddRow(oversubs[i], rel["rack"], rel["binary"], rel["chain"], rel["netagg"])
 	}
 	return &Report{
 		ID:    "fig11",

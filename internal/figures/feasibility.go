@@ -21,26 +21,33 @@ func Fig02(o Options) *Report {
 		"Fig 2 — 99th FCT relative to rack-level aggregation vs agg box processing rate",
 		"rate_gbps", "oversub_1:1", "oversub_1:4",
 	)
-	cells := make(map[[2]int]float64)
-	for oi, ov := range oversubs {
+	// One flat scenario list per over-subscription: the rack baseline
+	// followed by a NetAgg run per processing rate.
+	var scs []scenario
+	for _, ov := range oversubs {
 		clos := o.Scale.Clos()
 		clos.Oversubscription = ov
-		base := run(scenario{clos: clos, workload: o.workload(), strategy: strategies.Rack{}})
-		rackP99 := base.AllFCT.P99()
-		for ri, rate := range rates {
+		scs = append(scs, scenario{clos: clos, workload: o.workload(), strategy: strategies.Rack{}})
+		for _, rate := range rates {
 			spec := strategies.DefaultBoxSpec()
 			spec.ProcRate = rate * topology.Gbps
-			res := run(scenario{
+			scs = append(scs, scenario{
 				clos:     clos,
 				deploy:   deployAll(spec),
 				workload: o.workload(),
 				strategy: strategies.NetAgg{},
 			})
-			cells[[2]int{ri, oi}] = res.AllFCT.P99() / rackP99
 		}
 	}
+	results := runAll(o, scs)
+	stride := 1 + len(rates)
 	for ri, rate := range rates {
-		table.AddRow(rate, cells[[2]int{ri, 0}], cells[[2]int{ri, 1}])
+		row := []interface{}{rate}
+		for oi := range oversubs {
+			rackP99 := results[oi*stride].AllFCT.P99()
+			row = append(row, results[oi*stride+1+ri].AllFCT.P99()/rackP99)
+		}
+		table.AddRow(row...)
 	}
 	return &Report{
 		ID:    "fig02",
@@ -57,16 +64,7 @@ func Fig03(o Options) *Report {
 	base := o.Scale.Clos()
 	prices := cost.DefaultPrices()
 	wcfg := o.workload()
-
-	baseRes := run(scenario{clos: base, workload: wcfg, strategy: strategies.Rack{}})
-	baseP99 := baseRes.AllFCT.P99()
-
-	type config struct {
-		name string
-		rel  float64
-		cost float64
-	}
-	var configs []config
+	spec := strategies.DefaultBoxSpec()
 
 	// Network upgrades, all evaluated with rack-level aggregation.
 	netUpgrades := []struct {
@@ -78,35 +76,49 @@ func Fig03(o Options) *Report {
 		{"Oversub-10G", 10 * topology.Gbps, base.Oversubscription},
 		{"FullBisec-1G", 1 * topology.Gbps, 1},
 	}
-	for _, up := range netUpgrades {
+
+	// Scenario list: base rack run, the upgrades, then the two NetAgg
+	// deployments in the unchanged base network.
+	scs := []scenario{{clos: base, workload: wcfg, strategy: strategies.Rack{}}}
+	upgradeCosts := make([]float64, len(netUpgrades))
+	for i, up := range netUpgrades {
 		clos := base
 		clos.EdgeCapacity = up.edge
 		clos.Oversubscription = up.overs
-		res := run(scenario{clos: clos, workload: wcfg, strategy: strategies.Rack{}})
+		scs = append(scs, scenario{clos: clos, workload: wcfg, strategy: strategies.Rack{}})
 		c, err := cost.UpgradeCost(base, clos, prices)
 		if err != nil {
 			panic(err)
 		}
-		configs = append(configs, config{up.name, res.AllFCT.P99() / baseP99, c})
+		upgradeCosts[i] = c
 	}
+	scs = append(scs,
+		scenario{clos: base, deploy: deployAll(spec), workload: wcfg, strategy: strategies.NetAgg{}},
+		scenario{
+			clos: base,
+			deploy: func(t *topology.Topology) {
+				strategies.DeployTiers(t, strategies.TierAgg, spec)
+			},
+			workload: wcfg,
+			strategy: strategies.NetAgg{},
+		})
+	results := runAll(o, scs)
+	baseP99 := results[0].AllFCT.P99()
 
-	// NetAgg deployments in the unchanged base network.
-	spec := strategies.DefaultBoxSpec()
-	full := run(scenario{clos: base, deploy: deployAll(spec), workload: wcfg, strategy: strategies.NetAgg{}})
+	type config struct {
+		name string
+		rel  float64
+		cost float64
+	}
+	var configs []config
+	for i, up := range netUpgrades {
+		configs = append(configs, config{up.name, results[1+i].AllFCT.P99() / baseP99, upgradeCosts[i]})
+	}
 	nFull := base.NumSwitches()
-	configs = append(configs, config{"NetAgg", full.AllFCT.P99() / baseP99,
+	configs = append(configs, config{"NetAgg", results[len(netUpgrades)+1].AllFCT.P99() / baseP99,
 		cost.BoxCost(nFull, spec.LinkCapacity, prices)})
-
-	incr := run(scenario{
-		clos: base,
-		deploy: func(t *topology.Topology) {
-			strategies.DeployTiers(t, strategies.TierAgg, spec)
-		},
-		workload: wcfg,
-		strategy: strategies.NetAgg{},
-	})
 	nIncr := base.Pods * base.AggPerPod
-	configs = append(configs, config{"Incremental-NetAgg", incr.AllFCT.P99() / baseP99,
+	configs = append(configs, config{"Incremental-NetAgg", results[len(netUpgrades)+2].AllFCT.P99() / baseP99,
 		cost.BoxCost(nIncr, spec.LinkCapacity, prices)})
 
 	table := metrics.NewTable(

@@ -67,6 +67,10 @@ func (s Scale) Clos() topology.ClosConfig {
 type Options struct {
 	Scale Scale
 	Seed  int64
+	// Workers bounds the scenario fan-out parallelism; 0 means GOMAXPROCS.
+	// Every figure is byte-identical for any worker count: scenarios are
+	// independent simulations whose results land in per-index slots.
+	Workers int
 }
 
 // Report is the regenerated data of one figure.
@@ -120,6 +124,18 @@ func run(sc scenario) *simexp.Result {
 	return simexp.Run(topo, w, sc.strategy, sc.sf)
 }
 
+// runAll executes every scenario, fanning them across o.Workers goroutines,
+// and returns the results in scenario order. Each scenario builds its own
+// topology, workload, and simulator, so runs are independent and the result
+// slice is byte-identical for any worker count.
+func runAll(o Options, scs []scenario) []*simexp.Result {
+	out := make([]*simexp.Result, len(scs))
+	simexp.ForEach(o.Workers, len(scs), func(i int) {
+		out[i] = run(scs[i])
+	})
+	return out
+}
+
 // deployAll returns a deploy func attaching the default boxes to all tiers.
 func deployAll(spec strategies.BoxSpec) func(*topology.Topology) {
 	return func(t *topology.Topology) { strategies.DeployTiers(t, strategies.TierAll, spec) }
@@ -136,36 +152,56 @@ func baselines() []strategies.Strategy {
 	}
 }
 
-// relP99 runs every baseline strategy on cfg and returns each strategy's
-// 99th-percentile FCT of all flows relative to rack's, plus NetAgg's
-// job-level relative completion under the key "netagg_job" (the per-flow
-// metric is insensitive to reductions that only change *how much* data the
-// master must receive; see DESIGN.md §8).
-func relP99(clos topology.ClosConfig, wcfg workload.Config, spec strategies.BoxSpec) map[string]float64 {
-	out := make(map[string]float64)
-	var rackP99, rackJob float64
-	for _, st := range baselines() {
-		sc := scenario{clos: clos, workload: wcfg, strategy: st}
-		if _, isNetAgg := st.(strategies.NetAgg); isNetAgg {
-			sc.deploy = deployAll(spec)
+// relPoint is one x-axis point of a relative-FCT figure: a network and a
+// workload on which every baseline strategy runs.
+type relPoint struct {
+	clos topology.ClosConfig
+	wcfg workload.Config
+}
+
+// relP99Batch runs every baseline strategy on every point — one flat
+// (point × strategy) scenario list fanned across o.Workers — and returns,
+// per point, each strategy's 99th-percentile FCT of all flows relative to
+// rack's, plus NetAgg's job-level relative completion under the key
+// "netagg_job" (the per-flow metric is insensitive to reductions that only
+// change *how much* data the master must receive; see DESIGN.md §8).
+func relP99Batch(o Options, points []relPoint, spec strategies.BoxSpec) []map[string]float64 {
+	strats := baselines()
+	scs := make([]scenario, 0, len(points)*len(strats))
+	for _, pt := range points {
+		for _, st := range strats {
+			sc := scenario{clos: pt.clos, workload: pt.wcfg, strategy: st}
+			if _, isNetAgg := st.(strategies.NetAgg); isNetAgg {
+				sc.deploy = deployAll(spec)
+			}
+			scs = append(scs, sc)
 		}
-		res := run(sc)
-		p99 := res.AllFCT.P99()
-		switch st.Name() {
-		case "rack":
-			rackP99 = p99
-			rackJob = res.JobFCT.P99()
-		case "netagg":
-			out["netagg_job"] = res.JobFCT.P99()
-		}
-		out[st.Name()] = p99
 	}
-	for k, v := range out {
-		if k == "netagg_job" {
-			out[k] = v / rackJob
-		} else {
-			out[k] = v / rackP99
+	results := runAll(o, scs)
+	out := make([]map[string]float64, len(points))
+	for pi := range points {
+		rel := make(map[string]float64)
+		var rackP99, rackJob float64
+		for si, st := range strats {
+			res := results[pi*len(strats)+si]
+			p99 := res.AllFCT.P99()
+			switch st.Name() {
+			case "rack":
+				rackP99 = p99
+				rackJob = res.JobFCT.P99()
+			case "netagg":
+				rel["netagg_job"] = res.JobFCT.P99()
+			}
+			rel[st.Name()] = p99
 		}
+		for k, v := range rel {
+			if k == "netagg_job" {
+				rel[k] = v / rackJob
+			} else {
+				rel[k] = v / rackP99
+			}
+		}
+		out[pi] = rel
 	}
 	return out
 }

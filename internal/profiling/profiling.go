@@ -1,0 +1,71 @@
+// Package profiling wires -cpuprofile/-memprofile flags into the CLI
+// commands, mirroring the flags of `go test`: the CPU profile covers
+// everything between Start and the returned stop function, and the heap
+// profile is snapshotted (after a GC) when the stop function runs.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Config holds the profile output paths; empty paths disable a profile.
+type Config struct {
+	CPU string
+	Mem string
+}
+
+// AddFlags registers -cpuprofile and -memprofile on fs.
+func AddFlags(fs *flag.FlagSet) *Config {
+	c := &Config{}
+	fs.StringVar(&c.CPU, "cpuprofile", "", "write a CPU profile to `file`")
+	fs.StringVar(&c.Mem, "memprofile", "", "write a heap profile to `file` on exit")
+	return c
+}
+
+// Start begins CPU profiling if configured and returns the function that
+// finalises both profiles; defer it from main. Profile file errors are
+// fatal: a requested profile that cannot be written means the measurement
+// run is void.
+func (c *Config) Start() (stop func()) {
+	var cpuFile *os.File
+	if c.CPU != "" {
+		f, err := os.Create(c.CPU)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		if c.Mem != "" {
+			f, err := os.Create(c.Mem)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // snapshot live objects, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,48 @@
+package simexp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n) across min(workers, n)
+// goroutines; workers <= 0 selects GOMAXPROCS. Indices are claimed from an
+// atomic counter, so which worker runs which index is scheduling-dependent,
+// but the index set is not: callers that write results only into their own
+// index slot get output that is byte-identical regardless of the worker
+// count or interleaving. Each simulation builds its own topology, workload,
+// and Sim, so runs share no mutable state.
+//
+// All goroutines are joined before ForEach returns (they terminate by
+// return when the counter passes n), so the caller cannot leak workers.
+func ForEach(workers, n int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -27,6 +27,9 @@ func TestFullScaleRun(t *testing.T) {
 	if res.AllFCT.Len() == 0 || res.Duration <= 0 {
 		t.Fatal("full-scale run produced no measurements")
 	}
-	t.Logf("flows=%d jobs=%d events=%d allocations=%d p99=%.4gs",
-		w.NumFlows(), len(w.Jobs), res.Stats.Events, res.Stats.Allocations, res.AllFCT.P99())
+	t.Logf("flows=%d jobs=%d events=%d waterfills=%d components=%d maxcomp=%d realloc=%d carried=%d unconverged=%d p99=%.4gs",
+		w.NumFlows(), len(w.Jobs), res.Stats.Events, res.Stats.Alloc.Waterfills,
+		res.Stats.Alloc.Components, res.Stats.Alloc.MaxComponent,
+		res.Stats.Alloc.FlowsReallocated, res.Stats.Alloc.FlowsCarried,
+		res.Stats.Alloc.Unconverged, res.AllFCT.P99())
 }

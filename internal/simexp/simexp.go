@@ -41,6 +41,10 @@ type Opts struct {
 	StoreAndForward bool
 	// NaiveAllocation replaces max-min fairness with naive equal shares.
 	NaiveAllocation bool
+	// FullRecompute disables incremental reallocation: every coupling
+	// component is re-waterfilled on every event. Debug/oracle mode — the
+	// simulated behaviour must be byte-identical to the incremental default.
+	FullRecompute bool
 }
 
 // Run simulates the workload on the topology under the given strategy.
@@ -54,6 +58,7 @@ func RunWith(topo *topology.Topology, w *workload.Workload, strat strategies.Str
 	net := simnet.NewNetwork(topo)
 	net.Sim.StoreAndForward = o.StoreAndForward
 	net.Sim.NaiveAllocation = o.NaiveAllocation
+	net.Sim.FullRecompute = o.FullRecompute
 
 	var bg []simnet.FlowID
 	for i := range w.Background {

@@ -13,11 +13,16 @@ func activateAll(s *Sim) []FlowID {
 		f := &s.flows[i]
 		f.state = stateActive
 		f.produced = f.spec.StaticBits
+		f.cap = math.Inf(1)
 		active = append(active, FlowID(i))
-		for _, r := range f.spec.Resources {
+		f.resPos = make([]int32, len(f.spec.Resources))
+		for j, r := range f.spec.Resources {
 			res := &s.resources[r]
+			f.resPos[j] = int32(len(res.active))
 			res.active = append(res.active, FlowID(i))
+			res.slots = append(res.slots, int32(j))
 		}
+		s.markFlowDirty(FlowID(i))
 	}
 	return active
 }
@@ -111,10 +116,15 @@ func TestWaterfillZeroCapFrozen(t *testing.T) {
 	for _, id := range []FlowID{fed, other} {
 		f := &s.flows[id]
 		f.state = stateActive
-		for _, r := range f.spec.Resources {
+		f.cap = math.Inf(1)
+		f.resPos = make([]int32, len(f.spec.Resources))
+		for j, r := range f.spec.Resources {
 			res := &s.resources[r]
+			f.resPos[j] = int32(len(res.active))
 			res.active = append(res.active, id)
+			res.slots = append(res.slots, int32(j))
 		}
+		s.markFlowDirty(id)
 	}
 	s.allocate([]FlowID{fed, other})
 	approx(t, s.flows[fed].rate, 0, 1e-9, "fed flow with idle input")

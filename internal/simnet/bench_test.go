@@ -1,0 +1,92 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+)
+
+// benchSparse builds nComp disjoint components of flowsPer flows sharing one
+// link each: the coupling graph is many small islands, the regime where
+// per-component overhead (BFS, sort, scratch reset) dominates.
+func benchSparse(nComp, flowsPer int) (*Sim, []FlowID) {
+	s := New()
+	for c := 0; c < nComp; c++ {
+		l := s.AddResource(KindLink, 100, c)
+		for i := 0; i < flowsPer; i++ {
+			s.AddFlow(FlowSpec{Resources: []ResourceID{l}, Bits: 1e6})
+		}
+	}
+	return s, activateAll(s)
+}
+
+// benchDense builds one fully coupled component: every flow crosses its own
+// edge link plus a shared core link, so any dirty flow drags the whole set
+// through the waterfill — the regime where the share heap and freeze loop
+// dominate.
+func benchDense(nFlows int) (*Sim, []FlowID) {
+	s := New()
+	core := s.AddResource(KindLink, 1000, 0)
+	for i := 0; i < nFlows; i++ {
+		edge := s.AddResource(KindLink, 10, 1+i)
+		s.AddFlow(FlowSpec{Resources: []ResourceID{edge, core}, Bits: 1e6})
+	}
+	return s, activateAll(s)
+}
+
+// markAllDirty re-queues every flow, forcing allocate to rebuild every
+// component (the event pattern of a global perturbation).
+func markAllDirty(s *Sim, active []FlowID) {
+	for _, id := range active {
+		s.markFlowDirty(id)
+	}
+}
+
+// BenchmarkAllocateSparse recomputes 256 independent 4-flow components per
+// op, all dirty. Steady-state iterations must not allocate: scratch slices
+// are reused and freezes are in-place.
+func BenchmarkAllocateSparse(b *testing.B) {
+	s, active := benchSparse(256, 4)
+	s.allocate(active)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		markAllDirty(s, active)
+		s.allocate(active)
+	}
+}
+
+// BenchmarkAllocateDense re-waterfills one 512-flow fully coupled component
+// per op (a single dirty flow drags in everything via the shared core).
+func BenchmarkAllocateDense(b *testing.B) {
+	s, active := benchDense(512)
+	s.allocate(active)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.markFlowDirty(active[i%len(active)])
+		s.allocate(active)
+	}
+}
+
+// BenchmarkAllocateIncremental dirties a single flow among 256 disjoint
+// components per op: one component is recomputed, 255 are carried. The gap
+// to BenchmarkAllocateSparse is the dirty-set win.
+func BenchmarkAllocateIncremental(b *testing.B) {
+	s, active := benchSparse(256, 4)
+	s.allocate(active)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.markFlowDirty(active[i%len(active)])
+		s.allocate(active)
+	}
+	b.StopTimer()
+	if carried := s.report.Alloc.FlowsCarried; carried == 0 {
+		b.Fatal("incremental benchmark carried no flows; dirty tracking is off")
+	}
+	for _, id := range active {
+		if math.IsNaN(s.flows[id].rate) {
+			b.Fatalf("flow %d has NaN rate", id)
+		}
+	}
+}

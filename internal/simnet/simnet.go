@@ -14,6 +14,7 @@ package simnet
 import (
 	"fmt"
 	"math"
+	"strings"
 )
 
 // ResourceID identifies a capacity-constrained resource (a directed link or
@@ -41,12 +42,16 @@ type resource struct {
 	ref      int // external reference (e.g. topology.LinkID), for reporting
 
 	active []FlowID // flows currently crossing this resource
+	slots  []int32  // slots[i]: index of this resource in flows[active[i]].spec.Resources
 	bits   float64  // total bits carried (links only; Fig 9)
 
 	// scratch state for the allocator
-	avail float64
-	count int
-	stamp int
+	avail   float64
+	count   int
+	count0  int // member-flow count, cached for the component's cap loop
+	stamp   int
+	visit   int  // component-BFS stamp
+	inDirty bool // queued in Sim.dirtyRes
 }
 
 type flowState int
@@ -108,6 +113,20 @@ type flow struct {
 	end      float64
 
 	inputsDone int
+
+	// incremental-allocator state
+	resPos     []int32 // position of this flow in resources[spec.Resources[j]].active
+	visit      int     // component-BFS stamp
+	depth      int32   // feed-DAG depth: 0 for source flows, 1+max(inputs) otherwise
+	inDirty    bool    // queued in Sim.dirtyFlows
+	capLimited bool    // production-cap branch taken at the last allocation
+
+	// cap-propagation scratch (valid only inside waterfillComponent's cap
+	// update pass; estRate additionally tracks rate for non-active flows so
+	// estProductionRate can sum inputs unconditionally)
+	estRate    float64
+	newCap     float64
+	newLimited bool
 }
 
 // Sim is a flow-level simulation instance. Build it by adding resources and
@@ -115,6 +134,7 @@ type flow struct {
 type Sim struct {
 	resources []resource
 	flows     []flow
+	consumers [][]FlowID // consumers[i]: flows that take input from flow i
 
 	// StoreAndForward, when true, disables streaming: a fed flow starts only
 	// after all its inputs complete. Used by the ablation benchmarks.
@@ -127,6 +147,12 @@ type Sim struct {
 	// the simulator-accuracy ablation benchmark.
 	NaiveAllocation bool
 
+	// FullRecompute, when true, re-waterfills every coupling component on
+	// every event instead of only the dirty ones. It is the debug oracle the
+	// incremental allocator is validated against: both modes must produce
+	// byte-identical flow timings, link counters, and event counts.
+	FullRecompute bool
+
 	now    float64
 	ran    bool
 	report RunStats
@@ -135,7 +161,14 @@ type Sim struct {
 	stamp          int
 	touchedScratch []ResourceID
 	cappedScratch  []FlowID
+	fedScratch     []FlowID
 	heapScratch    []shareEntry
+
+	// incremental-allocator state
+	visitStamp  int
+	dirtyFlows  []FlowID
+	dirtyRes    []ResourceID
+	compScratch []FlowID
 }
 
 // RunStats summarises a completed run.
@@ -144,8 +177,32 @@ type RunStats struct {
 	Duration float64
 	// Events is the number of simulation events processed.
 	Events int
-	// Allocations is the number of max-min recomputations performed.
-	Allocations int
+	// Alloc counts the allocator's work. Unlike Duration and Events it
+	// depends on the allocation mode: FullRecompute performs strictly more
+	// component recomputations for the same simulated behaviour.
+	Alloc AllocStats
+}
+
+// AllocStats counts max-min allocator work, making incremental-allocator
+// savings visible in reported stats rather than only in wall clock.
+type AllocStats struct {
+	// Waterfills is the number of progressive-filling passes (one per
+	// component per cap fixed-point iteration).
+	Waterfills int
+	// Components is the number of coupling components re-waterfilled.
+	Components int
+	// FlowsReallocated is the total number of flow-slots re-waterfilled
+	// (component sizes summed over all events).
+	FlowsReallocated int
+	// FlowsCarried is the total number of active flow-slots whose rates
+	// were carried over without recomputation.
+	FlowsCarried int
+	// MaxComponent is the largest coupling component seen.
+	MaxComponent int
+	// Unconverged is the number of component recomputations whose
+	// production-cap fixed point was still moving after maxCapIters
+	// iterations (the allocation is then the last iterate).
+	Unconverged int
 }
 
 // New returns an empty simulation.
@@ -184,7 +241,16 @@ func (s *Sim) AddFlow(spec FlowSpec) FlowID {
 	if len(spec.Inputs) > 0 && inputBits > 0 {
 		f.ratio = (spec.Bits - spec.StaticBits) / inputBits
 	}
+	for _, in := range spec.Inputs {
+		if d := s.flows[in].depth + 1; d > f.depth {
+			f.depth = d
+		}
+	}
 	s.flows = append(s.flows, f)
+	s.consumers = append(s.consumers, nil)
+	for _, in := range spec.Inputs {
+		s.consumers[in] = append(s.consumers[in], id)
+	}
 	return id
 }
 
@@ -239,19 +305,23 @@ func (s *Sim) Run() RunStats {
 	}
 	s.ran = true
 
-	// consumers[i] lists flows that take input from flow i, so input
-	// completions can be propagated cheaply.
-	consumers := make([][]FlowID, len(s.flows))
-	for i := range s.flows {
-		for _, in := range s.flows[i].spec.Inputs {
-			consumers[in] = append(consumers[in], FlowID(i))
-		}
-	}
-
 	active := make([]FlowID, 0, len(s.flows))
 	pending := make([]FlowID, 0, len(s.flows))
 	for i := range s.flows {
 		pending = append(pending, FlowID(i))
+	}
+
+	// One backing array for every flow's resource-position index, so the
+	// hot path performs no per-event (or even per-flow) allocation.
+	totalRes := 0
+	for i := range s.flows {
+		totalRes += len(s.flows[i].spec.Resources)
+	}
+	resPosBacking := make([]int32, totalRes)
+	for i := range s.flows {
+		f := &s.flows[i]
+		n := len(f.spec.Resources)
+		f.resPos, resPosBacking = resPosBacking[:n:n], resPosBacking[n:]
 	}
 
 	activate := func(id FlowID) {
@@ -259,15 +329,23 @@ func (s *Sim) Run() RunStats {
 		f.state = stateActive
 		f.start = s.now
 		f.produced = f.spec.StaticBits
+		// Warm-started cap loop: a new flow enters uncapped and the first
+		// recomputation of its component tightens the cap if needed.
+		f.cap = math.Inf(1)
+		f.capLimited = false
+		f.estRate = 0
 		if s.StoreAndForward && len(f.spec.Inputs) > 0 {
 			// All inputs have completed; the whole payload is buffered.
 			f.produced = f.spec.Bits
 		}
 		active = append(active, id)
-		for _, r := range f.spec.Resources {
+		for j, r := range f.spec.Resources {
 			res := &s.resources[r]
+			f.resPos[j] = int32(len(res.active))
 			res.active = append(res.active, id)
+			res.slots = append(res.slots, int32(j))
 		}
+		s.markFlowDirty(id)
 	}
 
 	// startable reports whether a pending flow may activate now.
@@ -288,18 +366,28 @@ func (s *Sim) Run() RunStats {
 		f.end = s.now
 		f.sent = f.spec.Bits
 		f.rate = 0
-		for _, r := range f.spec.Resources {
+		f.estRate = 0
+		for j, r := range f.spec.Resources {
+			// O(1) swap-remove via the two-way position index.
 			res := &s.resources[r]
-			for i, a := range res.active {
-				if a == id {
-					res.active[i] = res.active[len(res.active)-1]
-					res.active = res.active[:len(res.active)-1]
-					break
-				}
+			p := f.resPos[j]
+			last := int32(len(res.active) - 1)
+			moved, movedSlot := res.active[last], res.slots[last]
+			res.active[p], res.slots[p] = moved, movedSlot
+			res.active = res.active[:last]
+			res.slots = res.slots[:last]
+			if moved != id {
+				s.flows[moved].resPos[movedSlot] = p
 			}
+			// Everything still crossing the resource inherits freed capacity.
+			s.markResDirty(r)
 		}
-		for _, c := range consumers[id] {
-			s.flows[c].inputsDone++
+		for _, c := range s.consumers[id] {
+			cf := &s.flows[c]
+			cf.inputsDone++
+			if cf.state == stateActive {
+				s.markFlowDirty(c)
+			}
 		}
 	}
 
@@ -387,17 +475,7 @@ func (s *Sim) Run() RunStats {
 			dt = dtMin
 		}
 		if math.IsInf(dt, 1) {
-			msg := fmt.Sprintf("simnet: stalled at t=%g —", s.now)
-			for i, id := range active {
-				if i >= 8 {
-					msg += " …"
-					break
-				}
-				f := &s.flows[id]
-				msg += fmt.Sprintf(" [flow %d bits=%g sent=%g produced=%g rate=%g cap=%g inputs=%d/%d start=%g]",
-					id, f.spec.Bits, f.sent, f.produced, f.rate, f.cap, f.inputsDone, len(f.spec.Inputs), f.spec.Start)
-			}
-			panic(msg)
+			panic("simnet: stalled (no flow can make progress) — " + s.stuckReport(active, pending, dt))
 		}
 		if dt < timeEps {
 			dt = timeEps
@@ -437,6 +515,11 @@ func (s *Sim) Run() RunStats {
 			if f.produced < f.sent {
 				f.produced = f.sent
 			}
+			// A buffer crossing bufEps flips the flow between backlog- and
+			// production-limited: its coupling component must re-allocate.
+			if limited := !f.producedAll() && f.produced-f.sent <= bufEps; limited != f.capLimited {
+				s.markFlowDirty(id)
+			}
 		}
 		s.now += dt
 		s.report.Events++
@@ -464,17 +547,8 @@ func (s *Sim) Run() RunStats {
 
 		guard++
 		if guard > maxEvents {
-			msg := fmt.Sprintf("simnet: event budget exceeded (%d events, %d flows active, t=%g, dt=%g)",
-				guard, len(active), s.now, dt)
-			for i, id := range active {
-				if i >= 4 {
-					break
-				}
-				f := &s.flows[id]
-				msg += fmt.Sprintf(" [flow %d bits=%g sent=%.6g produced=%.6g rate=%g cap=%g inputs=%d/%d]",
-					id, f.spec.Bits, f.sent, f.produced, f.rate, f.cap, f.inputsDone, len(f.spec.Inputs))
-			}
-			panic(msg)
+			panic(fmt.Sprintf("simnet: event budget exceeded (%d events > 100×%d flows + 1000; likely a dependency livelock) — %s",
+				guard, len(s.flows), s.stuckReport(active, pending, dt)))
 		}
 	}
 	s.report.Duration = s.now
@@ -495,4 +569,59 @@ func (s *Sim) productionRate(f *flow) float64 {
 		rate += s.flows[in].rate
 	}
 	return rate * f.ratio
+}
+
+// stuckReport renders the simulation state for the stall and event-budget
+// panics: sim time, event and population counts, and the flow closest to
+// completion (the "smallest stuck flow" — if the sim is deadlocked or
+// livelocked, this is the flow whose non-progress explains it), plus a few
+// further active flows for context.
+func (s *Sim) stuckReport(active, pending []FlowID, dt float64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "t=%g dt=%g events=%d active=%d pending=%d",
+		s.now, dt, s.report.Events, len(active), len(pending))
+
+	describe := func(id FlowID) string {
+		f := &s.flows[id]
+		return fmt.Sprintf("[flow %d bits=%g sent=%.6g produced=%.6g rate=%g cap=%g prod_rate=%g inputs=%d/%d start=%g]",
+			id, f.spec.Bits, f.sent, f.produced, f.rate, f.cap,
+			s.productionRate(f), f.inputsDone, len(f.spec.Inputs), f.spec.Start)
+	}
+
+	// Smallest remaining payload among active flows: the next flow that
+	// *should* finish. A zero rate plus a finite production rate here points
+	// at the dependency edge that is wedged.
+	smallest := FlowID(-1)
+	rem := math.Inf(1)
+	for _, id := range active {
+		f := &s.flows[id]
+		if r := f.spec.Bits - f.sent; r < rem {
+			rem, smallest = r, id
+		}
+	}
+	if smallest >= 0 {
+		fmt.Fprintf(&sb, "\n  smallest stuck flow (%.6g bits left): %s", rem, describe(smallest))
+	}
+	shown := 0
+	for _, id := range active {
+		if id == smallest {
+			continue
+		}
+		if shown >= 4 {
+			fmt.Fprintf(&sb, "\n  … %d more active flows", len(active)-1-shown)
+			break
+		}
+		fmt.Fprintf(&sb, "\n  active: %s", describe(id))
+		shown++
+	}
+	if len(pending) > 0 {
+		earliest := pending[0]
+		for _, id := range pending {
+			if s.flows[id].spec.Start < s.flows[earliest].spec.Start {
+				earliest = id
+			}
+		}
+		fmt.Fprintf(&sb, "\n  earliest pending: %s", describe(earliest))
+	}
+	return sb.String()
 }
