@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint vet race verify profile bench-smoke
+.PHONY: build test lint vet race verify profile bench-smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -11,10 +11,10 @@ build:
 test:
 	$(GO) test ./...
 
-# netagg-lint: repo-specific analyzers (determinism, lockdiscipline,
-# errcheck-wire, goroutine-hygiene). Exit 1 on findings; suppress audited
-# false positives with //lint:ignore <analyzer> <reason> or the
-# .netagg-lint-allow file.
+# netagg-lint: repo-specific analyzers (determinism, docrule,
+# lockdiscipline, errcheck-wire, goroutine-hygiene). Exit 1 on findings;
+# suppress audited false positives with //lint:ignore <analyzer> <reason>
+# or the .netagg-lint-allow file.
 lint:
 	$(GO) run ./cmd/netagg-lint ./...
 
@@ -32,6 +32,13 @@ verify: build vet lint race
 # `go tool pprof -http=: cpu.prof`.
 profile:
 	$(GO) run ./cmd/netagg-sim -scale full -cpuprofile cpu.prof -memprofile mem.prof fig06
+
+# Observability smoke: run one job through a small testbed with the
+# /debug/netagg endpoint live, then fetch and validate metrics, traces
+# and health over HTTP (exit 1 on malformed JSON or an incomplete
+# trace). See OPERATIONS.md for the endpoints it exercises.
+obs-smoke:
+	$(GO) run ./cmd/obs-smoke
 
 # CI bench smoke: the allocator micro-benchmarks (small, seconds) recorded
 # as a benchstat-compatible artifact — BENCH_simnet.json holds raw Go

@@ -13,7 +13,11 @@
 //
 // Usage:
 //
-//	aggbox [-addr :7100] [-id 1] [-workers 8] [-fixed-wfq]
+//	aggbox [-addr :7100] [-id 1] [-workers 8] [-fixed-wfq] [-debug 127.0.0.1:7180]
+//
+// With -debug, the box serves the /debug/netagg observability endpoint
+// (live metrics, per-request traces, health, pprof — see OPERATIONS.md)
+// on the given address.
 //
 // Multiple boxes can be chained by shims that put several box addresses on
 // a stream's route.
@@ -31,6 +35,7 @@ import (
 	"netagg/internal/agg"
 	"netagg/internal/core"
 	"netagg/internal/corpus"
+	"netagg/internal/obs"
 )
 
 // newRegistry builds the box's application registry (shared with the
@@ -52,6 +57,7 @@ func main() {
 	id := flag.Uint64("id", 1, "box identifier (must be unique per deployment)")
 	workers := flag.Int("workers", 8, "scheduler thread pool size")
 	fixed := flag.Bool("fixed-wfq", false, "disable adaptive weighted fair queuing")
+	debug := flag.String("debug", "", "serve /debug/netagg observability endpoint on this address (empty = off)")
 	flag.Parse()
 
 	reg := newRegistry()
@@ -73,6 +79,26 @@ func main() {
 		log.Fatalf("aggbox: %v", err)
 	}
 	fmt.Printf("aggbox %d listening on %s (apps: %v)\n", *id, box.Addr(), reg.Apps())
+
+	if *debug != "" {
+		health := func() map[string]interface{} {
+			st := box.Stats()
+			return map[string]interface{}{
+				"box_id":    *id,
+				"data_addr": box.Addr(),
+				"requests":  st.Requests,
+				"bytes_in":  st.BytesIn,
+				"bytes_out": st.BytesOut,
+				"combines":  st.Combines,
+			}
+		}
+		dbgAddr, stopDbg, err := obs.Serve(ctx, *debug, obs.Handler(obs.Default, obs.DefaultTracer, health))
+		if err != nil {
+			log.Fatalf("aggbox: debug endpoint: %v", err)
+		}
+		defer stopDbg()
+		fmt.Printf("aggbox %d debug endpoint on http://%s/debug/netagg/metrics\n", *id, dbgAddr)
+	}
 
 	<-ctx.Done()
 	st := box.Stats()

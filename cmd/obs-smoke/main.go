@@ -1,0 +1,180 @@
+// Command obs-smoke is the observability smoke test wired into CI
+// (`make obs-smoke`): it brings up a small in-process testbed with the
+// /debug/netagg endpoint enabled, pushes one word-count job through the
+// aggregation fabric, then fetches and validates every endpoint —
+// malformed JSON, missing layer metrics, or an incomplete request trace
+// fail the run with a non-zero exit.
+//
+// It exercises the same code path an operator uses (HTTP against a live
+// deployment, see OPERATIONS.md), so it catches regressions the unit
+// tests cannot: a handler that stops serving, an instrumented layer
+// that silently goes dark, or an export that breaks JSON consumers.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"netagg/internal/agg"
+	"netagg/internal/testbed"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Printf("obs-smoke: FAIL: %v", err)
+		os.Exit(1)
+	}
+	fmt.Println("obs-smoke: OK")
+}
+
+func run() error {
+	reg := agg.NewRegistry()
+	reg.Register("wc", agg.KVCombiner{Op: agg.OpSum})
+
+	tb, err := testbed.New(testbed.Config{
+		Racks:          2,
+		WorkersPerRack: 2,
+		BoxesPerSwitch: 1,
+		Registry:       reg,
+		DebugAddr:      "127.0.0.1:0",
+	})
+	if err != nil {
+		return err
+	}
+	defer tb.Close()
+
+	// One complete job so every layer has something to report.
+	const reqID = 7
+	workers := tb.WorkerHosts()
+	pending, err := tb.Master.Submit("wc", reqID, workers, 1)
+	if err != nil {
+		return err
+	}
+	for i, host := range workers {
+		part := agg.EncodeKVs([]agg.KV{{Key: "smoke", Val: int64(i + 1)}})
+		if err := tb.Workers[host].SendPartials("wc", reqID, i, testbed.MasterHost, [][]byte{part}, 1); err != nil {
+			return err
+		}
+	}
+	select {
+	case res := <-pending.C:
+		if res.Err != nil {
+			return fmt.Errorf("job failed: %w", res.Err)
+		}
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("job did not complete within 10s")
+	}
+
+	base := "http://" + tb.DebugAddr() + "/debug/netagg"
+
+	// /metrics must be valid JSON and contain at least one metric from
+	// every instrumented layer.
+	var metrics struct {
+		Counters   map[string]int64           `json:"counters"`
+		Gauges     map[string]int64           `json:"gauges"`
+		Histograms map[string]json.RawMessage `json:"histograms"`
+	}
+	if err := getJSON(base+"/metrics", &metrics); err != nil {
+		return err
+	}
+	for _, want := range []string{"transport.frames_out", "box.frames_aggregated"} {
+		if _, ok := metrics.Counters[want]; !ok {
+			return fmt.Errorf("/metrics missing counter %q (got %d counters)", want, len(metrics.Counters))
+		}
+	}
+	for _, want := range []string{"shim.partial_bytes", "box.flush_latency_us", "box.fanin_parts"} {
+		if _, ok := metrics.Histograms[want]; !ok {
+			return fmt.Errorf("/metrics missing histogram %q (got %d histograms)", want, len(metrics.Histograms))
+		}
+	}
+	if metrics.Counters["box.frames_aggregated"] == 0 {
+		return fmt.Errorf("box.frames_aggregated is 0 after a completed job")
+	}
+
+	// /traces must hold a completed trace for the job with all hops.
+	var traces struct {
+		Active []json.RawMessage `json:"active"`
+		Recent []struct {
+			App   string `json:"app"`
+			Done  bool   `json:"done"`
+			Spans []struct {
+				Hop string `json:"hop"`
+			} `json:"spans"`
+		} `json:"recent"`
+	}
+	if err := getJSON(base+"/traces", &traces); err != nil {
+		return err
+	}
+	found := false
+	for _, tr := range traces.Recent {
+		if tr.App != "wc" || !tr.Done {
+			continue
+		}
+		hops := map[string]int{}
+		for _, s := range tr.Spans {
+			hops[s.Hop]++
+		}
+		if hops["shim.send"] > 0 && hops["box"] > 0 && hops["master"] > 0 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("/traces has no completed wc trace covering shim.send, box, and master hops")
+	}
+
+	// /health must be valid JSON reporting the deployment shape.
+	var health map[string]interface{}
+	if err := getJSON(base+"/health", &health); err != nil {
+		return err
+	}
+	for _, want := range []string{"status", "boxes", "workers"} {
+		if _, ok := health[want]; !ok {
+			return fmt.Errorf("/health missing %q", want)
+		}
+	}
+
+	// The table rendering must not panic and must mention a known metric.
+	table, err := getBody(base + "/metrics?format=table")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(table, "box.frames_aggregated") {
+		return fmt.Errorf("table export missing box.frames_aggregated")
+	}
+	return nil
+}
+
+func getBody(url string) (string, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return string(body), nil
+}
+
+func getJSON(url string, into interface{}) error {
+	body, err := getBody(url)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal([]byte(body), into); err != nil {
+		return fmt.Errorf("GET %s: malformed JSON: %w", url, err)
+	}
+	return nil
+}

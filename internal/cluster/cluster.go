@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"netagg/internal/topology"
 )
@@ -20,10 +21,10 @@ import (
 type Host struct {
 	// Name is the unique host name.
 	Name string
-	// Rack and Pod locate the host; hosts in the same rack share a ToR
-	// switch, racks in a pod share an aggregation switch.
+	// Rack locates the host; hosts in the same rack share a ToR switch.
 	Rack int
-	Pod  int
+	// Pod locates the rack; racks in a pod share an aggregation switch.
+	Pod int
 }
 
 // UpPath lists the switch identifiers from the host towards the core tier.
@@ -45,29 +46,37 @@ type BoxInfo struct {
 	// Switch is the switch the box is attached to ("tor:2", "agg:0",
 	// "core").
 	Switch string
+	// LastSeen is when the failure monitor last received a heartbeat
+	// echo from the box (zero until the first echo). Together with the
+	// monitor's interval and miss threshold it bounds failure-detection
+	// latency (§3.1): a box declared dead was last healthy at LastSeen,
+	// and detection happens within misses×interval + interval of it.
+	LastSeen time.Time
 }
 
 // Deployment is the cluster configuration: hosts, boxes and liveness.
 // It is safe for concurrent use.
 type Deployment struct {
-	mu      sync.RWMutex
-	hosts   map[string]Host
-	control map[string]string // host name → worker shim control address
-	results map[string]string // host name → master shim result address
-	boxes   map[string][]BoxInfo
-	byID    map[uint64]BoxInfo
-	dead    map[uint64]bool
+	mu       sync.RWMutex
+	hosts    map[string]Host
+	control  map[string]string // host name → worker shim control address
+	results  map[string]string // host name → master shim result address
+	boxes    map[string][]BoxInfo
+	byID     map[uint64]BoxInfo
+	dead     map[uint64]bool
+	lastSeen map[uint64]time.Time // box id → last successful heartbeat
 }
 
 // NewDeployment returns an empty deployment.
 func NewDeployment() *Deployment {
 	return &Deployment{
-		hosts:   make(map[string]Host),
-		control: make(map[string]string),
-		results: make(map[string]string),
-		boxes:   make(map[string][]BoxInfo),
-		byID:    make(map[uint64]BoxInfo),
-		dead:    make(map[uint64]bool),
+		hosts:    make(map[string]Host),
+		control:  make(map[string]string),
+		results:  make(map[string]string),
+		boxes:    make(map[string][]BoxInfo),
+		byID:     make(map[uint64]BoxInfo),
+		dead:     make(map[uint64]bool),
+		lastSeen: make(map[uint64]time.Time),
 	}
 }
 
@@ -133,24 +142,45 @@ func (d *Deployment) AddBox(b BoxInfo) {
 	d.byID[b.ID] = b
 }
 
-// Box returns a box by ID.
+// Box returns a box by ID, with LastSeen filled in from the monitor's
+// heartbeat record.
 func (d *Deployment) Box(id uint64) (BoxInfo, bool) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	b, ok := d.byID[id]
+	b.LastSeen = d.lastSeen[id]
 	return b, ok
 }
 
-// Boxes lists every deployed box, ordered by ID.
+// Boxes lists every deployed box, ordered by ID, with LastSeen filled
+// in from the monitor's heartbeat record.
 func (d *Deployment) Boxes() []BoxInfo {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	out := make([]BoxInfo, 0, len(d.byID))
 	for _, b := range d.byID {
+		b.LastSeen = d.lastSeen[b.ID]
 		out = append(out, b)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// MarkSeen records a successful heartbeat from a box (the failure
+// monitor calls it), fixing the gap where a box could be declared dead
+// without any record of when it was last healthy.
+func (d *Deployment) MarkSeen(id uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.lastSeen[id] = time.Now()
+}
+
+// LastSeen returns when the box last answered a heartbeat (zero time if
+// never, or if no monitor is running).
+func (d *Deployment) LastSeen(id uint64) time.Time {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.lastSeen[id]
 }
 
 // MarkDead removes a box from future plans (failure handling, §3.1).
@@ -246,6 +276,7 @@ type TreePlan struct {
 
 // RequestPlan is the master-side view of a request's aggregation trees.
 type RequestPlan struct {
+	// Trees holds one plan per aggregation tree of the request.
 	Trees []TreePlan
 }
 

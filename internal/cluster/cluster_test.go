@@ -189,3 +189,94 @@ func TestMonitorDetectsDeadBox(t *testing.T) {
 		t.Fatal("box should be marked dead in the deployment")
 	}
 }
+
+func TestLastSeenTracking(t *testing.T) {
+	d := twoRackDeployment()
+	// Never heartbeated: zero time, via every accessor.
+	if !d.LastSeen(1 << 32).IsZero() {
+		t.Fatal("fresh box must have zero LastSeen")
+	}
+	if b, _ := d.Box(1 << 32); !b.LastSeen.IsZero() {
+		t.Fatal("Box must report zero LastSeen before any heartbeat")
+	}
+	before := time.Now()
+	d.MarkSeen(1 << 32)
+	after := time.Now()
+	got := d.LastSeen(1 << 32)
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("LastSeen = %v, want within [%v, %v]", got, before, after)
+	}
+	// The getters surface the same timestamp on BoxInfo.
+	if b, ok := d.Box(1 << 32); !ok || !b.LastSeen.Equal(got) {
+		t.Fatalf("Box().LastSeen = %v, want %v", b.LastSeen, got)
+	}
+	for _, b := range d.Boxes() {
+		if b.ID == 1<<32 && !b.LastSeen.Equal(got) {
+			t.Fatalf("Boxes() LastSeen = %v, want %v", b.LastSeen, got)
+		}
+		if b.ID != 1<<32 && !b.LastSeen.IsZero() {
+			t.Fatalf("box %d never heartbeated but LastSeen = %v", b.ID, b.LastSeen)
+		}
+	}
+}
+
+// TestMonitorDetectionLatency pins the failure-detection bound (§3.1):
+// a box that dies is declared dead within misses×interval of its last
+// successful heartbeat, plus one interval of probe-phase slack.
+func TestMonitorDetectionLatency(t *testing.T) {
+	reg := agg.NewRegistry()
+	reg.Register("x", agg.Concat{})
+	box, err := core.Start(core.Config{ID: 1 << 32, Registry: reg, Workers: 1, SchedSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := NewDeployment()
+	d.AddBox(BoxInfo{ID: 1 << 32, Addr: box.Addr(), Switch: "tor:0"})
+
+	const interval = 100 * time.Millisecond
+	const misses = 2
+	failed := make(chan BoxInfo, 1)
+	m := NewMonitor(d, interval, misses, func(b BoxInfo) { failed <- b })
+	m.Start()
+	defer m.Stop()
+
+	// Let a few heartbeats land so LastSeen is being maintained.
+	deadline := time.Now().Add(2 * time.Second)
+	for d.LastSeen(1<<32).IsZero() {
+		if time.Now().After(deadline) {
+			t.Fatal("monitor never recorded a successful heartbeat")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	box.Close()
+	var b BoxInfo
+	select {
+	case b = <-failed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("failure not detected")
+	}
+	detectedAt := time.Now()
+	if b.ID != 1<<32 {
+		t.Fatalf("wrong box failed: %d", b.ID)
+	}
+	// The BoxInfo handed to the failure callback must carry the
+	// last-healthy timestamp (the LastSeen bugfix).
+	info, ok := d.Box(1 << 32)
+	if !ok || info.LastSeen.IsZero() {
+		t.Fatal("declared-dead box must retain its LastSeen timestamp")
+	}
+	latency := detectedAt.Sub(info.LastSeen)
+	// Worst case: the box dies right after an echo, then `misses`
+	// full probe intervals must elapse, and the declaring probe itself
+	// waits up to one interval for its echo.
+	bound := time.Duration(misses)*interval + interval
+	if latency <= 0 {
+		t.Fatalf("detection latency %v not positive", latency)
+	}
+	if latency > bound {
+		t.Fatalf("detection latency %v exceeds bound %v (misses=%d interval=%v)",
+			latency, bound, misses, interval)
+	}
+}

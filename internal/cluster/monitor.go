@@ -117,16 +117,23 @@ func (m *Monitor) probe(ctx context.Context, b BoxInfo) {
 		seq++
 		if m.heartbeat(ctx, conn, replies, seq) {
 			missed = 0
+			m.dep.MarkSeen(b.ID)
 			if dead {
 				dead = false
 				m.dep.MarkAlive(b.ID)
+				obsRevivals.Inc()
 			}
 			continue
 		}
 		missed++
+		obsHBMisses.Inc()
 		if missed >= m.misses && !dead {
 			dead = true
+			if last := m.dep.LastSeen(b.ID); !last.IsZero() {
+				obsDetectMs.Observe(time.Since(last).Milliseconds())
+			}
 			m.dep.MarkDead(b.ID)
+			obsFailures.Inc()
 			if m.onFail != nil {
 				m.onFail(b)
 			}
@@ -137,6 +144,7 @@ func (m *Monitor) probe(ctx context.Context, b BoxInfo) {
 // heartbeat sends one probe and waits up to the probe interval for an
 // echo carrying this (or a newer) sequence number.
 func (m *Monitor) heartbeat(ctx context.Context, conn *transport.Conn, replies <-chan uint64, seq uint64) bool {
+	t0 := time.Now()
 	if err := conn.Send(&wire.Msg{Type: wire.THeartbeat, Seq: seq}); err != nil {
 		return false
 	}
@@ -148,6 +156,7 @@ func (m *Monitor) heartbeat(ctx context.Context, conn *transport.Conn, replies <
 			return false
 		case got := <-replies:
 			if got >= seq {
+				obsHBRTT.Observe(time.Since(t0).Microseconds())
 				return true
 			}
 			// A stale echo from an earlier probe: keep draining.

@@ -1,0 +1,22 @@
+package cluster
+
+import "netagg/internal/obs"
+
+// Registry handles for the failure monitor (DESIGN.md §11). Resolved
+// once at package init.
+var (
+	// obsHBRTT is the round-trip time of successful heartbeat probes in
+	// microseconds (§3.1: the monitor's view of box responsiveness).
+	obsHBRTT = obs.H("cluster.hb_rtt_us")
+	// obsHBMisses counts heartbeat intervals that elapsed without an
+	// echo. Failure is declared after `misses` consecutive ones.
+	obsHBMisses = obs.C("cluster.hb_misses")
+	// obsFailures counts boxes declared dead by the monitor.
+	obsFailures = obs.C("cluster.failures_detected")
+	// obsRevivals counts boxes marked alive again after coming back.
+	obsRevivals = obs.C("cluster.revivals")
+	// obsDetectMs is the failure time-to-detection in milliseconds:
+	// from the box's last successful heartbeat to the moment the
+	// monitor declared it dead. Bounded by misses×interval + interval.
+	obsDetectMs = obs.H("cluster.detect_ms")
+)

@@ -10,6 +10,7 @@ import (
 
 	"netagg/internal/agg"
 	"netagg/internal/netem"
+	"netagg/internal/obs"
 	"netagg/internal/transport"
 	"netagg/internal/wire"
 )
@@ -51,9 +52,10 @@ type Config struct {
 
 // Box is a running agg box.
 type Box struct {
-	cfg   Config
-	srv   *transport.Server
-	sched *Scheduler
+	cfg     Config
+	srv     *transport.Server
+	sched   *Scheduler
+	obsNode string // trace span node label ("box:<id>")
 
 	guard *faultGuard
 
@@ -99,6 +101,12 @@ type boxRequest struct {
 	ends     map[uint64]bool
 	lastSeen time.Time
 	closed   bool
+
+	// firstSeen / frames / bytesIn feed the request's box-hop trace
+	// span and the fan-in / flush-latency histograms (DESIGN.md §11).
+	firstSeen time.Time
+	frames    int
+	bytesIn   int64
 }
 
 // Start launches a box.
@@ -121,9 +129,10 @@ func Start(cfg Config) (*Box, error) {
 	}
 	ctx, cancel := context.WithCancel(parent)
 	b := &Box{
-		cfg:    cfg,
-		ctx:    ctx,
-		cancel: cancel,
+		cfg:     cfg,
+		obsNode: fmt.Sprintf("box:%d", cfg.ID),
+		ctx:     ctx,
+		cancel:  cancel,
 		sched: NewScheduler(SchedulerConfig{
 			Workers:  cfg.Workers,
 			Adaptive: !cfg.FixedWeights,
@@ -241,10 +250,11 @@ func (b *Box) handle(m *wire.Msg) error {
 			return fmt.Errorf("application %q is quarantined", m.App)
 		}
 		req = &boxRequest{
-			key:      key,
-			expected: -1,
-			ends:     make(map[uint64]bool),
-			lastSeen: time.Now(),
+			key:       key,
+			expected:  -1,
+			ends:      make(map[uint64]bool),
+			lastSeen:  time.Now(),
+			firstSeen: time.Now(),
 		}
 		guarded := guardedAggregator{app: m.App, inner: aggregator, guard: b.guard}
 		req.tree = NewLocalTree(b.sched, m.App, guarded, b.cfg.MaxPending, func(result []byte, err error) {
@@ -293,6 +303,10 @@ func (b *Box) handle(m *wire.Msg) error {
 
 	case wire.TData:
 		b.stats.BytesIn += int64(len(m.Payload))
+		req.frames++
+		req.bytesIn += int64(len(m.Payload))
+		obsFramesAgg.Inc()
+		obsBoxBytesIn.Add(int64(len(m.Payload)))
 		tree := req.tree
 		b.mu.Unlock()
 		// Add may block (back-pressure); it must run without b.mu held.
@@ -317,6 +331,7 @@ func (b *Box) maybeCloseInputsLocked(req *boxRequest) {
 
 // finishRequest forwards the aggregated result down the route.
 func (b *Box) finishRequest(req *boxRequest, result []byte, err error) {
+	aggDone := time.Now()
 	b.mu.Lock()
 	route := req.route
 	delete(b.requests, req.key)
@@ -330,6 +345,26 @@ func (b *Box) finishRequest(req *boxRequest, result []byte, err error) {
 	if closed {
 		return
 	}
+	obsBoxRequests.Inc()
+	obsBoxCombines.Add(req.tree.Combines())
+	obsFanIn.Observe(int64(req.frames))
+	obsFlushLatency.Observe(aggDone.Sub(req.firstSeen).Microseconds())
+	if err == nil {
+		obsBoxBytesOut.Add(int64(len(result)))
+	}
+	// The box hop's trace span is recorded after the result has been
+	// forwarded, so End covers the emit (see defer below).
+	defer func() {
+		out := int64(len(result))
+		if err != nil {
+			out = 0
+		}
+		obs.DefaultTracer.Record(req.key.req, req.key.app, obs.Span{
+			Hop: "box", Node: b.obsNode,
+			Start: req.firstSeen.UnixNano(), Agg: aggDone.UnixNano(), End: time.Now().UnixNano(),
+			Parts: req.frames, BytesIn: req.bytesIn, BytesOut: out,
+		})
+	}()
 	if route == nil {
 		b.logf("box %d: request %d completed without a route", b.cfg.ID, req.key.req)
 		return

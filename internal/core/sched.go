@@ -132,6 +132,7 @@ func (s *Scheduler) Submit(app string, t Task) error {
 	}
 	st.push(t)
 	s.queued++
+	obsSchedQueue.Add(1)
 	s.cond.Signal()
 	return nil
 }
@@ -152,6 +153,7 @@ func (s *Scheduler) worker() {
 		st := s.pickLocked()
 		task := st.pop()
 		s.queued--
+		obsSchedQueue.Add(-1)
 		st.started++
 		s.mu.Unlock()
 
@@ -281,6 +283,7 @@ func (s *Scheduler) closeWith(drop bool) {
 			st.queue = nil
 			st.head = 0
 		}
+		obsSchedQueue.Add(int64(-s.queued))
 		s.queued = 0
 	}
 	s.cond.Broadcast()

@@ -90,6 +90,7 @@ type Analyzer interface {
 func All() []Analyzer {
 	return []Analyzer{
 		Determinism{},
+		DocRule{},
 		LockDiscipline{},
 		ErrcheckWire{},
 		GoroutineHygiene{},

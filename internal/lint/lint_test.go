@@ -194,6 +194,7 @@ func TestLockDiscipline(t *testing.T) {
 import "sync"
 type conn struct{ mu sync.Mutex; w writer }
 type writer struct{}
+// Write implements io.Writer.
 func (writer) Write(p []byte) (int, error) { return len(p), nil }
 func (c *conn) send(p []byte) {
 	c.mu.Lock()
@@ -627,5 +628,108 @@ func TestFindingString(t *testing.T) {
 	want := "internal/simnet/x.go:3:7: determinism: m"
 	if f.String() != want {
 		t.Errorf("String() = %q, want %q", f.String(), want)
+	}
+}
+
+func TestDocRule(t *testing.T) {
+	cases := []struct {
+		name string
+		path string
+		src  string
+		want []string
+	}{
+		{
+			name: "undocumented exported decls flagged in scoped package",
+			path: "internal/transport/x.go",
+			src: `package transport
+type Conn struct{}
+func Dial() {}
+func (c *Conn) Send() {}
+var MaxFrame = 1 << 20
+const Version = 3
+`,
+			want: []string{
+				"type Conn", "function Dial", "method Send",
+				"var MaxFrame", "const Version",
+			},
+		},
+		{
+			name: "documented decls and group docs pass",
+			path: "internal/core/x.go",
+			src: `package core
+// Box is an agg box.
+type Box struct{}
+// Start boots the box.
+func Start() {}
+// Wire limits.
+var (
+	MaxFrame = 1 << 20
+	MaxRoute = 16
+)
+`,
+			want: nil,
+		},
+		{
+			name: "exported struct fields and interface methods need docs",
+			path: "internal/obs/x.go",
+			src: `package obs
+// Span is a hop record.
+type Span struct {
+	// Hop names the layer.
+	Hop string
+	Node string
+	internal int
+}
+// Sink receives spans.
+type Sink interface {
+	// Push stores a span.
+	Push(Span)
+	Drain() []Span
+}
+`,
+			want: []string{"field Span.Node", "interface method Sink.Drain"},
+		},
+		{
+			name: "trailing field comments count as docs",
+			path: "internal/cluster/x.go",
+			src: `package cluster
+// Host is a server.
+type Host struct {
+	Name string // Name is the host name.
+}
+`,
+			want: nil,
+		},
+		{
+			name: "unscoped packages and unexported names are ignored",
+			path: "internal/simnet/x.go",
+			src: `package simnet
+type Flow struct{}
+func Run() {}
+`,
+			want: nil,
+		},
+		{
+			name: "test files are exempt",
+			path: "internal/transport/x_test.go",
+			src: `package transport
+func HelperExported() {}
+`,
+			want: nil,
+		},
+		{
+			name: "lint ignore suppresses",
+			path: "internal/transport/x.go",
+			src: `package transport
+//lint:ignore docrule generated shim
+func Generated() {}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			expectMessages(t, runOn(t, tc.path, tc.src, "docrule"), tc.want...)
+		})
 	}
 }

@@ -1,0 +1,39 @@
+package obs
+
+import "testing"
+
+// BenchmarkObsCounter measures the per-event cost of the counter hot
+// path; ReportAllocs enforces the package's 0 allocs/op claim
+// (DESIGN.md §11 quotes these numbers as the instrumentation overhead).
+func BenchmarkObsCounter(b *testing.B) {
+	c := NewRegistry().Counter("bench.count")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkObsHistogram measures Observe: two atomic adds, one bucket
+// add, and the min/max CAS loops.
+func BenchmarkObsHistogram(b *testing.B) {
+	h := NewRegistry().Histogram("bench.lat")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i & 0xFFFF))
+	}
+}
+
+// BenchmarkObsCounterParallel measures contended counters — the shape
+// the transport layer produces with many reader goroutines bumping the
+// same frames_in counter.
+func BenchmarkObsCounterParallel(b *testing.B) {
+	c := NewRegistry().Counter("bench.count")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}

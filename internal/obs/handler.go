@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// HealthFunc supplies component-specific health details merged into the
+// /debug/netagg/health response (box stats, deployment liveness, …).
+// It must be safe for concurrent use. May be nil.
+type HealthFunc func() map[string]interface{}
+
+// processStart anchors the uptime reported by the health endpoint.
+var processStart = time.Now()
+
+// Handler serves the live introspection endpoint:
+//
+//	/debug/netagg/metrics   registry snapshot (JSON; ?format=table for text)
+//	/debug/netagg/traces    recent traces (JSON; ?format=text for TraceLog)
+//	/debug/netagg/health    liveness + HealthFunc details (JSON)
+//	/debug/pprof/...        the standard pprof handlers
+//
+// reg/tr default to Default/DefaultTracer when nil, so
+// Handler(nil, nil, nil) exposes everything the process recorded.
+func Handler(reg *Registry, tr *Tracer, health HealthFunc) http.Handler {
+	if reg == nil {
+		reg = Default
+	}
+	if tr == nil {
+		tr = DefaultTracer
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/netagg/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "table" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = w.Write([]byte(reg.Table().String()))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/netagg/traces", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = w.Write([]byte(tr.TraceLog()))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Active []Trace `json:"active"`
+			Recent []Trace `json:"recent"`
+		}{Active: tr.Active(), Recent: tr.Recent(0)})
+	})
+	mux.HandleFunc("/debug/netagg/health", func(w http.ResponseWriter, r *http.Request) {
+		resp := map[string]interface{}{
+			"status":     "ok",
+			"uptime_s":   time.Since(processStart).Seconds(),
+			"goroutines": runtime.NumGoroutine(),
+		}
+		if health != nil {
+			for k, v := range health() {
+				resp[k] = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(resp)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve mounts h (nil = Handler(nil, nil, nil)) on addr (":0" picks a
+// free port) and serves until ctx is cancelled or the returned stop
+// function runs. It returns the bound address. The stop function drains
+// the server and is idempotent.
+func Serve(ctx context.Context, addr string, h http.Handler) (string, func(), error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if h == nil {
+		h = Handler(nil, nil, nil)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: h}
+	served := make(chan struct{})
+	go func() {
+		_ = srv.Serve(ln)
+		close(served)
+	}()
+	stopCtx, cancel := context.WithCancel(ctx)
+	stopped := make(chan struct{})
+	go func() {
+		<-stopCtx.Done()
+		shCtx, shCancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = srv.Shutdown(shCtx)
+		shCancel()
+		<-served
+		close(stopped)
+	}()
+	stop := func() {
+		cancel()
+		<-stopped
+	}
+	return ln.Addr().String(), stop, nil
+}

@@ -1,0 +1,9 @@
+package obs
+
+import (
+	"testing"
+
+	"netagg/internal/testutil"
+)
+
+func TestMain(m *testing.M) { testutil.LeakCheckMain(m) }

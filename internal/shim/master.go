@@ -10,6 +10,7 @@ import (
 
 	"netagg/internal/cluster"
 	"netagg/internal/netem"
+	"netagg/internal/obs"
 	"netagg/internal/transport"
 	"netagg/internal/wire"
 )
@@ -56,6 +57,8 @@ type Pending struct {
 	workers []string
 	trees   int
 	app     string
+	// submittedAt anchors the request's master trace span.
+	submittedAt time.Time
 
 	mu          sync.Mutex
 	attempt     int
@@ -169,12 +172,13 @@ func (m *Master) Submit(app string, req uint64, workers []string, trees int) (*P
 		return nil, fmt.Errorf("shim: at most 16 trees, got %d", trees)
 	}
 	p := &Pending{
-		c:       make(chan Result, 1),
-		req:     req,
-		app:     app,
-		workers: workers,
-		trees:   trees,
-		partsBy: make(map[srcKey][][]byte),
+		c:           make(chan Result, 1),
+		req:         req,
+		app:         app,
+		workers:     workers,
+		trees:       trees,
+		partsBy:     make(map[srcKey][][]byte),
+		submittedAt: time.Now(),
 	}
 	p.C = p.c
 	m.mu.Lock()
@@ -251,6 +255,7 @@ func (m *Master) redirect(p *Pending) {
 	}
 	attempt := p.attempt + 1
 	p.mu.Unlock()
+	obsRedirectsSent.Inc()
 	if attempt > m.cfg.MaxAttempts {
 		p.fail(fmt.Errorf("shim: request %d failed after %d attempts", p.req, attempt-1))
 		m.remove(p)
@@ -383,7 +388,34 @@ func (m *Master) handle(msg *wire.Msg) {
 	}
 	p.mu.Unlock()
 	if final != nil {
+		m.observeComplete(p, final)
 		p.c <- *final
 		m.remove(p)
+	}
+}
+
+// observeComplete records the request's master-side metrics and trace
+// spans: result size, the completion span of each tree's trace, and —
+// when the worker shims share this process (testbed) — the observed
+// per-job aggregation ratio α (received bytes over shim-sent bytes).
+func (m *Master) observeComplete(p *Pending, res *Result) {
+	now := time.Now().UnixNano()
+	var bytes int64
+	for _, part := range res.Parts {
+		bytes += int64(len(part))
+	}
+	obsResultBytes.Observe(bytes)
+	var sent int64
+	for tree := 0; tree < p.trees; tree++ {
+		wr := cluster.WireReq(p.req, tree, res.Attempts)
+		sent += obs.DefaultTracer.SumBytesOut(wr, "shim.send")
+		obs.DefaultTracer.Finish(wr, p.app, obs.Span{
+			Hop: "master", Node: m.cfg.Host.Name,
+			Start: p.submittedAt.UnixNano(), End: now,
+			Parts: len(res.Parts), BytesIn: bytes,
+		})
+	}
+	if sent > 0 && res.Err == nil {
+		obsAlphaPct.Observe(bytes * 100 / sent)
 	}
 }

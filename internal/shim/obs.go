@@ -1,0 +1,26 @@
+package shim
+
+import "netagg/internal/obs"
+
+// Registry handles for the shim layers (DESIGN.md §11). Resolved once
+// at package init.
+var (
+	// obsRedirectsSent counts recovery attempts the master shim pushed
+	// to worker shims (§3.1 straggler/failure handling).
+	obsRedirectsSent = obs.C("shim.redirects_sent")
+	// obsRedirectsApplied counts redirects worker shims actually
+	// replayed (duplicates and stale attempts are dropped).
+	obsRedirectsApplied = obs.C("shim.redirects_applied")
+	// obsPartialBytes is the size distribution of the partial results
+	// workers hand to their shim (the input side of Fig 16's traffic
+	// reduction).
+	obsPartialBytes = obs.H("shim.partial_bytes")
+	// obsResultBytes is the per-job aggregated result size arriving at
+	// the master (the output side of Fig 16).
+	obsResultBytes = obs.H("shim.result_bytes")
+	// obsAlphaPct is the observed per-job aggregation ratio α as a
+	// percentage: master bytes in over worker-shim bytes out. Only
+	// observable when both shims share the process (the testbed); the
+	// paper treats α as a workload constant (§4.1), this measures it.
+	obsAlphaPct = obs.H("shim.alpha_pct")
+)

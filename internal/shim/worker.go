@@ -14,6 +14,7 @@ import (
 
 	"netagg/internal/cluster"
 	"netagg/internal/netem"
+	"netagg/internal/obs"
 	"netagg/internal/topology"
 	"netagg/internal/transport"
 	"netagg/internal/wire"
@@ -133,6 +134,9 @@ func (w *Worker) SendPartials(app string, req uint64, workerIdx int, master stri
 		app: app, req: req, workerIdx: workerIdx,
 		master: master, parts: parts, trees: trees, sentAt: time.Now(),
 	}
+	for _, part := range parts {
+		obsPartialBytes.Observe(int64(len(part)))
+	}
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
@@ -175,6 +179,8 @@ func (w *Worker) send(b *bufferedSend, attempt int) error {
 			})
 		}
 		seq := uint64(0)
+		var treeBytes int64
+		treeParts := 0
 		for pi, part := range b.parts {
 			if b.trees > 1 && treeOf(b.req, pi, b.trees) != tree {
 				continue
@@ -184,13 +190,21 @@ func (w *Worker) send(b *bufferedSend, attempt int) error {
 				Source: uint64(b.workerIdx), Seq: seq, Payload: part,
 			})
 			seq++
+			treeBytes += int64(len(part))
+			treeParts++
 		}
 		msgs = append(msgs, &wire.Msg{
 			Type: wire.TEnd, App: b.app, Req: wireReq, Source: uint64(b.workerIdx),
 		})
+		start := time.Now()
 		if err := w.pool.Get(target).SendAll(msgs); err != nil {
 			return fmt.Errorf("shim: send tree %d to %s: %w", tree, target, err)
 		}
+		obs.DefaultTracer.Record(wireReq, b.app, obs.Span{
+			Hop: "shim.send", Node: w.cfg.Host.Name,
+			Start: start.UnixNano(), End: time.Now().UnixNano(),
+			Parts: treeParts, BytesOut: treeBytes,
+		})
 	}
 	return nil
 }
@@ -223,6 +237,7 @@ func (w *Worker) control(_ *transport.ServerConn, m *wire.Msg) {
 	}
 	w.mu.Unlock()
 	if ok {
+		obsRedirectsApplied.Inc()
 		// Replan happens inside send: dead boxes are excluded from
 		// chains, and the new attempt id keeps the replayed streams
 		// distinct at every box.

@@ -1,0 +1,162 @@
+package testbed
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"netagg/internal/agg"
+	"netagg/internal/cluster"
+	"netagg/internal/obs"
+)
+
+// TestTraceCompleteness runs one job through a boxed deployment and
+// asserts the request's trace covers every hop exactly once: one
+// shim.send span per worker, one box span per box on the aggregation
+// tree, and one master span (the tentpole's acceptance criterion).
+func TestTraceCompleteness(t *testing.T) {
+	reg := agg.NewRegistry()
+	reg.Register("wc", agg.KVCombiner{Op: agg.OpSum})
+	tb, err := New(Config{Racks: 2, WorkersPerRack: 2, BoxesPerSwitch: 1, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+
+	// A req id no other test uses: the DefaultTracer is process-global.
+	const reqID = 0xABC123
+	workers := tb.WorkerHosts()
+	pending, err := tb.Master.Submit("wc", reqID, workers, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, host := range workers {
+		part := agg.EncodeKVs([]agg.KV{{Key: "k", Val: int64(i + 1)}})
+		if err := tb.Workers[host].SendPartials("wc", reqID, i, MasterHost, [][]byte{part}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case res := <-pending.C:
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("job did not complete")
+	}
+
+	// 2 racks × 1 box/switch: tor:0, tor:1 and agg:0 all sit on some
+	// worker→master path, so all three boxes aggregate.
+	wireReq := cluster.WireReq(reqID, 0, 0)
+	wantBoxes := len(tb.Boxes)
+	wantShims := len(workers)
+
+	// Boxes record their span after the downstream emit completes, so
+	// the master can observe completion first: poll briefly.
+	var tr obs.Trace
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		var ok bool
+		tr, ok = obs.DefaultTracer.Lookup(wireReq)
+		if ok && spanCount(tr, "shim.send") == wantShims &&
+			spanCount(tr, "box") == wantBoxes && spanCount(tr, "master") == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("incomplete trace: shim.send=%d/%d box=%d/%d master=%d/1 (spans: %+v)",
+				spanCount(tr, "shim.send"), wantShims,
+				spanCount(tr, "box"), wantBoxes, spanCount(tr, "master"), tr.Spans)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !tr.Done {
+		t.Fatal("trace must be marked done after the master completed it")
+	}
+
+	// Exactly once per node: no hop double-reports.
+	nodes := map[string]int{}
+	for _, s := range tr.Spans {
+		nodes[s.Hop+"/"+s.Node]++
+	}
+	for key, n := range nodes {
+		if n != 1 {
+			t.Fatalf("hop %s appears %d times, want exactly once (trace: %+v)", key, n, tr.Spans)
+		}
+	}
+	// Every worker shim reported under its own host name.
+	for _, host := range workers {
+		if nodes["shim.send/"+host] != 1 {
+			t.Fatalf("worker %s has no shim.send span: %v", host, nodes)
+		}
+	}
+	// Span invariants: timestamps ordered, box fan-in positive.
+	for _, s := range tr.Spans {
+		if s.End < s.Start {
+			t.Fatalf("span %s/%s ends before it starts: %+v", s.Hop, s.Node, s)
+		}
+		if s.Hop == "box" {
+			if s.Parts <= 0 || s.BytesIn <= 0 {
+				t.Fatalf("box span missing fan-in accounting: %+v", s)
+			}
+			if s.Agg < s.Start || s.Agg > s.End {
+				t.Fatalf("box span Agg outside [Start, End]: %+v", s)
+			}
+		}
+	}
+}
+
+// TestDebugEndpointServes checks the Config.DebugAddr wiring: the
+// endpoint binds, reports the deployment in /health, and shuts down
+// with Close.
+func TestDebugEndpointServes(t *testing.T) {
+	reg := agg.NewRegistry()
+	reg.Register("wc", agg.KVCombiner{Op: agg.OpSum})
+	tb, err := New(Config{
+		Racks: 1, WorkersPerRack: 2, BoxesPerSwitch: 1,
+		Registry: reg, DebugAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := tb.DebugAddr()
+	if addr == "" {
+		tb.Close()
+		t.Fatal("DebugAddr must report the bound address")
+	}
+	resp, err := http.Get("http://" + addr + "/debug/netagg/health")
+	if err != nil {
+		tb.Close()
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var health map[string]interface{}
+	if err := json.Unmarshal(body, &health); err != nil {
+		tb.Close()
+		t.Fatalf("health is not JSON: %v", err)
+	}
+	if health["boxes"] != float64(1) || health["workers"] != float64(2) {
+		tb.Close()
+		t.Fatalf("health = %v", health)
+	}
+
+	tb.Close()
+	// After Close the endpoint must be down.
+	client := &http.Client{Timeout: 500 * time.Millisecond}
+	if _, err := client.Get(fmt.Sprintf("http://%s/debug/netagg/health", addr)); err == nil {
+		t.Fatal("debug endpoint still serving after Close")
+	}
+}
+
+func spanCount(tr obs.Trace, hop string) int {
+	n := 0
+	for _, s := range tr.Spans {
+		if s.Hop == hop {
+			n++
+		}
+	}
+	return n
+}

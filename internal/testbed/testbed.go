@@ -15,6 +15,7 @@ import (
 	"netagg/internal/cluster"
 	"netagg/internal/core"
 	"netagg/internal/netem"
+	"netagg/internal/obs"
 	"netagg/internal/shim"
 	"netagg/internal/topology"
 )
@@ -51,6 +52,11 @@ type Config struct {
 	// passed to every box and shim, so cancelling it tears the transport
 	// layer down everywhere (Close still drains).
 	Context context.Context
+	// DebugAddr, when non-empty, serves the /debug/netagg observability
+	// endpoint (metrics, traces, health — see internal/obs and
+	// OPERATIONS.md) on that address. Use "127.0.0.1:0" to pick a free
+	// port and read it back with DebugAddr().
+	DebugAddr string
 }
 
 // Testbed is a running deployment.
@@ -60,8 +66,10 @@ type Testbed struct {
 	Workers map[string]*shim.Worker
 	Master  *shim.Master
 
-	nics    map[string]*netem.NIC
-	workers []string // worker host names in order
+	nics      map[string]*netem.NIC
+	workers   []string // worker host names in order
+	debugAddr string
+	debugStop func()
 }
 
 // MasterHost is the frontend/master host name.
@@ -169,7 +177,51 @@ func New(cfg Config) (*Testbed, error) {
 		return nil, err
 	}
 	tb.Master = master
+
+	if cfg.DebugAddr != "" {
+		ctx := cfg.Context
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		h := obs.Handler(obs.Default, obs.DefaultTracer, tb.health)
+		addr, stop, err := obs.Serve(ctx, cfg.DebugAddr, h)
+		if err != nil {
+			tb.Close()
+			return nil, fmt.Errorf("testbed: debug endpoint: %w", err)
+		}
+		tb.debugAddr = addr
+		tb.debugStop = stop
+	}
 	return tb, nil
+}
+
+// DebugAddr returns the address the /debug/netagg endpoint listens on
+// ("" when Config.DebugAddr was empty).
+func (tb *Testbed) DebugAddr() string { return tb.debugAddr }
+
+// health summarises deployment liveness for /debug/netagg/health.
+func (tb *Testbed) health() map[string]interface{} {
+	boxes := tb.Dep.Boxes()
+	dead := 0
+	infos := make([]map[string]interface{}, 0, len(boxes))
+	for _, b := range boxes {
+		if tb.Dep.Dead(b.ID) {
+			dead++
+		}
+		info := map[string]interface{}{
+			"id": b.ID, "switch": b.Switch, "dead": tb.Dep.Dead(b.ID),
+		}
+		if !b.LastSeen.IsZero() {
+			info["last_seen"] = b.LastSeen.Format(time.RFC3339Nano)
+		}
+		infos = append(infos, info)
+	}
+	return map[string]interface{}{
+		"boxes":      len(boxes),
+		"boxes_dead": dead,
+		"workers":    len(tb.workers),
+		"box_detail": infos,
+	}
 }
 
 // WorkerHosts lists worker host names in deployment order.
@@ -194,6 +246,10 @@ func (tb *Testbed) BoxStats() core.BoxStats {
 
 // Close tears the deployment down.
 func (tb *Testbed) Close() {
+	if tb.debugStop != nil {
+		tb.debugStop()
+		tb.debugStop = nil
+	}
 	if tb.Master != nil {
 		tb.Master.Close()
 	}

@@ -115,6 +115,8 @@ func (c *Conn) writeLocked(msgs []*wire.Msg) error {
 	for _, m := range msgs {
 		c.stats.framesOut.Add(1)
 		c.stats.bytesOut.Add(int64(len(m.Payload)))
+		obsFramesOut.Inc()
+		obsBytesOut.Add(int64(len(m.Payload)))
 	}
 	return nil
 }
@@ -146,6 +148,7 @@ func (c *Conn) ensureLocked() error {
 	}
 	if !c.nextDial.IsZero() && time.Now().Before(c.nextDial) {
 		c.stats.backoffSkips.Add(1)
+		obsBackoffSkips.Inc()
 		return fmt.Errorf("%w (next dial in %v)", ErrBackingOff,
 			time.Until(c.nextDial).Round(time.Millisecond))
 	}
@@ -162,6 +165,7 @@ func (c *Conn) ensureLocked() error {
 	if err != nil {
 		c.dialFails++
 		c.stats.dialFailures.Add(1)
+		obsDialFailures.Inc()
 		c.nextDial = time.Now().Add(c.opts.Backoff.Delay(c.dialFails))
 		return err
 	}
@@ -173,8 +177,10 @@ func (c *Conn) ensureLocked() error {
 	c.dialFails = 0
 	c.nextDial = time.Time{}
 	c.stats.dials.Add(1)
+	obsDials.Inc()
 	if c.everUp {
 		c.stats.reconnects.Add(1)
+		obsReconnects.Inc()
 	}
 	c.everUp = true
 	if c.opts.OnFrame != nil {
@@ -183,6 +189,7 @@ func (c *Conn) ensureLocked() error {
 	}
 	if c.needReplay && len(c.replay) > 0 {
 		c.stats.replayed.Add(int64(len(c.replay)))
+		obsReplayed.Add(int64(len(c.replay)))
 		if err := c.writeLocked(c.replay); err != nil {
 			c.dropLocked()
 			return err
@@ -223,6 +230,8 @@ func (c *Conn) readLoop(nc net.Conn) {
 		}
 		c.stats.framesIn.Add(1)
 		c.stats.bytesIn.Add(int64(len(m.Payload)))
+		obsFramesIn.Inc()
+		obsBytesIn.Add(int64(len(m.Payload)))
 		c.opts.OnFrame(m)
 	}
 }

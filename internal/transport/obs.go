@@ -1,0 +1,22 @@
+package transport
+
+import "netagg/internal/obs"
+
+// Registry handles for the transport layer. Resolved once at package
+// init so the per-frame path pays only atomic increments; they mirror
+// the per-endpoint Stats counters into the process-wide registry
+// (DESIGN.md §11), which is what the /debug/netagg/metrics endpoint
+// serves.
+var (
+	obsFramesIn     = obs.C("transport.frames_in")
+	obsBytesIn      = obs.C("transport.bytes_in")
+	obsFramesOut    = obs.C("transport.frames_out")
+	obsBytesOut     = obs.C("transport.bytes_out")
+	obsDials        = obs.C("transport.dials")
+	obsDialFailures = obs.C("transport.dial_failures")
+	obsReconnects   = obs.C("transport.reconnects")
+	obsBackoffSkips = obs.C("transport.backoff_skips")
+	obsReplayed     = obs.C("transport.replayed")
+	obsAccepted     = obs.C("transport.accepted")
+	obsActiveConns  = obs.G("transport.active_conns")
+)

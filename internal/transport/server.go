@@ -113,6 +113,8 @@ func (s *Server) acceptLoop() {
 		s.mu.Unlock()
 		s.stats.accepted.Add(1)
 		s.stats.active.Add(1)
+		obsAccepted.Inc()
+		obsActiveConns.Add(1)
 		s.wg.Add(1)
 		go s.serve(conn)
 	}
@@ -127,6 +129,7 @@ func (s *Server) serve(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 		s.stats.active.Add(-1)
+		obsActiveConns.Add(-1)
 	}()
 	sc := &ServerConn{conn: conn, w: wire.NewWriter(conn), srv: s}
 	r := wire.NewReader(conn)
@@ -137,6 +140,8 @@ func (s *Server) serve(conn net.Conn) {
 		}
 		s.stats.framesIn.Add(1)
 		s.stats.bytesIn.Add(int64(len(m.Payload)))
+		obsFramesIn.Inc()
+		obsBytesIn.Add(int64(len(m.Payload)))
 		s.handler(sc, m)
 	}
 }
@@ -166,6 +171,8 @@ func (sc *ServerConn) Reply(m *wire.Msg) error {
 	}
 	sc.srv.stats.framesOut.Add(1)
 	sc.srv.stats.bytesOut.Add(int64(len(m.Payload)))
+	obsFramesOut.Inc()
+	obsBytesOut.Add(int64(len(m.Payload)))
 	return nil
 }
 
