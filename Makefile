@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint vet race verify profile bench-smoke obs-smoke
+.PHONY: build test lint vet race escape fuzz-smoke verify profile bench-smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -12,9 +12,9 @@ test:
 	$(GO) test ./...
 
 # netagg-lint: repo-specific analyzers (determinism, docrule,
-# lockdiscipline, errcheck-wire, goroutine-hygiene). Exit 1 on findings;
-# suppress audited false positives with //lint:ignore <analyzer> <reason>
-# or the .netagg-lint-allow file.
+# lockdiscipline, errcheck-wire, goroutine-hygiene, lockorder, ctxflow,
+# exhaustive). Exit 1 on findings; suppress audited false positives with
+# //lint:ignore <analyzer> <reason> or the .netagg-lint-allow file.
 lint:
 	$(GO) run ./cmd/netagg-lint ./...
 
@@ -24,8 +24,21 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# Hot-path escape gate: every //netagg:hotpath-annotated function must be
+# allocation-free per the compiler's own escape analysis
+# (`go build -gcflags=-m`). See OPERATIONS.md for the annotation contract.
+escape:
+	$(GO) run ./cmd/netagg-lint -escape ./...
+
+# Wire-codec fuzzers, bounded for CI: each target runs its checked-in seed
+# corpus (internal/wire/testdata/fuzz) plus 10s of mutation. Local deep
+# runs: `go test ./internal/wire -fuzz FuzzDecodeFrame -fuzztime=5m`.
+fuzz-smoke:
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime=10s
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzEncodeDecode$$' -fuzztime=10s
+
 # The tier-1 gate: everything CI and pre-commit should run.
-verify: build vet lint race
+verify: build vet lint escape race
 
 # Flamegraph entry point for the next perf PR: profile the full-scale Fig 6
 # regeneration (the allocator-bound path). Inspect with

@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"netagg/internal/profiling"
@@ -51,7 +54,11 @@ func main() {
 	}
 	flag.Parse()
 
-	opts := tbfig.Options{Window: *window, Seed: *seed}
+	// Ctrl-C tears down every testbed endpoint the experiments deploy.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	opts := tbfig.Options{Window: *window, Seed: *seed, Context: ctx}
 	targets := flag.Args()
 	if len(targets) == 0 {
 		targets = order

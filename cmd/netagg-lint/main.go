@@ -12,12 +12,19 @@
 // Usage:
 //
 //	netagg-lint [-json] [-allow file] [-only a,b] [patterns...]
+//	netagg-lint -escape [patterns...]
 //
 // Patterns are package directories relative to the module root; the
 // pattern ./... (the default) walks the whole module. The allowlist
 // defaults to .netagg-lint-allow next to go.mod; each line is the
 // tab-separated key `path<TAB>analyzer<TAB>message` of an audited
 // pre-existing finding (use -json to obtain keys).
+//
+// The -escape mode is the hot-path allocation gate: it collects every
+// function annotated //netagg:hotpath, runs `go build -gcflags=-m` over
+// the same patterns, and fails if the compiler's escape analysis
+// reports a heap allocation inside any annotated function (see
+// internal/lint/escape.go and DESIGN.md §12).
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"go/token"
 	"io/fs"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -45,6 +53,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	allowPath := fl.String("allow", "", "allowlist file (default: .netagg-lint-allow next to go.mod)")
 	only := fl.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := fl.Bool("analyzers", false, "list analyzers and exit")
+	escape := fl.Bool("escape", false, "run the //netagg:hotpath escape-analysis gate instead of the analyzer suite")
 	if err := fl.Parse(args); err != nil {
 		return 2
 	}
@@ -110,6 +119,10 @@ func run(args []string, stdout, stderr *os.File) int {
 		files = append(files, f)
 	}
 
+	if *escape {
+		return runEscape(root, patterns, files, stdout, stderr)
+	}
+
 	findings := lint.Run(files, analyzers)
 
 	ap := *allowPath
@@ -144,6 +157,38 @@ func run(args []string, stdout, stderr *os.File) int {
 	if len(findings) > 0 {
 		return 1
 	}
+	return 0
+}
+
+// runEscape is the -escape mode: the //netagg:hotpath allocation gate.
+// The compiler replays cached diagnostics (Go 1.21+), so repeat runs
+// are warm-cache cheap and need no cache busting.
+func runEscape(root string, patterns []string, files []*lint.File, stdout, stderr *os.File) int {
+	hot := lint.HotFuncs(files)
+	if len(hot) == 0 {
+		fmt.Fprintf(stderr, "netagg-lint: -escape found no //netagg:hotpath annotations in %v\n", patterns)
+		return 2
+	}
+
+	cmd := exec.Command("go", append([]string{"build", "-gcflags=-m"}, patterns...)...)
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		// -gcflags=-m output goes to stderr alongside any real build
+		// error; a failed build means the diagnostics are unusable.
+		fmt.Fprintf(stderr, "netagg-lint: go build -gcflags=-m failed: %v\n%s", err, out)
+		return 2
+	}
+
+	findings := lint.EscapeFindings(hot, lint.ParseEscapeOutput(string(out)))
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "netagg-lint: escape gate: %d allocation(s) in hotpath functions\n", len(findings))
+		return 1
+	}
+	fmt.Fprintf(stderr, "netagg-lint: escape gate: %d hotpath function(s) allocation-free\n", len(hot))
 	return 0
 }
 

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEscapeGateGolden proves the -escape gate end to end against the
+// real compiler: the positive fixture (a //netagg:hotpath function that
+// returns &local) must fail the gate with the exact expected
+// diagnostic, and the negative fixture must pass clean. Each fixture is
+// copied into a throwaway module so `go build -gcflags=-m` reports
+// paths relative to the module root ("hot/hot.go:N:M"), which keeps the
+// golden output machine-independent.
+func TestEscapeGateGolden(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	for _, variant := range []string{"pos", "neg"} {
+		t.Run(variant, func(t *testing.T) {
+			fixture := filepath.Join("testdata", "golden", "escape", variant, "hot", "hot.go")
+			src, err := os.ReadFile(fixture)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Stage a minimal module with the fixture at hot/hot.go.
+			mod := t.TempDir()
+			if err := os.Mkdir(filepath.Join(mod, "hot"), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(mod, "go.mod"), []byte("module escapegolden\n\ngo 1.22\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(mod, "hot", "hot.go"), src, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			fset := token.NewFileSet()
+			f, err := ParseSource(fset, "hot/hot.go", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hot := HotFuncs([]*File{f})
+			if len(hot) == 0 {
+				t.Fatal("fixture has no //netagg:hotpath annotation")
+			}
+
+			cmd := exec.Command("go", "build", "-gcflags=-m", "./...")
+			cmd.Dir = mod
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go build failed: %v\n%s", err, out)
+			}
+
+			findings := EscapeFindings(hot, ParseEscapeOutput(string(out)))
+			var lines []string
+			for _, fd := range findings {
+				lines = append(lines, fd.String())
+			}
+			got := ""
+			if len(lines) > 0 {
+				got = strings.Join(lines, "\n") + "\n"
+			}
+
+			checkGolden(t, filepath.Join("testdata", "golden", "escape", variant, "expected.txt"), got)
+			if variant == "pos" && got == "" {
+				t.Error("deliberate fixture allocation did not fail the gate")
+			}
+			if variant == "neg" && got != "" {
+				t.Errorf("allocation-free fixture failed the gate:\n%s", got)
+			}
+		})
+	}
+}

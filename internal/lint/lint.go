@@ -86,6 +86,29 @@ type Analyzer interface {
 	Check(f *File, report func(pos token.Pos, msg string))
 }
 
+// PackageAnalyzer is the interprocedural extension of Analyzer: Run
+// hands it every file of one package (grouped by directory) in a single
+// call, so it can build call graphs and propagate facts across function
+// boundaries. Check is never called on a PackageAnalyzer; implementers
+// satisfy it with a no-op.
+type PackageAnalyzer interface {
+	Analyzer
+	// CheckPackage inspects one package's files together. report may be
+	// called with positions from any of the files.
+	CheckPackage(files []*File, report func(pos token.Pos, msg string))
+}
+
+// CorpusAnalyzer sees the whole parsed tree at once, for analyses that
+// need cross-package facts (e.g. the wire frame-type constant set while
+// checking a switch in shim). Check is never called on a CorpusAnalyzer;
+// implementers satisfy it with a no-op.
+type CorpusAnalyzer interface {
+	Analyzer
+	// CheckCorpus inspects every parsed file together. report may be
+	// called with positions from any of the files.
+	CheckCorpus(files []*File, report func(pos token.Pos, msg string))
+}
+
 // All returns the full analyzer suite in stable order.
 func All() []Analyzer {
 	return []Analyzer{
@@ -94,6 +117,9 @@ func All() []Analyzer {
 		LockDiscipline{},
 		ErrcheckWire{},
 		GoroutineHygiene{},
+		LockOrder{},
+		CtxFlow{},
+		Exhaustive{},
 	}
 }
 
@@ -182,26 +208,63 @@ func (f *File) suppressed(analyzer string, line int) bool {
 }
 
 // Run applies the analyzers to the files and returns surviving findings
-// sorted by file, line, column, analyzer. //lint:ignore suppressions are
-// applied here; allowlist filtering is the caller's concern.
+// sorted by file, line, column, analyzer. File-scoped analyzers see one
+// file at a time, PackageAnalyzers see each directory's files together,
+// and CorpusAnalyzers see everything at once. //lint:ignore suppressions
+// are applied here; allowlist filtering is the caller's concern.
 func Run(files []*File, analyzers []Analyzer) []Finding {
 	var out []Finding
-	for _, file := range files {
-		for _, a := range analyzers {
-			f, an := file, a // pin for the closure
-			a.Check(f, func(pos token.Pos, msg string) {
-				p := f.Fset.Position(pos)
-				if f.suppressed(an.Name(), p.Line) {
-					return
-				}
-				out = append(out, Finding{
-					Analyzer: an.Name(),
-					File:     f.Path,
-					Line:     p.Line,
-					Col:      p.Column,
-					Message:  msg,
-				})
+
+	// byPath resolves a reported position back to the file it lives in,
+	// so package/corpus analyzers get correct paths and suppression.
+	byPath := make(map[string]*File, len(files))
+	for _, f := range files {
+		byPath[f.Path] = f
+	}
+	reporter := func(fset *token.FileSet, name string) func(pos token.Pos, msg string) {
+		return func(pos token.Pos, msg string) {
+			p := fset.Position(pos)
+			f := byPath[p.Filename]
+			if f != nil && f.suppressed(name, p.Line) {
+				return
+			}
+			out = append(out, Finding{
+				Analyzer: name,
+				File:     p.Filename,
+				Line:     p.Line,
+				Col:      p.Column,
+				Message:  msg,
 			})
+		}
+	}
+
+	// Package groups, keyed by directory, in first-seen order.
+	var dirs []string
+	groups := make(map[string][]*File)
+	for _, f := range files {
+		dir := filepath.Dir(f.Path)
+		if _, ok := groups[dir]; !ok {
+			dirs = append(dirs, dir)
+		}
+		groups[dir] = append(groups[dir], f)
+	}
+
+	for _, a := range analyzers {
+		switch an := a.(type) {
+		case CorpusAnalyzer:
+			if len(files) > 0 {
+				an.CheckCorpus(files, reporter(files[0].Fset, a.Name()))
+			}
+		case PackageAnalyzer:
+			for _, dir := range dirs {
+				pkg := groups[dir]
+				an.CheckPackage(pkg, reporter(pkg[0].Fset, a.Name()))
+			}
+		default:
+			for _, file := range files {
+				f := file // pin for the closure
+				a.Check(f, reporter(f.Fset, a.Name()))
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -356,7 +356,8 @@ func waitReply(mu *sync.Mutex, ch chan int) int {
 	}
 }
 `,
-			want: []string{"blocking select while holding mu"},
+			// ctxflow (v2) also fires here: the select has no escape hatch.
+			want: []string{"select can block forever", "blocking select while holding mu"},
 		},
 	}
 	for _, tc := range cases {

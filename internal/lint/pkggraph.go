@@ -1,0 +1,657 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// This file is the shared interprocedural substrate of the lockorder and
+// ctxflow analyzers: a syntactic per-package model of functions, struct
+// field types, a call-graph approximation, and per-function summaries of
+// lock acquisitions and blocking operations.
+//
+// Resolution is deliberately conservative. A call is an edge only when
+// the callee is identifiable without type checking: a package-level
+// function `foo(...)`, or a method `x.m(...)` / `x.f.m(...)` whose chain
+// of identifiers resolves through the local type environment (receiver,
+// parameters, `x := T{...}` / `x := &T{...}` locals, ranges over typed
+// fields) and declared struct field types. Unresolved calls are simply
+// absent from the graph — the analyzers err towards false negatives,
+// never towards noise.
+
+// pkgSummary is the per-package model.
+type pkgSummary struct {
+	files []*File
+	// funcs maps "Type.Method" (or "Func" for package-level functions)
+	// to its summary.
+	funcs map[string]*funcSummary
+	// fieldTypes maps a struct type name to its fields' resolved type
+	// names: fieldTypes["Box"]["pool"] == "Pool". Map- and slice-typed
+	// fields resolve to their element type (what a range yields).
+	fieldTypes map[string]map[string]string
+	// ctxFields is the set of struct types carrying a context.Context
+	// field — their methods are considered cancellation-aware.
+	ctxFields map[string]bool
+}
+
+// funcSummary is one function's interprocedural summary.
+type funcSummary struct {
+	file *File
+	decl *ast.FuncDecl
+	key  string // "Type.Method" or "Func"
+
+	recvName string // receiver identifier ("" for functions)
+	recvType string // receiver type name ("" for functions)
+
+	ctxParam string // name of the context.Context parameter ("" if none)
+	usesCtx  bool   // body references the context parameter
+
+	acquires []lockAcq  // direct lock acquisitions
+	calls    []callRef  // resolvable same-package calls
+	blocks   []blockOp  // direct blocking operations
+	typeEnv  typeEnv    // identifier -> type name, for the analyzers
+}
+
+// lockAcq is one x.Lock()/x.RLock() site.
+type lockAcq struct {
+	lock string   // normalized name, e.g. "Box.mu"
+	held []string // locks already held at this acquisition
+	pos  token.Pos
+}
+
+// callRef is one resolvable intra-package call site.
+type callRef struct {
+	callee string   // key into pkgSummary.funcs
+	held   []string // locks held at the call
+	pos    token.Pos
+}
+
+// blockKind classifies a blocking operation for ctxflow.
+type blockKind int
+
+const (
+	blockSend    blockKind = iota // naked channel send
+	blockRecv                     // naked channel receive
+	blockSelect                   // select with no default and no ctx.Done case
+	blockSleep                    // time.Sleep
+)
+
+// blockOp is one potentially unbounded blocking site.
+type blockOp struct {
+	kind blockKind
+	pos  token.Pos
+	desc string // expression rendering for the message
+}
+
+// typeEnv maps local identifiers to (package-local) type names.
+type typeEnv map[string]string
+
+// buildPackage summarises one package's files.
+func buildPackage(files []*File) *pkgSummary {
+	p := &pkgSummary{
+		files:      files,
+		funcs:      make(map[string]*funcSummary),
+		fieldTypes: make(map[string]map[string]string),
+		ctxFields:  make(map[string]bool),
+	}
+	for _, f := range files {
+		p.collectTypes(f)
+	}
+	// Two phases: register every function key first, then scan bodies, so
+	// calls to functions declared later (or in another file) resolve.
+	var all []*funcSummary
+	for _, f := range files {
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			fs := p.newSummary(f, fn)
+			p.funcs[fs.key] = fs
+			all = append(all, fs)
+		}
+	}
+	for _, fs := range all {
+		p.scanBody(fs)
+	}
+	return p
+}
+
+// collectTypes records struct field types and context-carrying structs.
+func (p *pkgSummary) collectTypes(f *File) {
+	for _, decl := range f.AST.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				continue
+			}
+			fields := make(map[string]string)
+			for _, fld := range st.Fields.List {
+				tn := typeName(fld.Type)
+				if isCtxType(fld.Type) {
+					p.ctxFields[ts.Name.Name] = true
+				}
+				if tn == "" {
+					continue
+				}
+				for _, name := range fld.Names {
+					fields[name.Name] = tn
+				}
+			}
+			p.fieldTypes[ts.Name.Name] = fields
+		}
+	}
+}
+
+// typeName resolves an in-package type expression to a bare name:
+// `T`, `*T`, `[]T`, `[]*T`, `map[K]T`, `map[K]*T`. Map and slice types
+// resolve to the element type (the interesting name when ranging).
+// Qualified (other-package) and more exotic types yield "".
+func typeName(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.StarExpr:
+		return typeName(v.X)
+	case *ast.ArrayType:
+		return typeName(v.Elt)
+	case *ast.MapType:
+		return typeName(v.Value)
+	}
+	return ""
+}
+
+// isCtxType reports whether the type expression is context.Context.
+func isCtxType(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "context" && sel.Sel.Name == "Context"
+}
+
+// newSummary builds one function's signature-level summary (key,
+// receiver, parameter type bindings); the body is scanned in scanBody
+// once every key is registered.
+func (p *pkgSummary) newSummary(f *File, fn *ast.FuncDecl) *funcSummary {
+	fs := &funcSummary{file: f, decl: fn, typeEnv: make(typeEnv)}
+	if fn.Recv != nil && len(fn.Recv.List) == 1 {
+		fs.recvType = typeName(fn.Recv.List[0].Type)
+		if len(fn.Recv.List[0].Names) == 1 {
+			fs.recvName = fn.Recv.List[0].Names[0].Name
+			if fs.recvType != "" {
+				fs.typeEnv[fs.recvName] = fs.recvType
+			}
+		}
+	}
+	fs.key = fn.Name.Name
+	if fs.recvType != "" {
+		fs.key = fs.recvType + "." + fn.Name.Name
+	}
+	if fn.Type.Params != nil {
+		for _, par := range fn.Type.Params.List {
+			tn := typeName(par.Type)
+			for _, name := range par.Names {
+				if isCtxType(par.Type) && fs.ctxParam == "" && name.Name != "_" {
+					fs.ctxParam = name.Name
+				}
+				if tn != "" {
+					fs.typeEnv[name.Name] = tn
+				}
+			}
+		}
+	}
+	return fs
+}
+
+// scanBody records the function's lock events, calls, and blocking
+// operations (second phase of buildPackage).
+func (p *pkgSummary) scanBody(fs *funcSummary) {
+	sc := &summaryScan{pkg: p, fs: fs}
+	sc.block(fs.decl.Body.List, nil)
+	if fs.ctxParam != "" {
+		ast.Inspect(fs.decl.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == fs.ctxParam {
+				fs.usesCtx = true
+			}
+			return true
+		})
+	}
+}
+
+// resolveType resolves an identifier-rooted selector chain to a type
+// name: `p` -> env; `m.pending` -> fieldTypes[env(m)]["pending"].
+func (p *pkgSummary) resolveType(env typeEnv, e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return env[v.Name]
+	case *ast.ParenExpr:
+		return p.resolveType(env, v.X)
+	case *ast.StarExpr:
+		return p.resolveType(env, v.X)
+	case *ast.SelectorExpr:
+		base := p.resolveType(env, v.X)
+		if base == "" {
+			return ""
+		}
+		return p.fieldTypes[base][v.Sel.Name]
+	case *ast.IndexExpr:
+		return p.resolveType(env, v.X)
+	}
+	return ""
+}
+
+// lockName normalizes a mutex receiver expression: the base identifier
+// is replaced by its resolved type, so `b.mu` inside a Box method and
+// `box.mu` elsewhere both become "Box.mu". Unresolvable bases keep
+// their textual form.
+func (p *pkgSummary) lockName(env typeEnv, e ast.Expr) string {
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		if base := p.resolveType(env, sel.X); base != "" {
+			return base + "." + sel.Sel.Name
+		}
+	}
+	return exprString(e)
+}
+
+// resolveCallee maps a call expression to a same-package function key,
+// or "" when the callee cannot be identified syntactically.
+func (p *pkgSummary) resolveCallee(env typeEnv, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if _, ok := p.funcs[fun.Name]; ok {
+			return fun.Name
+		}
+	case *ast.SelectorExpr:
+		base := p.resolveType(env, fun.X)
+		if base == "" {
+			return ""
+		}
+		key := base + "." + fun.Sel.Name
+		if _, ok := p.funcs[key]; ok {
+			return key
+		}
+	}
+	return ""
+}
+
+// summaryScan walks a function body tracking held locks and the local
+// type environment, recording acquisitions, resolvable calls, and
+// blocking operations into the summary.
+type summaryScan struct {
+	pkg *pkgSummary
+	fs  *funcSummary
+}
+
+// block scans statements sequentially, threading held through
+// straight-line code and copying it into branches (same discipline as
+// lockdiscipline's scanner).
+func (s *summaryScan) block(stmts []ast.Stmt, held []string) []string {
+	for _, stmt := range stmts {
+		held = s.stmt(stmt, held)
+	}
+	return held
+}
+
+func cloneHeld(held []string) []string {
+	return append([]string(nil), held...)
+}
+
+func (s *summaryScan) stmt(stmt ast.Stmt, held []string) []string {
+	switch v := stmt.(type) {
+	case *ast.ExprStmt:
+		if name, kind := s.lockCallName(v.X); kind != 0 {
+			if kind > 0 {
+				s.fs.acquires = append(s.fs.acquires, lockAcq{lock: name, held: cloneHeld(held), pos: v.Pos()})
+				return append(held, name)
+			}
+			return releaseHeld(held, name)
+		}
+		s.expr(v.X, held)
+
+	case *ast.DeferStmt:
+		// defer x.Unlock() keeps the lock to function end: do not release.
+		if _, kind := s.lockCallName(v.Call); kind != 0 {
+			return held
+		}
+
+	case *ast.AssignStmt:
+		for _, rhs := range v.Rhs {
+			s.expr(rhs, held)
+		}
+		// Local type bindings: x := T{...} / x := &T{...}.
+		if len(v.Lhs) == len(v.Rhs) {
+			for i, lhs := range v.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if tn := litTypeName(v.Rhs[i]); tn != "" {
+					s.fs.typeEnv[id.Name] = tn
+				}
+			}
+		}
+
+	case *ast.DeclStmt:
+		// var x T bindings.
+		if gd, ok := v.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || vs.Type == nil {
+					continue
+				}
+				if tn := typeName(vs.Type); tn != "" {
+					for _, name := range vs.Names {
+						s.fs.typeEnv[name.Name] = tn
+					}
+				}
+			}
+		}
+
+	case *ast.ReturnStmt:
+		for _, r := range v.Results {
+			s.expr(r, held)
+		}
+
+	case *ast.SendStmt:
+		s.expr(v.Value, held)
+		s.fs.blocks = append(s.fs.blocks, blockOp{kind: blockSend, pos: v.Pos(), desc: exprString(v.Chan)})
+
+	case *ast.IfStmt:
+		if v.Init != nil {
+			s.stmt(v.Init, held)
+		}
+		s.expr(v.Cond, held)
+		s.block(v.Body.List, cloneHeld(held))
+		if v.Else != nil {
+			s.stmt(v.Else, cloneHeld(held))
+		}
+
+	case *ast.BlockStmt:
+		s.block(v.List, cloneHeld(held))
+
+	case *ast.ForStmt:
+		inner := cloneHeld(held)
+		if v.Init != nil {
+			inner = s.stmt(v.Init, inner)
+		}
+		if v.Cond != nil {
+			s.expr(v.Cond, inner)
+		}
+		s.block(v.Body.List, inner)
+
+	case *ast.RangeStmt:
+		s.expr(v.X, held)
+		// Range value variables inherit the ranged expression's element
+		// type: `for _, p := range m.pending` binds p.
+		if v.Tok == token.DEFINE && v.Value != nil {
+			if id, ok := v.Value.(*ast.Ident); ok {
+				if tn := s.pkg.resolveType(s.fs.typeEnv, v.X); tn != "" {
+					s.fs.typeEnv[id.Name] = tn
+				}
+			}
+		}
+		s.block(v.Body.List, cloneHeld(held))
+
+	case *ast.SwitchStmt:
+		if v.Init != nil {
+			s.stmt(v.Init, held)
+		}
+		if v.Tag != nil {
+			s.expr(v.Tag, held)
+		}
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.block(cc.Body, cloneHeld(held))
+			}
+		}
+
+	case *ast.TypeSwitchStmt:
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.block(cc.Body, cloneHeld(held))
+			}
+		}
+
+	case *ast.SelectStmt:
+		hasDefault := false
+		hasDone := false
+		for _, c := range v.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if cc.Comm == nil {
+				hasDefault = true
+			} else if commIsCtxDone(cc.Comm) || commIsTimeout(cc.Comm) {
+				hasDone = true
+			}
+		}
+		if !hasDefault && !hasDone {
+			s.fs.blocks = append(s.fs.blocks, blockOp{kind: blockSelect, pos: v.Pos(), desc: "select"})
+		}
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				s.block(cc.Body, cloneHeld(held))
+			}
+		}
+
+	case *ast.GoStmt:
+		// The goroutine does not inherit the caller's locks; its body is
+		// scanned with a fresh held set so its own blocking ops and
+		// acquisitions still enter the summary.
+		if fl, ok := v.Call.Fun.(*ast.FuncLit); ok {
+			s.block(fl.Body.List, nil)
+		}
+
+	case *ast.LabeledStmt:
+		return s.stmt(v.Stmt, held)
+	}
+	return held
+}
+
+// expr records blocking receives, calls, and nested function literals
+// inside an expression.
+func (s *summaryScan) expr(e ast.Expr, held []string) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			s.block(v.Body.List, nil)
+			return false
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				s.fs.blocks = append(s.fs.blocks, blockOp{kind: blockRecv, pos: v.Pos(), desc: exprString(v.X)})
+			}
+		case *ast.CallExpr:
+			if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
+				if recv, ok := sel.X.(*ast.Ident); ok && recv.Name == "time" && sel.Sel.Name == "Sleep" {
+					if importName(s.fs.file.AST, "time") == "time" {
+						s.fs.blocks = append(s.fs.blocks, blockOp{kind: blockSleep, pos: v.Pos(), desc: "time.Sleep"})
+					}
+				}
+			}
+			if callee := s.pkg.resolveCallee(s.fs.typeEnv, v); callee != "" {
+				s.fs.calls = append(s.fs.calls, callRef{callee: callee, held: cloneHeld(held), pos: v.Pos()})
+			}
+		}
+		return true
+	})
+}
+
+// lockCallName recognises x.Lock()/x.RLock() (+1) and x.Unlock()/
+// x.RUnlock() (-1), returning the normalized lock name.
+func (s *summaryScan) lockCallName(e ast.Expr) (string, int) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", 0
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", 0
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return s.pkg.lockName(s.fs.typeEnv, sel.X), 1
+	case "Unlock", "RUnlock":
+		return s.pkg.lockName(s.fs.typeEnv, sel.X), -1
+	}
+	return "", 0
+}
+
+// releaseHeld removes the most recent acquisition of name.
+func releaseHeld(held []string, name string) []string {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i] == name {
+			return append(held[:i:i], held[i+1:]...)
+		}
+	}
+	return held
+}
+
+// commRecvExpr extracts the channel expression a select comm statement
+// receives from (nil for sends or non-receive comms).
+func commRecvExpr(comm ast.Stmt) ast.Expr {
+	var recv ast.Expr
+	switch v := comm.(type) {
+	case *ast.ExprStmt:
+		recv = v.X
+	case *ast.AssignStmt:
+		if len(v.Rhs) == 1 {
+			recv = v.Rhs[0]
+		}
+	}
+	ue, ok := recv.(*ast.UnaryExpr)
+	if !ok || ue.Op != token.ARROW {
+		return nil
+	}
+	return ue.X
+}
+
+// commIsCtxDone reports whether a select comm statement receives from a
+// Done() channel (`<-ctx.Done()`, `case <-c.ctx.Done():`).
+func commIsCtxDone(comm ast.Stmt) bool {
+	call, ok := commRecvExpr(comm).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Done"
+}
+
+// commIsTimeout reports whether a select comm statement receives from a
+// timer: `<-time.After(...)`, `<-ticker.C`, `<-timer.C`. A timer case
+// bounds the select just as ctx.Done does.
+func commIsTimeout(comm ast.Stmt) bool {
+	switch ch := commRecvExpr(comm).(type) {
+	case *ast.CallExpr:
+		if sel, ok := ch.Fun.(*ast.SelectorExpr); ok {
+			return sel.Sel.Name == "After" || sel.Sel.Name == "Tick"
+		}
+	case *ast.SelectorExpr:
+		return ch.Sel.Name == "C"
+	}
+	return false
+}
+
+// litTypeName resolves `T{...}` / `&T{...}` composite literals to T.
+func litTypeName(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			return litTypeName(v.X)
+		}
+	case *ast.CompositeLit:
+		if id, ok := v.Type.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}
+
+// transitiveAcquires computes, for every function, the set of locks it
+// may acquire directly or through resolvable calls (fixed point over the
+// call graph; cycles converge because sets only grow).
+func (p *pkgSummary) transitiveAcquires() map[string]map[string]bool {
+	acq := make(map[string]map[string]bool, len(p.funcs))
+	for key, fs := range p.funcs {
+		set := make(map[string]bool)
+		for _, a := range fs.acquires {
+			set[a.lock] = true
+		}
+		acq[key] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for key, fs := range p.funcs {
+			set := acq[key]
+			for _, c := range fs.calls {
+				for lock := range acq[c.callee] {
+					if !set[lock] {
+						set[lock] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return acq
+}
+
+// transitiveBlocking computes the set of functions that may block
+// (directly or through resolvable calls) without consulting a context:
+// naked sends/receives, done-less selects, sleeps.
+func (p *pkgSummary) transitiveBlocking() map[string]bool {
+	blocking := make(map[string]bool, len(p.funcs))
+	for key, fs := range p.funcs {
+		if len(fs.blocks) > 0 {
+			blocking[key] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for key, fs := range p.funcs {
+			if blocking[key] {
+				continue
+			}
+			for _, c := range fs.calls {
+				if blocking[c.callee] {
+					blocking[key] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return blocking
+}
+
+// directive scans the package's comments for `//netagg:<name> <rest>`
+// lines and returns each rest string.
+func (p *pkgSummary) directives(name string) []string {
+	var out []string
+	prefix := "netagg:" + name
+	for _, f := range p.files {
+		for _, cg := range f.AST.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if strings.HasPrefix(text, prefix) {
+					out = append(out, strings.TrimSpace(strings.TrimPrefix(text, prefix)))
+				}
+			}
+		}
+	}
+	return out
+}

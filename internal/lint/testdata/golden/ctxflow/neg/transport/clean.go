@@ -1,0 +1,38 @@
+// Negative ctxflow fixture: the nil-parameter fallback idiom, selects
+// with a ctx.Done or timer escape hatch, and a consulted context.
+package transport
+
+import (
+	"context"
+	"time"
+)
+
+type Conn struct {
+	ctx context.Context
+	in  chan []byte
+}
+
+func dial(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
+}
+
+func deliver(ctx context.Context, out chan []byte, b []byte) {
+	select {
+	case out <- b:
+	case <-ctx.Done():
+	}
+}
+
+func (c *Conn) next() []byte {
+	select {
+	case b := <-c.in:
+		return b
+	case <-c.ctx.Done():
+		return nil
+	case <-time.After(time.Second):
+		return nil
+	}
+}

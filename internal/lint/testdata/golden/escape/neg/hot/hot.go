@@ -1,0 +1,12 @@
+// Negative escape fixture: the annotated function is allocation-free,
+// so the gate passes.
+package hot
+
+var sink int64
+
+// Add is annotated hot and clean.
+//
+//netagg:hotpath
+func Add(n int64) {
+	sink += n
+}

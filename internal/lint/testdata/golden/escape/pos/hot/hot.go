@@ -1,0 +1,12 @@
+// Positive escape fixture: the annotated function returns a pointer to
+// a local, which the compiler must move to the heap — exactly the
+// regression the //netagg:hotpath gate exists to catch.
+package hot
+
+// Leak is annotated hot but allocates.
+//
+//netagg:hotpath
+func Leak(n int) *int {
+	x := n
+	return &x
+}

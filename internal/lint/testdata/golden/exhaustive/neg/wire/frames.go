@@ -1,0 +1,51 @@
+// Negative exhaustive fixture: full member coverage, a loud default,
+// and a bitmask block (excluded from enum collection by the 1<<iota
+// rule — switching on a combination is legitimate).
+package wire
+
+import "fmt"
+
+// Kind identifies a frame in this fixture's miniature protocol.
+type Kind uint8
+
+const (
+	KHello Kind = iota + 1
+	KData
+)
+
+// Flag is a capability bitmask, not an enum.
+type Flag uint8
+
+const (
+	FCompress Flag = 1 << iota
+	FEncrypt
+)
+
+func name(k Kind) string {
+	switch k {
+	case KHello:
+		return "hello"
+	case KData:
+		return "data"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+func route(k Kind) int {
+	switch k {
+	case KHello:
+		return 0
+	case KData:
+		return 1
+	}
+	return 2
+}
+
+func compressed(f Flag) bool {
+	switch f {
+	case FCompress:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+// Positive exhaustive fixture, switch half: matches the wire.Kind enum
+// declared in the sibling wire fixture but lists only two of its four
+// members, with no default.
+package shim
+
+import "netagg/internal/wire"
+
+func handle(k wire.Kind) int {
+	switch k {
+	case wire.KHello:
+		return 0
+	case wire.KData:
+		return 1
+	}
+	return 2
+}

@@ -1,0 +1,25 @@
+// Positive exhaustive fixture, constants half: a typed frame-kind enum
+// plus a switch whose default silently swallows the members it does not
+// list. The cross-package switch lives in the shim half.
+package wire
+
+// Kind identifies a frame in this fixture's miniature protocol.
+type Kind uint8
+
+const (
+	KHello Kind = iota + 1
+	KData
+	KEnd
+	KError
+)
+
+func route(k Kind) int {
+	switch k {
+	case KHello:
+		return 0
+	case KData:
+		return 1
+	default:
+	}
+	return 2
+}

@@ -1,0 +1,33 @@
+// Negative lockorder fixture: both paths that hold the two locks
+// together take them in the same canonical order (Pool.mu before
+// Tree.mu), so the ordering graph is acyclic and nothing is reported.
+package core
+
+import "sync"
+
+type Pool struct {
+	mu   sync.Mutex
+	tree *Tree
+}
+
+type Tree struct {
+	mu sync.Mutex
+}
+
+func (p *Pool) drain() {
+	p.mu.Lock()
+	p.tree.mu.Lock()
+	p.tree.mu.Unlock()
+	p.mu.Unlock()
+}
+
+func (p *Pool) rebalance() {
+	p.mu.Lock()
+	p.tree.grow()
+	p.mu.Unlock()
+}
+
+func (t *Tree) grow() {
+	t.mu.Lock()
+	t.mu.Unlock()
+}

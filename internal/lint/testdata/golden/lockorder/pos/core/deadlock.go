@@ -1,0 +1,36 @@
+// Positive lockorder fixture: Pool.mu and Tree.mu are taken in both
+// orders — drain() holds Pool.mu while reaching into Tree.mu, flush()
+// holds Tree.mu while calling back into a Pool method that locks
+// Pool.mu. Two goroutines running drain and flush concurrently can
+// deadlock; the analyzer must report both edges of the cycle.
+package core
+
+import "sync"
+
+type Pool struct {
+	mu   sync.Mutex
+	tree *Tree
+}
+
+type Tree struct {
+	mu   sync.Mutex
+	pool *Pool
+}
+
+func (p *Pool) drain() {
+	p.mu.Lock()
+	p.tree.mu.Lock()
+	p.tree.mu.Unlock()
+	p.mu.Unlock()
+}
+
+func (t *Tree) flush() {
+	t.mu.Lock()
+	t.pool.wake()
+	t.mu.Unlock()
+}
+
+func (p *Pool) wake() {
+	p.mu.Lock()
+	p.mu.Unlock()
+}

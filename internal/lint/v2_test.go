@@ -1,0 +1,569 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"testing"
+)
+
+// runMulti parses several fixtures into one corpus and returns the named
+// analyzer's findings (multi-file cases: package-scoped call graphs,
+// cross-package enum switches).
+func runMulti(t *testing.T, files map[string]string, name string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	var parsed []*File
+	// Stable order: findings sort by file anyway, but parse order decides
+	// package grouping order.
+	for _, path := range sortedKeys(files) {
+		f, err := ParseSource(fset, path, []byte(files[path]))
+		if err != nil {
+			t.Fatalf("parse fixture %s: %v", path, err)
+		}
+		parsed = append(parsed, f)
+	}
+	var analyzers []Analyzer
+	for _, a := range All() {
+		if a.Name() == name {
+			analyzers = append(analyzers, a)
+		}
+	}
+	return Run(parsed, analyzers)
+}
+
+func sortedKeys(m map[string]string) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := range out {
+		for j := i + 1; j < len(out); j++ {
+			if out[j] < out[i] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+func TestLockOrderDirectCycle(t *testing.T) {
+	got := runOn(t, "internal/core/x.go", `package core
+import "sync"
+type A struct {
+	mu sync.Mutex
+	b  *B
+}
+type B struct {
+	mu sync.Mutex
+	a  *A
+}
+func (a *A) one() {
+	a.mu.Lock()
+	a.b.mu.Lock()
+	a.b.mu.Unlock()
+	a.mu.Unlock()
+}
+func (b *B) two() {
+	b.mu.Lock()
+	b.a.mu.Lock()
+	b.a.mu.Unlock()
+	b.mu.Unlock()
+}
+`, "lockorder")
+	expectMessages(t, got,
+		"lock order cycle: B.mu acquired while holding A.mu",
+		"lock order cycle: A.mu acquired while holding B.mu")
+}
+
+func TestLockOrderInterprocedural(t *testing.T) {
+	// Neither function acquires both locks directly: the cycle only
+	// exists across the call graph.
+	got := runOn(t, "internal/shim/x.go", `package shim
+import "sync"
+type A struct {
+	mu sync.Mutex
+	b  *B
+}
+type B struct {
+	mu sync.Mutex
+	a  *A
+}
+func (a *A) outer() {
+	a.mu.Lock()
+	a.b.poke()
+	a.mu.Unlock()
+}
+func (b *B) poke() {
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+func (b *B) rev() {
+	b.mu.Lock()
+	b.a.grab()
+	b.mu.Unlock()
+}
+func (a *A) grab() {
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+`, "lockorder")
+	expectMessages(t, got,
+		"lock order cycle: B.mu acquired while holding A.mu",
+		"lock order cycle: A.mu acquired while holding B.mu")
+}
+
+func TestLockOrderAcyclicClean(t *testing.T) {
+	got := runOn(t, "internal/core/x.go", `package core
+import "sync"
+type A struct {
+	mu sync.Mutex
+	b  *B
+}
+type B struct{ mu sync.Mutex }
+func (a *A) one() {
+	a.mu.Lock()
+	a.b.mu.Lock()
+	a.b.mu.Unlock()
+	a.mu.Unlock()
+}
+func (a *A) alsoOne() {
+	a.mu.Lock()
+	a.b.mu.Lock()
+	a.b.mu.Unlock()
+	a.mu.Unlock()
+}
+`, "lockorder")
+	expectMessages(t, got)
+}
+
+func TestLockOrderAllowDirective(t *testing.T) {
+	got := runOn(t, "internal/core/x.go", `package core
+import "sync"
+type A struct {
+	mu sync.Mutex
+	b  *B
+}
+type B struct {
+	mu sync.Mutex
+	a  *A
+}
+// The B->A order only runs during shutdown, when no A->B path is live.
+//netagg:lockorder-allow B.mu A.mu shutdown-only path, A->B never concurrent
+func (a *A) one() {
+	a.mu.Lock()
+	a.b.mu.Lock()
+	a.b.mu.Unlock()
+	a.mu.Unlock()
+}
+func (b *B) two() {
+	b.mu.Lock()
+	b.a.mu.Lock()
+	b.a.mu.Unlock()
+	b.mu.Unlock()
+}
+`, "lockorder")
+	expectMessages(t, got)
+}
+
+func TestLockOrderOutOfScopePackage(t *testing.T) {
+	got := runOn(t, "internal/simnet/x.go", `package simnet
+import "sync"
+type A struct {
+	mu sync.Mutex
+	b  *B
+}
+type B struct {
+	mu sync.Mutex
+	a  *A
+}
+func (a *A) one() { a.mu.Lock(); a.b.mu.Lock(); a.b.mu.Unlock(); a.mu.Unlock() }
+func (b *B) two() { b.mu.Lock(); b.a.mu.Lock(); b.a.mu.Unlock(); b.mu.Unlock() }
+`, "lockorder")
+	expectMessages(t, got)
+}
+
+func TestCtxFlowBackground(t *testing.T) {
+	got := runOn(t, "internal/search/x.go", `package search
+import "context"
+func start() context.Context { return context.Background() }
+func todo() context.Context { return context.TODO() }
+`, "ctxflow")
+	expectMessages(t, got,
+		"context.Background() severs the cancellation chain",
+		"context.TODO() severs the cancellation chain")
+}
+
+func TestCtxFlowNilFallbackIdiom(t *testing.T) {
+	got := runOn(t, "internal/search/x.go", `package search
+import "context"
+func start(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
+}
+`, "ctxflow")
+	expectMessages(t, got)
+}
+
+func TestCtxFlowBackgroundAllowedInMain(t *testing.T) {
+	got := runOn(t, "cmd/aggbox/x.go", `package main
+import "context"
+func run() context.Context { return context.Background() }
+`, "ctxflow")
+	expectMessages(t, got)
+}
+
+func TestCtxFlowNakedSendWithCtx(t *testing.T) {
+	got := runOn(t, "internal/transport/x.go", `package transport
+import "context"
+func push(ctx context.Context, c chan int) {
+	<-ctx.Done()
+	c <- 1
+}
+`, "ctxflow")
+	expectMessages(t, got, "channel send on c cannot be cancelled")
+}
+
+func TestCtxFlowNakedSendWithoutCtxNotFlagged(t *testing.T) {
+	got := runOn(t, "internal/transport/x.go", `package transport
+func push(c chan int) { c <- 1 }
+`, "ctxflow")
+	expectMessages(t, got)
+}
+
+func TestCtxFlowRecvViaReceiverCtxField(t *testing.T) {
+	got := runOn(t, "internal/transport/x.go", `package transport
+import "context"
+type Conn struct {
+	ctx context.Context
+	in  chan int
+}
+func (c *Conn) next() int { return <-c.in }
+`, "ctxflow")
+	expectMessages(t, got, "channel receive from c.in cannot be cancelled")
+}
+
+func TestCtxFlowSelectNeedsEscapeHatch(t *testing.T) {
+	got := runOn(t, "internal/core/x.go", `package core
+func wait(a, b chan int) {
+	select {
+	case <-a:
+	case <-b:
+	}
+}
+`, "ctxflow")
+	expectMessages(t, got, "select can block forever")
+}
+
+func TestCtxFlowSelectWithDoneOrTimerOK(t *testing.T) {
+	got := runOn(t, "internal/core/x.go", `package core
+import (
+	"context"
+	"time"
+)
+func wait(ctx context.Context, a chan int) {
+	select {
+	case <-a:
+	case <-ctx.Done():
+	}
+}
+func waitBounded(a chan int) {
+	select {
+	case <-a:
+	case <-time.After(time.Second):
+	}
+}
+func poll(a chan int) {
+	select {
+	case <-a:
+	default:
+	}
+}
+`, "ctxflow")
+	expectMessages(t, got)
+}
+
+func TestCtxFlowSleepAndBackoffExemption(t *testing.T) {
+	got := runOn(t, "internal/cluster/x.go", `package cluster
+import (
+	"context"
+	"time"
+)
+func probe(ctx context.Context) {
+	_ = ctx
+	time.Sleep(time.Second)
+}
+func retryBackoff(ctx context.Context) {
+	_ = ctx
+	time.Sleep(time.Second)
+}
+`, "ctxflow")
+	expectMessages(t, got, "time.Sleep ignores cancellation")
+}
+
+func TestCtxFlowDroppedCtxParam(t *testing.T) {
+	got := runOn(t, "internal/shim/x.go", `package shim
+import "context"
+func deliver(ctx context.Context, c chan int) {
+	c <- 1
+}
+`, "ctxflow")
+	// Both the unconsulted blocking send and the dropped parameter fire.
+	expectMessages(t, got,
+		`context parameter "ctx" is dropped`,
+		"channel send on c cannot be cancelled")
+}
+
+func TestExhaustiveMissingMembers(t *testing.T) {
+	got := runMulti(t, map[string]string{
+		"internal/wire/w.go": `package wire
+type Kind uint8
+const (
+	K1 Kind = iota
+	K2
+	K3
+)
+`,
+		"internal/shim/s.go": `package shim
+import "netagg/internal/wire"
+func handle(k wire.Kind) {
+	switch k {
+	case wire.K1:
+	}
+}
+`,
+	}, "exhaustive")
+	expectMessages(t, got, "switch on wire.Kind is not exhaustive: missing K2, K3")
+}
+
+func TestExhaustiveSilentDefault(t *testing.T) {
+	got := runMulti(t, map[string]string{
+		"internal/wire/w.go": `package wire
+type Kind uint8
+const (
+	K1 Kind = iota
+	K2
+)
+func handle(k Kind) {
+	switch k {
+	case K1:
+	default:
+		return
+	}
+}
+`,
+	}, "exhaustive")
+	expectMessages(t, got, "silent default in switch over wire.Kind drops K2")
+}
+
+func TestExhaustiveLoudDefaultOK(t *testing.T) {
+	got := runMulti(t, map[string]string{
+		"internal/wire/w.go": `package wire
+import "fmt"
+type Kind uint8
+const (
+	K1 Kind = iota
+	K2
+)
+func name(k Kind) string {
+	switch k {
+	case K1:
+		return "one"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+func handle(k Kind) error {
+	switch k {
+	case K1:
+	default:
+		panic("unhandled kind")
+	}
+	return nil
+}
+`,
+	}, "exhaustive")
+	expectMessages(t, got)
+}
+
+func TestExhaustiveFullCoverageOK(t *testing.T) {
+	got := runMulti(t, map[string]string{
+		"internal/wire/w.go": `package wire
+type Kind uint8
+const (
+	K1 Kind = iota
+	K2
+)
+func handle(k Kind) {
+	switch k {
+	case K1:
+	case K2:
+	}
+}
+`,
+	}, "exhaustive")
+	expectMessages(t, got)
+}
+
+func TestExhaustiveBitmaskExcluded(t *testing.T) {
+	got := runMulti(t, map[string]string{
+		"internal/wire/w.go": `package wire
+type Flag uint8
+const (
+	F1 Flag = 1 << iota
+	F2
+	F3
+)
+func handle(f Flag) {
+	switch f {
+	case F1:
+	}
+}
+`,
+	}, "exhaustive")
+	expectMessages(t, got)
+}
+
+func TestExhaustiveTypeSwitchSilentDefault(t *testing.T) {
+	got := runMulti(t, map[string]string{
+		"internal/core/c.go": `package core
+func dispatch(v interface{}) {
+	switch v.(type) {
+	case int:
+	default:
+	}
+}
+`,
+	}, "exhaustive")
+	expectMessages(t, got, "silent default in type switch")
+}
+
+func TestExhaustiveSuppression(t *testing.T) {
+	got := runMulti(t, map[string]string{
+		"internal/wire/w.go": `package wire
+type Kind uint8
+const (
+	K1 Kind = iota
+	K2
+)
+func handle(k Kind) {
+	//lint:ignore exhaustive K2 handled by the caller's pre-filter
+	switch k {
+	case K1:
+	}
+}
+`,
+	}, "exhaustive")
+	expectMessages(t, got)
+}
+
+func TestHotFuncCollection(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := ParseSource(fset, "internal/obs/x.go", []byte(`package obs
+
+// Add is allocation-free.
+//
+//netagg:hotpath
+func (c *Counter) Add(n int64) {
+	c.v.Add(n)
+}
+
+type Counter struct{ v fakeAtomic }
+type fakeAtomic struct{}
+func (fakeAtomic) Add(int64) {}
+
+// cold has no annotation.
+func cold() {}
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := HotFuncs([]*File{f})
+	if len(hot) != 1 {
+		t.Fatalf("got %d hot funcs, want 1: %+v", len(hot), hot)
+	}
+	h := hot[0]
+	if h.Name != "Counter.Add" || h.File != "internal/obs/x.go" || h.Start != 6 || h.End != 8 {
+		t.Fatalf("unexpected hot func: %+v", h)
+	}
+}
+
+func TestParseEscapeOutput(t *testing.T) {
+	out := `# netagg/internal/wire
+internal/wire/wire.go:127:6: moved to heap: lenb
+internal/wire/wire.go:116:21: m.App escapes to heap
+internal/wire/wire.go:119:14: (*Writer).Write ignoring self-assignment
+internal/wire/wire.go:131:20: make([]byte, n) does not escape
+internal/wire/wire.go:106:16: leaking param: w
+garbage line
+`
+	diags := ParseEscapeOutput(out)
+	if len(diags) != 2 {
+		t.Fatalf("got %d diags, want 2: %+v", len(diags), diags)
+	}
+	if diags[0].Line != 127 || diags[0].Msg != "moved to heap: lenb" || diags[0].Col != 6 {
+		t.Fatalf("diag 0: %+v", diags[0])
+	}
+	if diags[1].Line != 116 || diags[1].Msg != "m.App escapes to heap" {
+		t.Fatalf("diag 1: %+v", diags[1])
+	}
+}
+
+func TestEscapeFindingsRangeMatch(t *testing.T) {
+	hot := []HotFunc{{File: "internal/wire/wire.go", Name: "Writer.Write", Start: 110, End: 140}}
+	diags := []EscapeDiag{
+		{File: "internal/wire/wire.go", Line: 127, Col: 6, Msg: "moved to heap: lenb"},
+		{File: "internal/wire/wire.go", Line: 200, Msg: "moved to heap: elsewhere"},
+		{File: "internal/wire/other.go", Line: 120, Msg: "moved to heap: otherfile"},
+	}
+	got := EscapeFindings(hot, diags)
+	if len(got) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(got), got)
+	}
+	want := "internal/wire/wire.go:127:6: escape: hotpath function Writer.Write allocates: moved to heap: lenb"
+	if got[0].String() != want {
+		t.Fatalf("finding = %q, want %q", got[0].String(), want)
+	}
+}
+
+func TestPackageAnalyzerGroupsByDir(t *testing.T) {
+	// Two files in the same directory must be analyzed as one package:
+	// the cycle spans the two files.
+	got := runMulti(t, map[string]string{
+		"internal/core/a.go": `package core
+import "sync"
+type A struct {
+	mu sync.Mutex
+	b  *B
+}
+func (a *A) one() { a.mu.Lock(); a.b.mu.Lock(); a.b.mu.Unlock(); a.mu.Unlock() }
+`,
+		"internal/core/b.go": `package core
+import "sync"
+type B struct {
+	mu sync.Mutex
+	a  *A
+}
+func (b *B) two() { b.mu.Lock(); b.a.mu.Lock(); b.a.mu.Unlock(); b.mu.Unlock() }
+`,
+	}, "lockorder")
+	if len(got) != 2 {
+		t.Fatalf("got %d findings, want 2 (cycle across files): %v", len(got), got)
+	}
+	for _, f := range got {
+		if f.File != "internal/core/a.go" && f.File != "internal/core/b.go" {
+			t.Fatalf("finding attributed to wrong file: %v", f)
+		}
+	}
+}
+
+func TestFindingKeyStability(t *testing.T) {
+	f := Finding{Analyzer: "lockorder", File: "internal/core/x.go", Line: 3, Col: 2, Message: "m"}
+	if f.Key() != "internal/core/x.go\tlockorder\tm" {
+		t.Fatalf("key = %q", f.Key())
+	}
+	if f.String() != fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message) {
+		t.Fatalf("string = %q", f.String())
+	}
+}

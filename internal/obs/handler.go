@@ -107,6 +107,10 @@ func Serve(ctx context.Context, addr string, h http.Handler) (string, func(), er
 	stopped := make(chan struct{})
 	go func() {
 		<-stopCtx.Done()
+		// The graceful-shutdown deadline must not derive from the parent
+		// context: it only runs after that context is already cancelled,
+		// and deriving from it would abort the drain immediately.
+		//lint:ignore ctxflow shutdown grace period starts after the parent ctx is cancelled; deriving from it would skip the drain
 		shCtx, shCancel := context.WithTimeout(context.Background(), 2*time.Second)
 		_ = srv.Shutdown(shCtx)
 		shCancel()

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 
 	"netagg/internal/agg"
@@ -27,6 +28,10 @@ type DeployConfig struct {
 	// Hosts optionally restricts backends to these testbed worker hosts
 	// (default: all).
 	Hosts []string
+	// Context optionally bounds the deployment's lifetime; it is passed
+	// to every backend and the frontend (usually the same context the
+	// testbed was built with).
+	Context context.Context
 }
 
 // Cluster is a running search deployment.
@@ -72,6 +77,7 @@ func Deploy(tb *testbed.Testbed, cfg DeployConfig) (*Cluster, error) {
 			NIC:        tb.NIC(host),
 			Categorise: cfg.Categorise,
 			ChunkDocs:  cfg.ChunkDocs,
+			Context:    cfg.Context,
 		})
 		if err != nil {
 			c.Close()
@@ -87,6 +93,7 @@ func Deploy(tb *testbed.Testbed, cfg DeployConfig) (*Cluster, error) {
 		Aggregator: cfg.Aggregator,
 		Trees:      cfg.Trees,
 		NIC:        tb.NIC(testbed.MasterHost),
+		Context:    cfg.Context,
 	})
 	return c, nil
 }

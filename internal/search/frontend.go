@@ -32,6 +32,10 @@ type FrontendConfig struct {
 	NIC *netem.NIC
 	// Timeout bounds one query (default 30s).
 	Timeout time.Duration
+	// Context optionally bounds the frontend's lifetime: cancelling it
+	// tears the backend connection pool down. nil means the frontend
+	// lives until Close.
+	Context context.Context
 }
 
 // BackendRef names one backend.
@@ -56,8 +60,12 @@ func NewFrontend(cfg FrontendConfig) *Frontend {
 	if cfg.Trees < 1 {
 		cfg.Trees = 1
 	}
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	f := &Frontend{cfg: cfg}
-	f.pool = transport.NewPool(context.Background(), transport.Options{NIC: cfg.NIC})
+	f.pool = transport.NewPool(ctx, transport.Options{NIC: cfg.NIC})
 	return f
 }
 

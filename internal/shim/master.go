@@ -372,7 +372,11 @@ func (m *Master) handle(msg *wire.Msg) {
 	case wire.TError:
 		final = &Result{Err: fmt.Errorf("shim: aggregation failed: %s", msg.Payload), Attempts: p.attempt}
 	default:
+		// A frame type this switch does not know must not vanish silently:
+		// it means protocol skew between shim and box, which should be
+		// diagnosable from the log.
 		p.mu.Unlock()
+		log.Printf("shim: master dropping unhandled frame type %v for request %d", msg.Type, msg.Req)
 		return
 	}
 	if complete {

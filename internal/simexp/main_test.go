@@ -1,0 +1,12 @@
+package simexp
+
+import (
+	"testing"
+
+	"netagg/internal/testutil"
+)
+
+// TestMain gates the suite on goroutine quiescence: every worker pool,
+// testbed endpoint, and connection reader started by these tests must
+// be gone once the suite finishes (see internal/testutil).
+func TestMain(m *testing.M) { testutil.LeakCheckMain(m) }

@@ -1,7 +1,6 @@
 package tbfig
 
 import (
-	"context"
 	"fmt"
 	"time"
 
@@ -56,6 +55,7 @@ func broadcastOnce(o Options, boxes bool, size int) time.Duration {
 		Scale:          o.scale(),
 		Registry:       reg,
 		Seed:           1,
+		Context:        o.Context,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("tbfig: %v", err))
@@ -66,7 +66,7 @@ func broadcastOnce(o Options, boxes bool, size int) time.Duration {
 	targets := make(map[string]string)
 	var servers []*transport.Server
 	for _, host := range tb.WorkerHosts() {
-		srv, err := transport.Listen(context.Background(), "127.0.0.1:0",
+		srv, err := transport.Listen(o.ctx(), "127.0.0.1:0",
 			func(_ *transport.ServerConn, m *wire.Msg) {
 				if m.Type == wire.TData {
 					delivered <- struct{}{}

@@ -13,6 +13,7 @@
 package tbfig
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -50,6 +51,9 @@ type Options struct {
 	Seed int64
 	// Scale is the bandwidth emulation scale (default netem.DefaultScale).
 	Scale float64
+	// Context optionally bounds every testbed and transport endpoint an
+	// experiment deploys, so the driver can cancel a long figure run.
+	Context context.Context
 }
 
 func (o Options) window() time.Duration {
@@ -57,6 +61,15 @@ func (o Options) window() time.Duration {
 		return 3 * time.Second
 	}
 	return o.Window
+}
+
+// ctx is the experiment lifetime (Background when the caller set none).
+func (o Options) ctx() context.Context {
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
 }
 
 func (o Options) seed() int64 {

@@ -1,6 +1,7 @@
 // Package testutil holds shared test infrastructure. Its centrepiece is
-// the goroutine leak checker applied to the data-plane test suites
-// (core, wire, shim, cluster): NetAgg's correctness under churn depends
+// the goroutine leak checker applied to every suite that spawns
+// goroutines (core, wire, shim, cluster, transport, aggbox, simexp,
+// search, mapred, testbed): NetAgg's correctness under churn depends
 // on every box, shim, monitor, and connection reader shutting down
 // cleanly, and a leaked reader goroutine is the earliest observable
 // symptom of a broken Close path.

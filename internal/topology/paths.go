@@ -145,6 +145,8 @@ func (t *Topology) SwitchesOn(nodes []NodeID) []NodeID {
 		switch t.Node(n).Kind {
 		case KindToR, KindAgg, KindCore:
 			out = append(out, n)
+		case KindServer, KindAggBox:
+			// Endpoints, not switches: a box cannot attach to them.
 		}
 	}
 	return out

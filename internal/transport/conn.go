@@ -103,6 +103,8 @@ func (c *Conn) sendLocked(msgs []*wire.Msg) error {
 }
 
 // writeLocked writes msgs followed by one flush and counts them.
+//
+//netagg:hotpath
 func (c *Conn) writeLocked(msgs []*wire.Msg) error {
 	for _, m := range msgs {
 		if err := c.w.Write(m); err != nil {

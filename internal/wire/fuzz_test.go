@@ -1,0 +1,90 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzDecodeFrame drives Reader.Read with arbitrary stream bytes. The
+// decoder sits directly on the network, so it must reject any corrupt
+// frame with an error — never a panic, never an over-allocation (the
+// frameLen bound check) — and keep the stream position consistent
+// enough to fail deterministically on the next read.
+func FuzzDecodeFrame(f *testing.F) {
+	// A valid single-frame stream, a truncation, and corruptions of each
+	// header region seed the interesting decode paths.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(&Msg{Type: TData, App: "search", Req: 7, Source: 3, Seq: 1, Payload: []byte("part")}); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-2])
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1})
+	f.Add([]byte{0, 0, 0, 2, 9, 0})
+
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		r := NewReader(bytes.NewReader(stream))
+		for {
+			m, err := r.Read()
+			if err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				return
+			}
+			if len(m.App) > maxAppLen {
+				t.Fatalf("decoded app name longer than maxAppLen: %d", len(m.App))
+			}
+			if len(m.Payload) > MaxPayload {
+				t.Fatalf("decoded payload exceeds MaxPayload: %d", len(m.Payload))
+			}
+		}
+	})
+}
+
+// FuzzEncodeDecode round-trips arbitrary messages through Writer and
+// Reader: everything the writer accepts must decode back bit-identical,
+// and everything outside the protocol limits must be rejected at encode
+// time.
+func FuzzEncodeDecode(f *testing.F) {
+	f.Add(byte(TData), "search", uint64(7), uint64(3), uint64(1), []byte("part"))
+	f.Add(byte(THello), "", uint64(0), uint64(0), uint64(0), []byte{})
+	f.Add(byte(TError), "mapred", uint64(1<<63), uint64(42), uint64(9), []byte("boom"))
+	f.Add(byte(0), "a\x00b", uint64(1), uint64(2), uint64(3), []byte{0xff, 0x00})
+
+	f.Fuzz(func(t *testing.T, typ byte, app string, req, source, seq uint64, payload []byte) {
+		in := &Msg{Type: Type(typ), App: app, Req: req, Source: source, Seq: seq, Payload: payload}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		err := w.Write(in)
+		if len(app) > maxAppLen {
+			if err == nil {
+				t.Fatalf("writer accepted %d-byte app name", len(app))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+		out, err := NewReader(bytes.NewReader(buf.Bytes())).Read()
+		if err != nil {
+			t.Fatalf("decode of a written frame failed: %v", err)
+		}
+		if out.Type != in.Type || out.App != in.App || out.Req != in.Req ||
+			out.Source != in.Source || out.Seq != in.Seq || !bytes.Equal(out.Payload, in.Payload) {
+			t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+		}
+	})
+}

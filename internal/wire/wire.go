@@ -100,6 +100,10 @@ var (
 type Writer struct {
 	w   *bufio.Writer
 	buf []byte
+	// lenb is the length-prefix scratch. Keeping it in the struct rather
+	// than on Write's stack matters: taking lenb[:] inside Write made the
+	// compiler move a stack array to the heap, one allocation per frame.
+	lenb [4]byte
 }
 
 // NewWriter returns a Writer on w.
@@ -107,13 +111,24 @@ func NewWriter(w io.Writer) *Writer {
 	return &Writer{w: bufio.NewWriterSize(w, 64*1024)}
 }
 
+// errAppTooLong is kept out of Write (and out of inlining range) so the
+// fmt.Errorf boxing of the name only allocates on the error path, not in
+// the hot encode path.
+//
+//go:noinline
+func errAppTooLong(app string) error {
+	return fmt.Errorf("wire: app name %q too long", app)
+}
+
 // Write serialises one frame. The caller must eventually call Flush.
+//
+//netagg:hotpath
 func (w *Writer) Write(m *Msg) error {
 	if len(m.Payload) > MaxPayload {
 		return ErrTooLarge
 	}
 	if len(m.App) > maxAppLen {
-		return fmt.Errorf("wire: app name %q too long", m.App)
+		return errAppTooLong(m.App)
 	}
 	w.buf = w.buf[:0]
 	w.buf = append(w.buf, byte(m.Type))
@@ -124,9 +139,8 @@ func (w *Writer) Write(m *Msg) error {
 	w.buf = binary.AppendUvarint(w.buf, m.Seq)
 	w.buf = binary.AppendUvarint(w.buf, uint64(len(m.Payload)))
 
-	var lenb [4]byte
-	binary.BigEndian.PutUint32(lenb[:], uint32(len(w.buf)+len(m.Payload)))
-	if _, err := w.w.Write(lenb[:]); err != nil {
+	binary.BigEndian.PutUint32(w.lenb[:], uint32(len(w.buf)+len(m.Payload)))
+	if _, err := w.w.Write(w.lenb[:]); err != nil {
 		return err
 	}
 	if _, err := w.w.Write(w.buf); err != nil {
@@ -143,6 +157,9 @@ func (w *Writer) Flush() error { return w.w.Flush() }
 // concurrent use.
 type Reader struct {
 	r *bufio.Reader
+	// lenb is the length-prefix scratch (see Writer.lenb: a stack array
+	// sliced into io.ReadFull was moved to the heap on every frame).
+	lenb [4]byte
 }
 
 // NewReader returns a Reader on r.
@@ -152,11 +169,10 @@ func NewReader(r io.Reader) *Reader {
 
 // Read returns the next frame. The returned Msg owns its payload.
 func (r *Reader) Read() (*Msg, error) {
-	var lenb [4]byte
-	if _, err := io.ReadFull(r.r, lenb[:]); err != nil {
+	if _, err := io.ReadFull(r.r, r.lenb[:]); err != nil {
 		return nil, err
 	}
-	frameLen := binary.BigEndian.Uint32(lenb[:])
+	frameLen := binary.BigEndian.Uint32(r.lenb[:])
 	// The header is at most 2 bytes of fixed fields, maxAppLen name bytes,
 	// and four varints.
 	const maxHeader = 2 + maxAppLen + 4*binary.MaxVarintLen64
