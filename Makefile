@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint vet race escape fuzz-smoke verify profile bench-smoke obs-smoke
+.PHONY: build test lint vet race escape fuzz-smoke verify profile bench-smoke obs-smoke bufpool-debug
 
 build:
 	$(GO) build ./...
@@ -13,8 +13,10 @@ test:
 
 # netagg-lint: repo-specific analyzers (determinism, docrule,
 # lockdiscipline, errcheck-wire, goroutine-hygiene, lockorder, ctxflow,
-# exhaustive). Exit 1 on findings; suppress audited false positives with
-# //lint:ignore <analyzer> <reason> or the .netagg-lint-allow file.
+# exhaustive, bufown). Exit 1 on findings; suppress audited false
+# positives with //lint:ignore <analyzer> <reason> or the
+# .netagg-lint-allow file (bufown also honours its own
+# //netagg:bufown-allow <reason> markers, see DESIGN.md §13).
 lint:
 	$(GO) run ./cmd/netagg-lint ./...
 
@@ -36,6 +38,13 @@ escape:
 fuzz-smoke:
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime=10s
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzEncodeDecode$$' -fuzztime=10s
+
+# Runtime half of the buffer-ownership contract: the netaggdebug build
+# tag poisons released buffers (0xDB) and verifies the poison on reuse,
+# turning use-after-release into a deterministic panic instead of silent
+# corruption. Run under -race so the checker also orders the accesses.
+bufpool-debug:
+	$(GO) test -tags netaggdebug -race ./internal/bufpool
 
 # The tier-1 gate: everything CI and pre-commit should run.
 verify: build vet lint escape race
@@ -61,3 +70,6 @@ obs-smoke:
 bench-smoke:
 	$(GO) test ./internal/simnet -run '^$$' -bench BenchmarkAllocate \
 		-benchmem -benchtime 200x -count 5 | tee BENCH_simnet.json
+	$(GO) test ./internal/bufpool ./internal/transport -run '^$$' \
+		-bench 'BenchmarkBufpool|BenchmarkTransportEcho' \
+		-benchmem -benchtime 200x -count 5 | tee BENCH_bufpool.json

@@ -67,6 +67,7 @@ func run() error {
 		if res.Err != nil {
 			return fmt.Errorf("job failed: %w", res.Err)
 		}
+		res.Release()
 	case <-time.After(10 * time.Second):
 		return fmt.Errorf("job did not complete within 10s")
 	}

@@ -71,6 +71,7 @@ func main() {
 			fmt.Printf("  %-16s %d\n", kv.Key, kv.Val)
 		}
 	}
+	res.Release()
 
 	st := tb.BoxStats()
 	fmt.Printf("agg boxes processed %d bytes across %d requests (%d combines)\n",

@@ -21,7 +21,10 @@ type Aggregator interface {
 	Name() string
 	// Combine merges two partial results. It must be associative and
 	// commutative up to the codec's canonical form, and must not retain or
-	// modify its inputs.
+	// modify its inputs. The returned slice must be freshly allocated,
+	// never an alias of a or b: the aggregation tree releases both input
+	// buffers back to the pool the moment Combine returns (see
+	// core.LocalTree.combine and DESIGN.md §13).
 	Combine(a, b []byte) ([]byte, error)
 }
 

@@ -1,0 +1,15 @@
+//go:build !netaggdebug
+
+package bufpool
+
+// DebugEnabled reports whether the netaggdebug runtime checker is
+// compiled in (poison-on-release plus poison verification on reuse).
+const DebugEnabled = false
+
+// debugPoison is a no-op in release builds; under netaggdebug it
+// overwrites a recycled buffer with the poison pattern.
+func debugPoison(*Buf) {}
+
+// debugCheckGet is a no-op in release builds; under netaggdebug it
+// verifies the poison survived the buffer's time in the pool.
+func debugCheckGet(*Buf) {}

@@ -1,0 +1,12 @@
+package bufpool
+
+import (
+	"testing"
+
+	"netagg/internal/testutil"
+)
+
+// The pool is shared infrastructure under every data-plane goroutine,
+// so its suite (including the netaggdebug stress tests) runs under the
+// same whole-package goroutine leak gate as the packages built on it.
+func TestMain(m *testing.M) { testutil.LeakCheckMain(m) }

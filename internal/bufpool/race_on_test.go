@@ -1,0 +1,7 @@
+//go:build race
+
+package bufpool
+
+// raceEnabled gates assertions that sync.Pool's race-mode behaviour
+// (puts are dropped at random to shake out races) would make flaky.
+const raceEnabled = true

@@ -95,6 +95,7 @@ func (m *Monitor) probe(ctx context.Context, b BoxInfo) {
 		Backoff:         transport.Backoff{Min: 2 * m.interval, Max: 16 * m.interval},
 		MaxSendAttempts: 1,
 		OnFrame: func(msg *wire.Msg) {
+			msg.Release() // heartbeats carry no payload
 			if msg.Type != wire.THeartbeat {
 				return
 			}

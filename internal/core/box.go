@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"netagg/internal/agg"
+	"netagg/internal/bufpool"
 	"netagg/internal/netem"
 	"netagg/internal/obs"
 	"netagg/internal/transport"
@@ -194,6 +195,17 @@ func (b *Box) Close() {
 	b.pool.Close()
 	b.sched.Close()
 	b.wg.Wait()
+	// All readers and the scheduler are drained: discard whatever
+	// requests remain so their trees give buffered parts back.
+	b.mu.Lock()
+	remaining := make([]*boxRequest, 0, len(b.requests))
+	for _, req := range b.requests {
+		remaining = append(remaining, req)
+	}
+	b.mu.Unlock()
+	for _, req := range remaining {
+		req.tree.Discard()
+	}
 }
 
 // serveFrame handles one frame from an inbound persistent connection
@@ -220,6 +232,9 @@ func (b *Box) serveFrame(conn *transport.ServerConn, m *wire.Msg) {
 	default:
 		b.logf("box %d: unexpected frame %s", b.cfg.ID, m.Type)
 	}
+	// Every path above has consumed the payload (TData hands the buffer
+	// to the tree via TakeBuf, leaving this a no-op).
+	m.Release()
 }
 
 // handle processes one aggregation frame. It may block on back-pressure.
@@ -257,7 +272,7 @@ func (b *Box) handle(m *wire.Msg) error {
 			firstSeen: time.Now(),
 		}
 		guarded := guardedAggregator{app: m.App, inner: aggregator, guard: b.guard}
-		req.tree = NewLocalTree(b.sched, m.App, guarded, b.cfg.MaxPending, func(result []byte, err error) {
+		req.tree = NewLocalTree(b.sched, m.App, guarded, b.cfg.MaxPending, func(result *bufpool.Buf, err error) {
 			b.finishRequest(req, result, err)
 		})
 		b.requests[key] = req
@@ -310,7 +325,9 @@ func (b *Box) handle(m *wire.Msg) error {
 		tree := req.tree
 		b.mu.Unlock()
 		// Add may block (back-pressure); it must run without b.mu held.
-		tree.Add(m.Payload)
+		// The frame's buffer reference moves to the tree, which releases
+		// it after the part is combined (or on rejection).
+		tree.Add(m.TakeBuf())
 		return nil
 
 	default:
@@ -329,8 +346,15 @@ func (b *Box) maybeCloseInputsLocked(req *boxRequest) {
 	go req.tree.CloseInputs()
 }
 
-// finishRequest forwards the aggregated result down the route.
-func (b *Box) finishRequest(req *boxRequest, result []byte, err error) {
+// finishRequest forwards the aggregated result down the route. It owns
+// resultBuf's reference (handed over by the tree's onDone) and releases
+// it after the sends complete on every path; the transport replay
+// window takes its own references through the outbound Msg.Buf fields.
+//
+//netagg:owns resultBuf
+func (b *Box) finishRequest(req *boxRequest, resultBuf *bufpool.Buf, err error) {
+	defer resultBuf.Release()
+	result := resultBuf.Bytes()
 	aggDone := time.Now()
 	b.mu.Lock()
 	route := req.route
@@ -377,7 +401,7 @@ func (b *Box) finishRequest(req *boxRequest, result []byte, err error) {
 		// Next hop is the master: deliver the final result.
 		b.send(route[0], &wire.Msg{
 			Type: wire.TResult, App: req.key.app, Req: req.key.req,
-			Source: b.cfg.ID, Payload: result,
+			Source: b.cfg.ID, Payload: result, Buf: resultBuf,
 		})
 		return
 	}
@@ -395,7 +419,7 @@ func (b *Box) finishRequest(req *boxRequest, result []byte, err error) {
 		}
 		b.send(next, &wire.Msg{
 			Type: wire.TData, App: req.key.app, Req: req.key.req,
-			Source: b.cfg.ID, Seq: seq, Payload: result[off:end],
+			Source: b.cfg.ID, Seq: seq, Payload: result[off:end], Buf: resultBuf,
 		})
 		off = end
 		if off >= len(result) {
@@ -427,13 +451,21 @@ func (b *Box) janitor() {
 			return
 		case <-tick.C:
 			now := time.Now()
+			var stale []*boxRequest
 			b.mu.Lock()
 			for key, req := range b.requests {
 				if now.Sub(req.lastSeen) > b.cfg.IdleTimeout {
 					delete(b.requests, key)
+					stale = append(stale, req)
 				}
 			}
 			b.mu.Unlock()
+			// Discard outside b.mu: it takes the tree lock, and releasing
+			// the buffered parts here is what lets an abandoned request's
+			// pool buffers recycle instead of sitting pinned in its tree.
+			for _, req := range stale {
+				req.tree.Discard()
+			}
 		}
 	}
 }

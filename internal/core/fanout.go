@@ -35,9 +35,12 @@ func (b *Box) handleFanout(m *wire.Msg) error {
 			}
 		}
 		if deliver {
+			// f.Inner borrows from m.Payload (DecodeFanout is zero-copy),
+			// so the frame's buffer rides along for the replay window; the
+			// caller (serveFrame) keeps the frame alive until we return.
 			b.send(next, &wire.Msg{
 				Type: wire.TData, App: m.App, Req: m.Req,
-				Source: b.cfg.ID, Payload: f.Inner,
+				Source: b.cfg.ID, Payload: f.Inner, Buf: m.Buf,
 			})
 		}
 		if len(onward) > 0 {

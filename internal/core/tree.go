@@ -1,10 +1,16 @@
 package core
 
 import (
+	"errors"
 	"sync"
 
 	"netagg/internal/agg"
+	"netagg/internal/bufpool"
 )
+
+// errDiscarded marks a tree torn down by the janitor or box shutdown;
+// it never reaches a master because Discard detaches onDone first.
+var errDiscarded = errors.New("core: aggregation tree discarded")
 
 // LocalTree is the in-box aggregation structure for one request (§3.2.1
 // "Local aggregation trees"): partial results stream in from the network
@@ -25,13 +31,13 @@ type LocalTree struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	parts    [][]byte
+	parts    []*bufpool.Buf
 	inflight int
 	closed   bool
 	finished bool
 	err      error
-	result   []byte
-	onDone   func([]byte, error)
+	result   *bufpool.Buf
+	onDone   func(*bufpool.Buf, error)
 
 	// BytesIn counts external payload bytes, for throughput measurements.
 	bytesIn int64
@@ -42,9 +48,10 @@ type LocalTree struct {
 // NewLocalTree creates a tree executing app's aggregation function on
 // sched. onDone is called exactly once, with the final aggregated result
 // (nil if no parts were added) or the first combine error; it must not
-// block. maxPending bounds buffered parts; values < 4 are raised to 4 so a
-// combine can always be scheduled.
-func NewLocalTree(sched *Scheduler, app string, aggregator agg.Aggregator, maxPending int, onDone func([]byte, error)) *LocalTree {
+// block. The callback owns the result's buffer reference and must
+// Release it. maxPending bounds buffered parts; values < 4 are raised to
+// 4 so a combine can always be scheduled.
+func NewLocalTree(sched *Scheduler, app string, aggregator agg.Aggregator, maxPending int, onDone func(*bufpool.Buf, error)) *LocalTree {
 	if maxPending < 4 {
 		maxPending = 4
 	}
@@ -59,10 +66,14 @@ func NewLocalTree(sched *Scheduler, app string, aggregator agg.Aggregator, maxPe
 	return t
 }
 
-// Add feeds one partial result. It blocks while the tree's buffer is full
-// (back-pressure) and returns false if the tree already failed or was
-// closed.
-func (t *LocalTree) Add(part []byte) bool {
+// Add feeds one partial result. The tree takes ownership of part's
+// buffer reference in every outcome — including rejection — so callers
+// hand their reference over and walk away. It blocks while the tree's
+// buffer is full (back-pressure) and returns false if the tree already
+// failed or was closed.
+//
+//netagg:owns part
+func (t *LocalTree) Add(part *bufpool.Buf) bool {
 	t.mu.Lock()
 	// The budget counts buffered parts and the two inputs of every combine
 	// still queued or running, so a slow aggregator applies back-pressure
@@ -72,10 +83,11 @@ func (t *LocalTree) Add(part []byte) bool {
 	}
 	if t.err != nil || t.closed {
 		t.mu.Unlock()
+		part.Release()
 		return false
 	}
-	t.parts = append(t.parts, part)
-	t.bytesIn += int64(len(part))
+	t.parts = append(t.parts, part) //netagg:owns part
+	t.bytesIn += int64(part.Len())
 	t.scheduleLocked()
 	t.mu.Unlock()
 	return true
@@ -87,6 +99,19 @@ func (t *LocalTree) CloseInputs() {
 	t.mu.Lock()
 	t.closed = true
 	t.maybeFinishLocked()
+	t.mu.Unlock()
+}
+
+// Discard tears the tree down without notifying onDone: buffered parts
+// are released, waiters are unblocked, and in-flight combines release
+// their inputs as they drain. The janitor and box shutdown use it to
+// reclaim pool buffers held by abandoned requests, which previously
+// pinned them until process exit.
+func (t *LocalTree) Discard() {
+	t.mu.Lock()
+	t.onDone = nil
+	t.closed = true
+	t.failLocked(errDiscarded)
 	t.mu.Unlock()
 }
 
@@ -106,9 +131,17 @@ func (t *LocalTree) scheduleLocked() {
 	t.cond.Broadcast()
 }
 
-// combine is the body of one aggregation task.
-func (t *LocalTree) combine(a, b []byte) {
-	out, err := t.aggregator.Combine(a, b)
+// combine is the body of one aggregation task. Both inputs are released
+// once the aggregator returns: Combine implementations decode their
+// inputs and encode a fresh output (the contract documented on
+// agg.Aggregator), so the output never aliases a or b.
+//
+//netagg:owns a
+//netagg:owns b
+func (t *LocalTree) combine(a, b *bufpool.Buf) {
+	out, err := t.aggregator.Combine(a.Bytes(), b.Bytes())
+	a.Release()
+	b.Release()
 	t.mu.Lock()
 	t.inflight--
 	t.combines++
@@ -118,7 +151,7 @@ func (t *LocalTree) combine(a, b []byte) {
 		return
 	}
 	if t.err == nil {
-		t.parts = append(t.parts, out)
+		t.parts = append(t.parts, bufpool.Adopt(out)) //netagg:owns out
 		t.scheduleLocked()
 	}
 	t.maybeFinishLocked()
@@ -134,7 +167,10 @@ func (t *LocalTree) failLocked(err error) {
 	t.maybeFinishLocked()
 }
 
-// maybeFinishLocked fires onDone when the tree has fully drained.
+// maybeFinishLocked fires onDone when the tree has fully drained. On the
+// failure path every buffered part is released — before buffers were
+// refcounted, an aggregation error silently pinned all pending partial
+// results until the tree itself was collected.
 func (t *LocalTree) maybeFinishLocked() {
 	if t.finished || t.inflight > 0 {
 		return
@@ -145,15 +181,24 @@ func (t *LocalTree) maybeFinishLocked() {
 	t.finished = true
 	if t.err == nil && len(t.parts) == 1 {
 		t.result = t.parts[0]
+		t.parts = t.parts[:0]
+	}
+	for _, p := range t.parts {
+		p.Release()
 	}
 	t.parts = nil
 	if t.onDone != nil {
 		// Fire on a fresh goroutine so the callback can safely use the
-		// scheduler or take locks without risking re-entrancy.
+		// scheduler or take locks without risking re-entrancy. The result
+		// reference travels with the callback.
 		res, err := t.result, t.err
 		cb := t.onDone
 		t.onDone = nil
 		go cb(res, err)
+	} else {
+		// Discarded tree: nobody is coming for the result.
+		t.result.Release()
+		t.result = nil
 	}
 	t.cond.Broadcast()
 }

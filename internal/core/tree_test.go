@@ -7,9 +7,12 @@ import (
 	"time"
 
 	"netagg/internal/agg"
+	"netagg/internal/bufpool"
 )
 
-// waitResult collects the onDone callback.
+// waitResult collects the onDone callback. It honours the ownership
+// contract: the callback releases the result buffer after copying the
+// bytes out for assertions.
 type waitResult struct {
 	ch chan struct {
 		result []byte
@@ -24,11 +27,16 @@ func newWaitResult() *waitResult {
 	}, 1)}
 }
 
-func (w *waitResult) done(result []byte, err error) {
+func (w *waitResult) done(result *bufpool.Buf, err error) {
+	var p []byte
+	if result != nil {
+		p = append([]byte(nil), result.Bytes()...)
+		result.Release()
+	}
 	w.ch <- struct {
 		result []byte
 		err    error
-	}{result, err}
+	}{p, err}
 }
 
 func (w *waitResult) wait(t *testing.T) ([]byte, error) {
@@ -49,7 +57,7 @@ func TestLocalTreeAggregatesKVs(t *testing.T) {
 	wr := newWaitResult()
 	tree := NewLocalTree(s, "wc", agg.KVCombiner{Op: agg.OpSum}, 16, wr.done)
 	for i := 0; i < 50; i++ {
-		if !tree.Add(agg.EncodeKVs([]agg.KV{{Key: "k", Val: 1}, {Key: "x", Val: 2}})) {
+		if !tree.Add(bufpool.Adopt(agg.EncodeKVs([]agg.KV{{Key: "k", Val: 1}, {Key: "x", Val: 2}}))) {
 			t.Fatal("Add refused")
 		}
 	}
@@ -77,7 +85,7 @@ func TestLocalTreeSinglePartPassesThrough(t *testing.T) {
 	wr := newWaitResult()
 	tree := NewLocalTree(s, "wc", agg.KVCombiner{Op: agg.OpSum}, 8, wr.done)
 	payload := agg.EncodeKVs([]agg.KV{{Key: "solo", Val: 7}})
-	tree.Add(payload)
+	tree.Add(bufpool.Adopt(payload))
 	tree.CloseInputs()
 	result, err := wr.wait(t)
 	if err != nil {
@@ -110,15 +118,15 @@ func TestLocalTreeReportsCombineError(t *testing.T) {
 	s.Register("wc", 1)
 	wr := newWaitResult()
 	tree := NewLocalTree(s, "wc", agg.KVCombiner{Op: agg.OpSum}, 8, wr.done)
-	tree.Add([]byte{0xff, 0xff}) // garbage
-	tree.Add([]byte{0xff})
+	tree.Add(bufpool.Adopt([]byte{0xff, 0xff})) // garbage
+	tree.Add(bufpool.Adopt([]byte{0xff}))
 	tree.CloseInputs()
 	_, err := wr.wait(t)
 	if err == nil {
 		t.Fatal("expected combine error")
 	}
 	// Further adds must be refused.
-	if tree.Add(agg.EncodeKVs(nil)) {
+	if tree.Add(bufpool.Adopt(agg.EncodeKVs(nil))) {
 		t.Fatal("Add should refuse after failure")
 	}
 }
@@ -136,7 +144,7 @@ func TestLocalTreeConcurrentFeeders(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < perFeeder; i++ {
-				tree.Add(agg.EncodeKVs([]agg.KV{{Key: "n", Val: 1}}))
+				tree.Add(bufpool.Adopt(agg.EncodeKVs([]agg.KV{{Key: "n", Val: 1}})))
 			}
 		}()
 	}
@@ -167,7 +175,7 @@ func TestLocalTreeBackpressure(t *testing.T) {
 
 	start := time.Now()
 	for i := 0; i < 12; i++ {
-		tree.Add(agg.EncodeKVs([]agg.KV{{Key: "k", Val: 1}}))
+		tree.Add(bufpool.Adopt(agg.EncodeKVs([]agg.KV{{Key: "k", Val: 1}})))
 	}
 	// 12 adds with a budget of 4 and ~20ms per combine must take at least a
 	// few combine rounds of wall time.

@@ -120,6 +120,7 @@ func All() []Analyzer {
 		LockOrder{},
 		CtxFlow{},
 		Exhaustive{},
+		Bufown{},
 	}
 }
 

@@ -1,0 +1,31 @@
+package core
+
+import "netagg/internal/bufpool"
+
+type stash struct {
+	p    []byte
+	bufs []*bufpool.Buf
+	ch   chan []byte
+}
+
+// storeBorrowed aliases a borrowed payload into a field that outlives
+// the call: the caller will recycle the backing buffer under it.
+//
+//netagg:borrows p
+func (s *stash) storeBorrowed(p []byte) {
+	s.p = p
+}
+
+// sendBorrowed ships a borrowed payload to another goroutine.
+//
+//netagg:borrows p
+func (s *stash) sendBorrowed(p []byte) {
+	s.ch <- p
+}
+
+// releaseBorrowed releases a reference it never owned.
+//
+//netagg:borrows b
+func releaseBorrowed(b *bufpool.Buf) {
+	b.Release()
+}

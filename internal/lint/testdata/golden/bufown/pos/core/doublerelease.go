@@ -1,0 +1,31 @@
+package core
+
+import "netagg/internal/bufpool"
+
+// doubleRelease recycles a buffer twice: the second call hands the
+// pool a buffer some other Get may already own.
+func doubleRelease(n int) {
+	b := bufpool.Get(n)
+	b.Release()
+	b.Release()
+}
+
+// deferredDoubleRelease is the same bug split across a defer.
+func deferredDoubleRelease(n int) {
+	b := bufpool.Get(n)
+	defer b.Release()
+	b.Release()
+}
+
+// discardedRetain bumps the refcount and throws the new reference
+// away: the buffer can never be recycled.
+func discardedRetain(b *bufpool.Buf) {
+	b.Retain()
+}
+
+// rebindOverOwned overwrites the only handle to a live reference.
+func rebindOverOwned(n int) {
+	b := bufpool.Get(n)
+	b = bufpool.Get(2 * n)
+	b.Release()
+}

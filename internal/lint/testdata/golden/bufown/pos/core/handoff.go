@@ -1,0 +1,27 @@
+package core
+
+import "netagg/internal/bufpool"
+
+type keeper struct {
+	bufs []*bufpool.Buf
+}
+
+// storeWithoutMarker moves a reference into a long-lived container
+// without declaring the hand-off.
+func (k *keeper) storeWithoutMarker(n int) {
+	b := bufpool.Get(n)
+	k.bufs = append(k.bufs, b)
+}
+
+// sendWithoutMarker moves a reference to another goroutine without
+// declaring the hand-off.
+func sendWithoutMarker(ch chan *bufpool.Buf, n int) {
+	b := bufpool.Get(n)
+	ch <- b
+}
+
+// goWithoutMarker lets a goroutine take the reference silently.
+func goWithoutMarker(n int) {
+	b := bufpool.Get(n)
+	go func() { b.Release() }()
+}

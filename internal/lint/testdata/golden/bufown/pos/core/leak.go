@@ -1,0 +1,50 @@
+// Positive fixtures: every function here leaks a pool reference on at
+// least one path and must be reported.
+package core
+
+import "netagg/internal/bufpool"
+
+// leakOnErrorPath is the canonical bug the analyzer exists for: the
+// early error return skips the Release.
+func leakOnErrorPath(n int, err error) error {
+	b := bufpool.Get(n)
+	if err != nil {
+		return err
+	}
+	b.Release()
+	return nil
+}
+
+// leakAtEnd never releases at all.
+func leakAtEnd(n int) {
+	b := bufpool.Get(n)
+	_ = b.Len()
+}
+
+// leakInScope acquires inside a block and lets the reference fall out
+// of scope.
+func leakInScope(n int, ok bool) {
+	if ok {
+		b := bufpool.Get(n)
+		_ = b.Len()
+	}
+}
+
+// leakOwnsParam takes ownership by annotation but drops it on the
+// early return.
+//
+//netagg:owns part
+func leakOwnsParam(part *bufpool.Buf, bad bool) {
+	if bad {
+		return
+	}
+	part.Release()
+}
+
+// partialRelease releases on only one branch.
+func partialRelease(n int, sometimes bool) {
+	b := bufpool.Get(n)
+	if sometimes {
+		b.Release()
+	}
+}

@@ -131,6 +131,9 @@ func Run(tb *testbed.Testbed, jobID uint64, cfg JobConfig, inputs [][]string, ma
 		return nil, res.Err
 	}
 	output, received, err := reduce(res.Parts, cfg)
+	// reduce decodes every part into its own KV slices; recycle the
+	// pooled buffers before the error check so both paths give them back.
+	res.Release()
 	if err != nil {
 		return nil, err
 	}

@@ -54,6 +54,7 @@ func StartBackend(cfg BackendConfig) (*Backend, error) {
 	b := &Backend{cfg: cfg}
 	srv, err := transport.Listen(ctx, "127.0.0.1:0",
 		func(_ *transport.ServerConn, m *wire.Msg) {
+			defer m.Release() // DecodeQuery copies the terms out
 			if m.Type != wire.TData {
 				return
 			}

@@ -107,6 +107,9 @@ func (f *Frontend) Query(terms []string, limit int, withText bool) (*Response, e
 		if res.Err != nil {
 			return nil, res.Err
 		}
+		// merge decodes the parts into fresh documents, so the pooled
+		// buffers can go back as soon as it returns.
+		defer res.Release()
 		return f.merge(res.Parts, start)
 	case <-time.After(f.cfg.Timeout):
 		return nil, fmt.Errorf("search: query %d timed out", req)

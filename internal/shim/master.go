@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"netagg/internal/bufpool"
 	"netagg/internal/cluster"
 	"netagg/internal/netem"
 	"netagg/internal/obs"
@@ -45,6 +46,21 @@ type Result struct {
 	Err error
 	// Attempts is the number of recovery attempts used (0 = first try).
 	Attempts int
+
+	// bufs holds the pooled buffer references backing Parts.
+	bufs []*bufpool.Buf
+}
+
+// Release gives the pooled buffers backing Parts back once the
+// application has consumed (or copied out of) the result. Parts is
+// nilled so stale slices cannot read recycled bytes. Optional: an
+// unreleased result is reclaimed by the GC at pool-recycling cost.
+func (r *Result) Release() {
+	for _, b := range r.bufs {
+		b.Release()
+	}
+	r.bufs = nil
+	r.Parts = nil
 }
 
 // Pending is a request registered with the master shim.
@@ -66,7 +82,11 @@ type Pending struct {
 	sourcesDone int
 	received    [][]byte
 	partsBy     map[srcKey][][]byte
-	timer       *time.Timer
+	// bufs tracks every pooled buffer reference taken for received and
+	// partsBy payloads; they move into the Result on completion and are
+	// released on re-arm or failure.
+	bufs  []*bufpool.Buf
+	timer *time.Timer
 	boxes       map[uint64]bool // boxes used by the current attempt's plan
 	done        bool
 }
@@ -211,6 +231,12 @@ func (m *Master) arm(p *Pending, attempt int) error {
 	p.needed = plan.TotalFinals()
 	p.sourcesDone = 0
 	p.received = nil
+	// A re-arm abandons the previous attempt's partial deliveries: give
+	// their buffers back before dropping the slices.
+	for _, b := range p.bufs {
+		b.Release()
+	}
+	p.bufs = nil
 	p.partsBy = make(map[srcKey][][]byte)
 	p.boxes = make(map[uint64]bool)
 	for _, tp := range plan.Trees {
@@ -308,7 +334,8 @@ func (m *Master) remove(p *Pending) {
 	m.mu.Unlock()
 }
 
-// fail delivers an error result once.
+// fail delivers an error result once, releasing any partial deliveries
+// buffered for the aborted request.
 func (p *Pending) fail(err error) {
 	p.mu.Lock()
 	if p.done {
@@ -319,6 +346,12 @@ func (p *Pending) fail(err error) {
 	if p.timer != nil {
 		p.timer.Stop()
 	}
+	for _, b := range p.bufs {
+		b.Release()
+	}
+	p.bufs = nil
+	p.received = nil
+	p.partsBy = nil
 	attempts := p.attempt
 	p.mu.Unlock()
 	// done flipped under the lock, so exactly one goroutine reaches this
@@ -333,6 +366,10 @@ func (m *Master) ResultBytes() int64 { return m.bytesIn.Load() }
 // handle processes one frame arriving at the result listener: TResult from
 // a box, TData/TEnd streams from workers with no on-path box, or TError.
 func (m *Master) handle(msg *wire.Msg) {
+	// Payloads that get buffered below take the frame's reference via
+	// TakeBuf, making this deferred Release a no-op for them; every other
+	// path (unknown request, stale attempt, TEnd/TError) recycles here.
+	defer msg.Release()
 	if msg.Type == wire.TResult || msg.Type == wire.TData {
 		m.bytesIn.Add(int64(len(msg.Payload)))
 	}
@@ -356,6 +393,7 @@ func (m *Master) handle(msg *wire.Msg) {
 		// A fully aggregated result from an agg box chain root.
 		if len(msg.Payload) > 0 {
 			p.received = append(p.received, msg.Payload)
+			p.bufs = append(p.bufs, msg.TakeBuf())
 		}
 		p.sourcesDone++
 		complete = p.sourcesDone >= p.needed
@@ -363,6 +401,7 @@ func (m *Master) handle(msg *wire.Msg) {
 		// A chunk from a worker with no on-path box.
 		k := srcKey{msg.Req, msg.Source}
 		p.partsBy[k] = append(p.partsBy[k], msg.Payload)
+		p.bufs = append(p.bufs, msg.TakeBuf())
 	case wire.TEnd:
 		k := srcKey{msg.Req, msg.Source}
 		p.received = append(p.received, p.partsBy[k]...)
@@ -380,7 +419,10 @@ func (m *Master) handle(msg *wire.Msg) {
 		return
 	}
 	if complete {
-		final = &Result{Parts: p.received, Attempts: p.attempt}
+		// The buffer references move into the Result; the application
+		// releases them (Result.Release) when done.
+		final = &Result{Parts: p.received, Attempts: p.attempt, bufs: p.bufs}
+		p.bufs = nil
 	}
 	if final != nil {
 		// Flip done under the lock so exactly one frame completes the

@@ -220,6 +220,7 @@ func treeOf(req uint64, partIdx, trees int) int {
 // control processes one redirect frame from a master shim. It runs on
 // the control server's reader goroutine for the sending master.
 func (w *Worker) control(_ *transport.ServerConn, m *wire.Msg) {
+	defer m.Release() // DecodeCount copies the attempt out of the payload
 	if m.Type != wire.TRedirect {
 		return
 	}

@@ -68,6 +68,7 @@ func broadcastOnce(o Options, boxes bool, size int) time.Duration {
 	for _, host := range tb.WorkerHosts() {
 		srv, err := transport.Listen(o.ctx(), "127.0.0.1:0",
 			func(_ *transport.ServerConn, m *wire.Msg) {
+				m.Release() // only the arrival matters, not the payload
 				if m.Type == wire.TData {
 					delivered <- struct{}{}
 				}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"netagg/internal/agg"
+	"netagg/internal/bufpool"
 	"netagg/internal/core"
 	"netagg/internal/metrics"
 )
@@ -47,7 +48,10 @@ func localTreeRate(leaves, threads int, aggregator agg.Aggregator, part []byte, 
 	defer sched.CloseNow()
 	sched.Register("fig15", 1)
 	done := make(chan struct{})
-	tree := core.NewLocalTree(sched, "fig15", aggregator, 4*leaves, func([]byte, error) { close(done) })
+	tree := core.NewLocalTree(sched, "fig15", aggregator, 4*leaves, func(res *bufpool.Buf, _ error) {
+		res.Release()
+		close(done)
+	})
 
 	stop := make(chan struct{})
 	for i := 0; i < leaves; i++ {
@@ -58,7 +62,9 @@ func localTreeRate(leaves, threads int, aggregator agg.Aggregator, part []byte, 
 					return
 				default:
 				}
-				if !tree.Add(part) {
+				// Each Add hands over its own reference; Adopt wraps the
+				// shared read-only part without copying.
+				if !tree.Add(bufpool.Adopt(part)) {
 					return
 				}
 			}

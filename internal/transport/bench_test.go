@@ -14,6 +14,7 @@ import (
 func BenchmarkTransportEcho(b *testing.B) {
 	srv, err := Listen(context.Background(), "127.0.0.1:0", func(c *ServerConn, m *wire.Msg) {
 		_ = c.Reply(m)
+		m.Release()
 	}, ServerOptions{})
 	if err != nil {
 		b.Fatal(err)
@@ -22,7 +23,7 @@ func BenchmarkTransportEcho(b *testing.B) {
 
 	replies := make(chan *wire.Msg, 1)
 	c := NewConn(context.Background(), srv.Addr(), Options{
-		OnFrame: func(m *wire.Msg) { replies <- m },
+		OnFrame: func(m *wire.Msg) { m.Release(); replies <- m },
 	})
 	defer c.Close()
 

@@ -124,16 +124,34 @@ func (c *Conn) writeLocked(msgs []*wire.Msg) error {
 }
 
 // retainLocked appends msgs to the replay window, trimming to the
-// configured size.
+// configured size. The window takes its own reference on each pooled
+// payload so senders may release theirs as soon as Send returns; trimmed
+// frames give their reference back.
 func (c *Conn) retainLocked(msgs []*wire.Msg) {
 	n := c.opts.ReplayWindow
 	if n <= 0 {
 		return
 	}
+	for _, m := range msgs {
+		_ = m.Buf.Retain() //netagg:owns m — the window's reference, released on trim/Close
+	}
 	c.replay = append(c.replay, msgs...)
 	if len(c.replay) > n {
+		drop := c.replay[:len(c.replay)-n]
+		for _, m := range drop {
+			m.Buf.Release()
+		}
 		c.replay = append([]*wire.Msg(nil), c.replay[len(c.replay)-n:]...)
 	}
+}
+
+// releaseReplayLocked drops the window's payload references; called once
+// on Close, when no further replay can happen.
+func (c *Conn) releaseReplayLocked() {
+	for _, m := range c.replay {
+		m.Buf.Release()
+	}
+	c.replay = nil
 }
 
 // ensureLocked establishes the connection if needed, honouring the
@@ -219,6 +237,9 @@ func (c *Conn) dropLocked() {
 }
 
 // readLoop delivers inbound frames to OnFrame until the connection dies.
+// Each frame's pooled payload reference transfers to OnFrame (see
+// Options.OnFrame): the handler releases it, and a handler that forgets
+// merely falls back to the GC.
 func (c *Conn) readLoop(nc net.Conn) {
 	defer c.wg.Done()
 	r := wire.NewReader(nc)
@@ -258,6 +279,7 @@ func (c *Conn) Close() {
 	}
 	c.closed = true
 	c.dropLocked()
+	c.releaseReplayLocked()
 	c.mu.Unlock()
 	if c.stop != nil {
 		c.stop()

@@ -12,7 +12,10 @@ import (
 // Handler processes one inbound frame. It runs on the connection's
 // reader goroutine: blocking in it back-pressures that sender only (the
 // box relies on this for §3.2.2 flow control). Replies go through the
-// ServerConn, which serialises concurrent writers itself.
+// ServerConn, which serialises concurrent writers itself. The handler
+// owns the frame's pooled payload reference (Msg.Buf): Release it when
+// the payload is consumed, or Retain it to keep the bytes longer. A
+// forgotten Release degrades to GC reclamation, never a use-after-free.
 type Handler func(c *ServerConn, m *wire.Msg)
 
 // ServerOptions configure a Server.

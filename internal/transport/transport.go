@@ -67,12 +67,17 @@ type Options struct {
 	Dial func(ctx context.Context, addr string) (net.Conn, error)
 	// OnFrame, when set, starts one reader goroutine per established
 	// connection and delivers every inbound frame to it (heartbeat
-	// replies, acks). Nil keeps the connection write-only.
+	// replies, acks). Nil keeps the connection write-only. The handler
+	// owns each frame's pooled payload reference (Msg.Buf) and should
+	// Release it when done; forgetting one costs pool recycling, not
+	// correctness.
 	OnFrame func(m *wire.Msg)
 	// ReplayWindow > 0 retains the last N frames written and rewrites
 	// them after a reconnect. Frames buffered in a dead peer's socket are
 	// thereby delivered at-least-once; receivers dedup by the attempt id
-	// carried in the wire request (§3.1 recovery).
+	// carried in the wire request (§3.1 recovery). The window holds its
+	// own reference on each frame's pooled payload, so senders must not
+	// recycle or mutate a sent Msg's payload buffer out from under it.
 	ReplayWindow int
 }
 

@@ -10,6 +10,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"netagg/internal/bufpool"
 )
 
 // Type identifies the kind of a frame.
@@ -79,6 +81,54 @@ type Msg struct {
 	// Payload is the serialised application data (TData/TResult), the
 	// expected source count (TExpect, varint), or empty.
 	Payload []byte
+	// Buf, when non-nil, is the reference-counted pool buffer backing
+	// Payload. On an inbound frame (filled by Reader) the frame owns one
+	// reference: the receiver must Release it when done with Payload, or
+	// Retain it to keep the bytes longer (a forgotten Release is
+	// reclaimed by the GC — it costs recycling, never correctness). On
+	// an outbound frame Buf is a non-owning pointer that lets the
+	// transport's replay window take references of its own; senders keep
+	// their reference until Send returns and must not call Release
+	// through the Msg.
+	Buf *bufpool.Buf
+}
+
+// Release drops an inbound frame's payload reference and detaches the
+// buffer so a reused Msg cannot alias recycled bytes. Safe on frames
+// with no pooled payload.
+//
+//netagg:hotpath
+func (m *Msg) Release() {
+	b := m.Buf
+	if b == nil {
+		return
+	}
+	m.Buf = nil
+	m.Payload = nil
+	b.Release()
+}
+
+// TakeBuf detaches the frame's payload reference and hands it to the
+// caller, who becomes responsible for releasing it. A frame whose
+// payload was never pooled (or a reply built by hand) yields an
+// unpooled adopted wrapper so the caller's release discipline is
+// uniform. Payload stays readable either way.
+func (m *Msg) TakeBuf() *bufpool.Buf {
+	b := m.Buf
+	if b == nil {
+		return bufpool.Adopt(m.Payload)
+	}
+	m.Buf = nil
+	return b
+}
+
+// attachPayload hands b's reference to the frame: Payload aliases the
+// buffer and Buf carries the obligation to Release it.
+//
+//netagg:owns b
+func (m *Msg) attachPayload(b *bufpool.Buf) {
+	m.Buf = b //netagg:owns b
+	m.Payload = b.Bytes()
 }
 
 // MaxPayload is the largest accepted frame payload (16 MiB). Larger partial
@@ -160,6 +210,11 @@ type Reader struct {
 	// lenb is the length-prefix scratch (see Writer.lenb: a stack array
 	// sliced into io.ReadFull was moved to the heap on every frame).
 	lenb [4]byte
+	// apps interns application names. A connection carries frames for a
+	// small fixed set of apps, so after the first frame per app the
+	// map[string(bytes)] lookup hits the compiler's zero-alloc fast path
+	// instead of converting the name out of the header on every frame.
+	apps map[string]string
 }
 
 // NewReader returns a Reader on r.
@@ -167,57 +222,136 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{r: bufio.NewReaderSize(r, 64*1024)}
 }
 
-// Read returns the next frame. The returned Msg owns its payload.
+// maxHeader is the largest possible frame header: 2 bytes of fixed
+// fields, maxAppLen name bytes, and four varints. It is comfortably
+// below the bufio buffer size, so a full header can always be peeked.
+const maxHeader = 2 + maxAppLen + 4*binary.MaxVarintLen64
+
+// maxInternedApps bounds the interning map so a peer cycling through
+// adversarial names cannot grow it without bound.
+const maxInternedApps = 64
+
+// internApp returns the canonical string for an app name without
+// allocating on the repeat-name path.
+func (r *Reader) internApp(name []byte) string {
+	if len(name) == 0 {
+		return ""
+	}
+	if s, ok := r.apps[string(name)]; ok {
+		return s
+	}
+	return r.internAppSlow(name)
+}
+
+// internAppSlow is the interning miss path: it allocates the canonical
+// string (and, once, the map). Kept out of line so its allocations stay
+// outside ReadInto's //netagg:hotpath escape-gate range — after the
+// first frame per app name, only the zero-alloc lookup above runs.
+//
+//go:noinline
+func (r *Reader) internAppSlow(name []byte) string {
+	s := string(name)
+	if len(r.apps) < maxInternedApps {
+		if r.apps == nil {
+			r.apps = make(map[string]string, 8)
+		}
+		r.apps[s] = s
+	}
+	return s
+}
+
+// Read returns the next frame. The returned Msg owns its payload: see
+// Msg.Buf for the release contract.
 func (r *Reader) Read() (*Msg, error) {
+	m := &Msg{}
+	if err := r.ReadInto(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ReadInto decodes the next frame into m, overwriting every field. The
+// payload lands in a pool buffer whose reference m owns (Msg.Buf); any
+// buffer previously attached to m is NOT released — callers reusing a
+// Msg release it first. The header is parsed in place inside the bufio
+// window, so a steady-state frame costs one pool fetch and no heap
+// allocations.
+//
+//netagg:hotpath
+func (r *Reader) ReadInto(m *Msg) error {
 	if _, err := io.ReadFull(r.r, r.lenb[:]); err != nil {
-		return nil, err
+		return err
 	}
-	frameLen := binary.BigEndian.Uint32(r.lenb[:])
-	// The header is at most 2 bytes of fixed fields, maxAppLen name bytes,
-	// and four varints.
-	const maxHeader = 2 + maxAppLen + 4*binary.MaxVarintLen64
+	frameLen := int(binary.BigEndian.Uint32(r.lenb[:]))
 	if frameLen < 2 || frameLen > MaxPayload+maxHeader {
-		return nil, ErrCorrupt
+		return ErrCorrupt
 	}
-	frame := make([]byte, frameLen)
-	if _, err := io.ReadFull(r.r, frame); err != nil {
-		return nil, err
+	// Peek the header region without consuming it: the frame prefix up
+	// to maxHeader bytes is guaranteed to contain the whole header.
+	peek := frameLen
+	if peek > maxHeader {
+		peek = maxHeader
+	}
+	hdr, err := r.r.Peek(peek)
+	if err != nil {
+		// The length prefix arrived, so a clean EOF here means the peer
+		// died mid-frame.
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return err
 	}
 
-	m := &Msg{Type: Type(frame[0])}
-	appLen := int(frame[1])
-	rest := frame[2:]
+	m.Type = Type(hdr[0])
+	appLen := int(hdr[1])
+	rest := hdr[2:]
 	if appLen > len(rest) {
-		return nil, ErrCorrupt
+		return ErrCorrupt
 	}
-	m.App = string(rest[:appLen])
+	m.App = r.internApp(rest[:appLen])
 	rest = rest[appLen:]
 
 	var n int
 	if m.Req, n = binary.Uvarint(rest); n <= 0 {
-		return nil, ErrCorrupt
+		return ErrCorrupt
 	}
 	rest = rest[n:]
 	if m.Source, n = binary.Uvarint(rest); n <= 0 {
-		return nil, ErrCorrupt
+		return ErrCorrupt
 	}
 	rest = rest[n:]
 	if m.Seq, n = binary.Uvarint(rest); n <= 0 {
-		return nil, ErrCorrupt
+		return ErrCorrupt
 	}
 	rest = rest[n:]
 	payloadLen, n := binary.Uvarint(rest)
 	if n <= 0 {
-		return nil, ErrCorrupt
+		return ErrCorrupt
 	}
 	rest = rest[n:]
-	if uint64(len(rest)) != payloadLen {
-		return nil, ErrCorrupt
+	headerLen := peek - len(rest)
+	if payloadLen > MaxPayload || payloadLen != uint64(frameLen-headerLen) {
+		return ErrCorrupt
 	}
+	if _, err := r.r.Discard(headerLen); err != nil {
+		return err
+	}
+	m.Buf = nil
+	m.Payload = nil
 	if payloadLen > 0 {
-		m.Payload = rest
+		b := bufpool.Get(int(payloadLen))
+		if _, err := io.ReadFull(r.r, b.Bytes()); err != nil {
+			b.Release()
+			// The header was consumed, so even a clean EOF is a truncated
+			// frame, not a graceful close.
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return err
+		}
+		m.attachPayload(b)
 	}
-	return m, nil
+	return nil
 }
 
 // EncodeCount encodes a source count for a TExpect payload.
