@@ -73,3 +73,5 @@ bench-smoke:
 	$(GO) test ./internal/bufpool ./internal/transport -run '^$$' \
 		-bench 'BenchmarkBufpool|BenchmarkTransportEcho' \
 		-benchmem -benchtime 200x -count 5 | tee BENCH_bufpool.json
+	$(GO) test ./internal/treeplan -run '^$$' -bench BenchmarkPlan \
+		-benchmem -benchtime 200x -count 5 | tee BENCH_treeplan.json

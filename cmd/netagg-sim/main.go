@@ -1,6 +1,7 @@
 // Command netagg-sim regenerates the paper's simulation figures (§2.4 and
 // §4.1: Figs 2, 3, 6-14) on the flow-level data centre simulator and prints
-// the same rows/series the paper plots.
+// the same rows/series the paper plots, plus the repository's own planner
+// experiment (EXPERIMENTS.md "planner").
 //
 // Usage:
 //
@@ -21,22 +22,24 @@ import (
 )
 
 var all = map[string]func(figures.Options) *figures.Report{
-	"fig02": figures.Fig02,
-	"fig03": figures.Fig03,
-	"fig06": figures.Fig06,
-	"fig07": figures.Fig07,
-	"fig08": figures.Fig08,
-	"fig09": figures.Fig09,
-	"fig10": figures.Fig10,
-	"fig11": figures.Fig11,
-	"fig12": figures.Fig12,
-	"fig13": figures.Fig13,
-	"fig14": figures.Fig14,
+	"fig02":   figures.Fig02,
+	"fig03":   figures.Fig03,
+	"fig06":   figures.Fig06,
+	"fig07":   figures.Fig07,
+	"fig08":   figures.Fig08,
+	"fig09":   figures.Fig09,
+	"fig10":   figures.Fig10,
+	"fig11":   figures.Fig11,
+	"fig12":   figures.Fig12,
+	"fig13":   figures.Fig13,
+	"fig14":   figures.Fig14,
+	"planner": figures.FigPlanner,
 }
 
 var order = []string{
 	"fig02", "fig03", "fig06", "fig07", "fig08",
 	"fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
+	"planner",
 }
 
 func main() {

@@ -84,12 +84,12 @@ func run() error {
 	if err := getJSON(base+"/metrics", &metrics); err != nil {
 		return err
 	}
-	for _, want := range []string{"transport.frames_out", "box.frames_aggregated"} {
+	for _, want := range []string{"transport.frames_out", "box.frames_aggregated", "plan.replans", "plan.dead_boxes_skipped"} {
 		if _, ok := metrics.Counters[want]; !ok {
 			return fmt.Errorf("/metrics missing counter %q (got %d counters)", want, len(metrics.Counters))
 		}
 	}
-	for _, want := range []string{"shim.partial_bytes", "box.flush_latency_us", "box.fanin_parts"} {
+	for _, want := range []string{"shim.partial_bytes", "box.flush_latency_us", "box.fanin_parts", "plan.compute_us"} {
 		if _, ok := metrics.Histograms[want]; !ok {
 			return fmt.Errorf("/metrics missing histogram %q (got %d histograms)", want, len(metrics.Histograms))
 		}

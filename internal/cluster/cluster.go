@@ -1,20 +1,21 @@
 // Package cluster holds the NetAgg deployment state shared by shim layers
 // and agg boxes: which hosts exist and where they sit in the physical
-// topology, which switches have agg boxes attached, and how a request's
-// aggregation tree is planned over them (§3.1). Planning is a pure function
-// of the deployment and the request identifier, so worker shims, the master
-// shim, and agg boxes independently compute consistent routes without any
-// per-request coordination — the same trick as the paper's hashing of
-// application/request identifiers.
+// topology, which switches have agg boxes attached, and which boxes are
+// currently alive (§3.1 "Handling failures"). Planning the aggregation
+// trees over that state lives in internal/treeplan; Deployment implements
+// treeplan.Topology, so shims hand it straight to a Planner. It also owns
+// the wire-level request encoding (WireReq) that keeps each (tree,
+// attempt) an independent aggregation at the boxes.
 package cluster
 
 import (
 	"fmt"
+	"log"
 	"sort"
 	"sync"
 	"time"
 
-	"netagg/internal/topology"
+	"netagg/internal/treeplan"
 )
 
 // Host is a server's position in the testbed topology.
@@ -65,6 +66,7 @@ type Deployment struct {
 	byID     map[uint64]BoxInfo
 	dead     map[uint64]bool
 	lastSeen map[uint64]time.Time // box id → last successful heartbeat
+	rttUs    map[uint64]int64     // box id → smoothed heartbeat RTT (µs)
 }
 
 // NewDeployment returns an empty deployment.
@@ -77,6 +79,7 @@ func NewDeployment() *Deployment {
 		byID:     make(map[uint64]BoxInfo),
 		dead:     make(map[uint64]bool),
 		lastSeen: make(map[uint64]time.Time),
+		rttUs:    make(map[uint64]int64),
 	}
 }
 
@@ -204,17 +207,25 @@ func (d *Deployment) Dead(id uint64) bool {
 	return d.dead[id]
 }
 
-// aliveBoxesAt returns the live boxes on a switch (callers hold no lock).
-func (d *Deployment) aliveBoxesAt(sw string) []BoxInfo {
+// ObserveRTT folds one heartbeat round-trip sample into the box's
+// smoothed RTT (EWMA, ⅞ old + ⅛ new). The failure monitor calls it; the
+// smoothed value feeds load-aware planning (treeplan.LoadSignal.RTTUs).
+func (d *Deployment) ObserveRTT(id uint64, rtt time.Duration) {
+	us := rtt.Microseconds()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if old, ok := d.rttUs[id]; ok {
+		us = (old*7 + us) / 8
+	}
+	d.rttUs[id] = us
+}
+
+// BoxRTTUs returns the box's smoothed heartbeat RTT in microseconds
+// (0 until a monitor has observed one).
+func (d *Deployment) BoxRTTUs(id uint64) int64 {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	var out []BoxInfo
-	for _, b := range d.boxes[sw] {
-		if !d.dead[b.ID] {
-			out = append(out, b)
-		}
-	}
-	return out
+	return d.rttUs[id]
 }
 
 // PathSwitches returns the switches on the up-down path from a worker to
@@ -240,119 +251,67 @@ func PathSwitches(worker, master Host) []string {
 	return path
 }
 
-// Chain returns the agg boxes a worker's partial results traverse towards
-// the master for one aggregation tree: at each equipped switch on the path,
-// the box selected by the request/tree hash (§3.1: "The next agg box
-// on-path is determined by hashing an application/request identifier").
-// Dead boxes are skipped, which is how replanning after a failure works.
-func (d *Deployment) Chain(worker, master Host, req uint64, tree int) []BoxInfo {
-	h := topology.FlowHash(0xC4A1, req, uint64(tree)+1)
-	var chain []BoxInfo
-	for _, sw := range PathSwitches(worker, master) {
-		boxes := d.aliveBoxesAt(sw)
-		if len(boxes) == 0 {
-			continue
-		}
-		chain = append(chain, boxes[h%uint64(len(boxes))])
-	}
-	return chain
-}
+// The Deployment is the live fabric's treeplan.Topology: planners walk
+// the deployment's single up-down path per host pair and see every
+// deployed box with its current liveness.
+var _ treeplan.Topology = (*Deployment)(nil)
 
-// TreePlan is one aggregation tree of a request. Each tree is an
-// independent wire-level request (see WireReq), so trees can safely share
-// agg boxes — e.g. the box in the master's rack, which every tree's chain
-// ends at (§3.1).
-type TreePlan struct {
-	// Routes[worker] is the box chain the worker's shim uses (an empty
-	// chain means: send directly to the master).
-	Routes map[string][]BoxInfo
-	// Expect[box ID] counts the distinct direct sources (workers and
-	// upstream boxes) the box must hear an end-of-stream from.
-	Expect map[uint64]int
-	// Finals counts the sources that deliver results to the master shim
-	// for this tree (chain roots plus workers with no on-path box).
-	Finals int
-}
-
-// RequestPlan is the master-side view of a request's aggregation trees.
-type RequestPlan struct {
-	// Trees holds one plan per aggregation tree of the request.
-	Trees []TreePlan
-}
-
-// TotalFinals counts result deliveries the master waits for across trees.
-func (p *RequestPlan) TotalFinals() int {
-	n := 0
-	for i := range p.Trees {
-		n += p.Trees[i].Finals
-	}
-	return n
-}
-
-// Plan computes the request's aggregation trees. It panics on unknown
-// hosts, which indicates a deployment configuration error.
-func (d *Deployment) Plan(req uint64, master string, workers []string, trees int) *RequestPlan {
-	if trees < 1 {
-		trees = 1
+// PathSwitches implements treeplan.Topology: the switches on the up-down
+// path from a worker to the master. The hash is ignored — the emulated
+// testbed fabric has one path per host pair. It panics on unknown hosts,
+// which indicates a deployment configuration error.
+func (d *Deployment) PathSwitches(worker, master string, _ uint64) []string {
+	w, ok := d.Host(worker)
+	if !ok {
+		panic(fmt.Sprintf("cluster: unknown worker host %q", worker))
 	}
 	m, ok := d.Host(master)
 	if !ok {
 		panic(fmt.Sprintf("cluster: unknown master host %q", master))
 	}
-	plan := &RequestPlan{Trees: make([]TreePlan, trees)}
-	for tr := 0; tr < trees; tr++ {
-		tp := TreePlan{
-			Routes: make(map[string][]BoxInfo, len(workers)),
-			Expect: make(map[uint64]int),
-		}
-		type edge struct{ up, down uint64 }
-		boxEdges := make(map[edge]bool)
-		roots := make(map[uint64]bool)
-		for _, wname := range workers {
-			w, ok := d.Host(wname)
-			if !ok {
-				panic(fmt.Sprintf("cluster: unknown worker host %q", wname))
-			}
-			chain := d.Chain(w, m, req, tr)
-			tp.Routes[wname] = chain
-			if len(chain) == 0 {
-				tp.Finals++
-				continue
-			}
-			tp.Expect[chain[0].ID]++ // one direct worker stream
-			for i := 0; i+1 < len(chain); i++ {
-				boxEdges[edge{up: chain[i].ID, down: chain[i+1].ID}] = true
-			}
-			roots[chain[len(chain)-1].ID] = true
-		}
-		for e := range boxEdges {
-			tp.Expect[e.down]++
-		}
-		tp.Finals += len(roots)
-		plan.Trees[tr] = tp
+	return PathSwitches(w, m)
+}
+
+// BoxesAt implements treeplan.Topology: the boxes attached to a switch in
+// deployment order, dead ones included (flagged, so planners can skip and
+// count them).
+func (d *Deployment) BoxesAt(sw string) []treeplan.Box {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]treeplan.Box, 0, len(d.boxes[sw]))
+	for _, b := range d.boxes[sw] {
+		out = append(out, treeplan.Box{ID: b.ID, Addr: b.Addr, Switch: b.Switch, Dead: d.dead[b.ID]})
 	}
-	return plan
+	return out
 }
 
 // WireReq encodes a request identifier, aggregation tree index, and
 // recovery attempt into the request id carried on the wire, so every
 // (tree, attempt) is an independent aggregation at the boxes. Trees and
-// attempts are limited to 16 each.
+// attempts are limited to 16 each; out-of-range values are clamped to the
+// nearest bound with a logged error, because silent truncation (the old
+// behaviour) would alias a 17th attempt onto attempt 1's in-flight
+// aggregation state at the boxes.
 func WireReq(req uint64, tree, attempt int) uint64 {
-	return req<<8 | uint64(tree&0xF)<<4 | uint64(attempt&0xF)
+	return req<<8 | uint64(clampWireField("tree", tree))<<4 | uint64(clampWireField("attempt", attempt))
+}
+
+// clampWireField bounds one 4-bit WireReq field, logging overflow: an
+// out-of-range value is a caller bug (shim.Master caps MaxAttempts at 15
+// and Submit rejects more than 16 trees) that must not pass silently.
+func clampWireField(name string, v int) int {
+	if v >= 0 && v <= 15 {
+		return v
+	}
+	clamped := 0
+	if v > 15 {
+		clamped = 15
+	}
+	log.Printf("cluster: wire request %s %d outside [0,15], clamping to %d", name, v, clamped)
+	return clamped
 }
 
 // DecodeWireReq splits a wire request id.
 func DecodeWireReq(wr uint64) (req uint64, tree, attempt int) {
 	return wr >> 8, int(wr >> 4 & 0xF), int(wr & 0xF)
-}
-
-// RouteAddrs converts a box chain plus the master result address into the
-// wire route carried by THello frames.
-func RouteAddrs(chain []BoxInfo, masterAddr string) []string {
-	out := make([]string, 0, len(chain)+1)
-	for _, b := range chain {
-		out = append(out, b.Addr)
-	}
-	return append(out, masterAddr)
 }

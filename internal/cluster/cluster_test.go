@@ -6,6 +6,7 @@ import (
 
 	"netagg/internal/agg"
 	"netagg/internal/core"
+	"netagg/internal/treeplan"
 )
 
 // twoRackDeployment builds the paper's testbed shape: two racks in one pod,
@@ -46,11 +47,16 @@ func TestPathSwitches(t *testing.T) {
 	}
 }
 
+// chainFor plans one tree through the paper's OnPath planner over the
+// deployment and returns the given worker's box route.
+func chainFor(d *Deployment, worker string, req uint64, tree int) []treeplan.Box {
+	plan := treeplan.OnPath{}.Plan(d, treeplan.NewRequest(req, tree, 0, "master", []string{worker}))
+	return plan.Routes[worker]
+}
+
 func TestChainSkipsUnequippedSwitches(t *testing.T) {
 	d := twoRackDeployment()
-	w, _ := d.Host("b0") // rack 1
-	m, _ := d.Host("master")
-	chain := d.Chain(w, m, 1, 0)
+	chain := chainFor(d, "b0", 1, 0) // b0 is in rack 1
 	// Path tor:1 → agg:0 → tor:0, all equipped: 3 boxes.
 	if len(chain) != 3 {
 		t.Fatalf("chain = %v", chain)
@@ -62,15 +68,13 @@ func TestChainSkipsUnequippedSwitches(t *testing.T) {
 
 func TestChainSkipsDeadBoxes(t *testing.T) {
 	d := twoRackDeployment()
-	w, _ := d.Host("b0")
-	m, _ := d.Host("master")
 	d.MarkDead(3 << 32) // agg box
-	chain := d.Chain(w, m, 1, 0)
+	chain := chainFor(d, "b0", 1, 0)
 	if len(chain) != 2 {
 		t.Fatalf("chain should skip the dead box: %v", chain)
 	}
 	d.MarkAlive(3 << 32)
-	if len(d.Chain(w, m, 1, 0)) != 3 {
+	if len(chainFor(d, "b0", 1, 0)) != 3 {
 		t.Fatal("revived box should reappear")
 	}
 }
@@ -79,17 +83,15 @@ func TestChainDeterministicPerRequest(t *testing.T) {
 	d := twoRackDeployment()
 	// Scale out: second box at tor:0.
 	d.AddBox(BoxInfo{ID: 9 << 32, Addr: "127.0.0.1:9009", Switch: "tor:0"})
-	w, _ := d.Host("a1")
-	m, _ := d.Host("master")
-	c1 := d.Chain(w, m, 42, 0)
-	c2 := d.Chain(w, m, 42, 0)
+	c1 := chainFor(d, "a1", 42, 0)
+	c2 := chainFor(d, "a1", 42, 0)
 	if c1[0].ID != c2[0].ID {
 		t.Fatal("same request must pick the same box")
 	}
 	// Different requests eventually pick the other box.
 	saw := map[uint64]bool{}
 	for req := uint64(0); req < 32; req++ {
-		saw[d.Chain(w, m, req, 0)[0].ID] = true
+		saw[chainFor(d, "a1", req, 0)[0].ID] = true
 	}
 	if len(saw) != 2 {
 		t.Fatalf("scale-out should spread requests over boxes, saw %v", saw)
@@ -98,11 +100,7 @@ func TestChainDeterministicPerRequest(t *testing.T) {
 
 func TestPlanExpectCounts(t *testing.T) {
 	d := twoRackDeployment()
-	plan := d.Plan(5, "master", []string{"a0", "a1", "b0", "b1"}, 1)
-	if len(plan.Trees) != 1 {
-		t.Fatalf("trees = %d", len(plan.Trees))
-	}
-	tp := plan.Trees[0]
+	tp := treeplan.OnPath{}.Plan(d, treeplan.NewRequest(5, 0, 0, "master", []string{"a0", "a1", "b0", "b1"}))
 	// a0, a1 (rack 0): chain [tor:0 box]; b0, b1 (rack 1): chain
 	// [tor:1, agg:0, tor:0].
 	tor0, tor1, agg0 := uint64(1<<32), uint64(2<<32), uint64(3<<32)
@@ -125,8 +123,7 @@ func TestPlanNoBoxesDirectDelivery(t *testing.T) {
 	d.AddHost(Host{Name: "m", Rack: 0})
 	d.AddHost(Host{Name: "w1", Rack: 0})
 	d.AddHost(Host{Name: "w2", Rack: 1})
-	plan := d.Plan(1, "m", []string{"w1", "w2"}, 1)
-	tp := plan.Trees[0]
+	tp := treeplan.OnPath{}.Plan(d, treeplan.NewRequest(1, 0, 0, "m", []string{"w1", "w2"}))
 	if tp.Finals != 2 {
 		t.Fatalf("finals = %d, want 2 direct deliveries", tp.Finals)
 	}
@@ -137,12 +134,12 @@ func TestPlanNoBoxesDirectDelivery(t *testing.T) {
 
 func TestPlanMultipleTrees(t *testing.T) {
 	d := twoRackDeployment()
-	plan := d.Plan(5, "master", []string{"a0", "b0"}, 2)
-	if len(plan.Trees) != 2 {
-		t.Fatalf("trees = %d", len(plan.Trees))
+	trees := make([]treeplan.Tree, 2)
+	for tr := range trees {
+		trees[tr] = treeplan.OnPath{}.Plan(d, treeplan.NewRequest(5, tr, 0, "master", []string{"a0", "b0"}))
 	}
-	if plan.TotalFinals() != 2 {
-		t.Fatalf("total finals = %d, want one per tree", plan.TotalFinals())
+	if got := treeplan.TotalFinals(trees); got != 2 {
+		t.Fatalf("total finals = %d, want one per tree", got)
 	}
 }
 
@@ -151,6 +148,41 @@ func TestWireReqCodec(t *testing.T) {
 	req, tree, attempt := DecodeWireReq(wr)
 	if req != 12345 || tree != 3 || attempt != 2 {
 		t.Fatalf("decode = (%d, %d, %d)", req, tree, attempt)
+	}
+}
+
+// TestWireReqRoundTrip exercises the codec over the full 4-bit field
+// domain and a request id using all remaining bits.
+func TestWireReqRoundTrip(t *testing.T) {
+	const bigReq = uint64(1)<<55 | 0xDEAD
+	for tree := 0; tree < 16; tree++ {
+		for attempt := 0; attempt < 16; attempt++ {
+			gotReq, gotTree, gotAttempt := DecodeWireReq(WireReq(bigReq, tree, attempt))
+			if gotReq != bigReq || gotTree != tree || gotAttempt != attempt {
+				t.Fatalf("round trip (%d,%d,%d) = (%d,%d,%d)",
+					bigReq, tree, attempt, gotReq, gotTree, gotAttempt)
+			}
+		}
+	}
+}
+
+// TestWireReqClampsOutOfRange pins the overflow guard: a tree or attempt
+// outside the 4-bit wire fields clamps to the nearest bound instead of
+// silently truncating onto another attempt's wire identity (a 17th
+// attempt must not alias attempt 1's in-flight aggregation state).
+func TestWireReqClampsOutOfRange(t *testing.T) {
+	if got, want := WireReq(7, 16, 0), WireReq(7, 15, 0); got != want {
+		t.Fatalf("tree 16 = %#x, want clamped to 15 (%#x)", got, want)
+	}
+	if got, want := WireReq(7, 0, 17), WireReq(7, 0, 15); got != want {
+		t.Fatalf("attempt 17 = %#x, want clamped to 15 (%#x)", got, want)
+	}
+	// The old truncating behaviour mapped attempt 17 onto attempt 1.
+	if WireReq(7, 0, 17) == WireReq(7, 0, 1) {
+		t.Fatal("attempt 17 must not alias attempt 1")
+	}
+	if got, want := WireReq(7, -1, -9), WireReq(7, 0, 0); got != want {
+		t.Fatalf("negative fields = %#x, want clamped to 0 (%#x)", got, want)
 	}
 }
 
@@ -278,5 +310,49 @@ func TestMonitorDetectionLatency(t *testing.T) {
 	if latency > bound {
 		t.Fatalf("detection latency %v exceeds bound %v (misses=%d interval=%v)",
 			latency, bound, misses, interval)
+	}
+}
+
+func TestObserveRTTEWMA(t *testing.T) {
+	d := twoRackDeployment()
+	if got := d.BoxRTTUs(1 << 32); got != 0 {
+		t.Fatalf("unseen box RTT = %d, want 0", got)
+	}
+	d.ObserveRTT(1<<32, 800*time.Microsecond)
+	if got := d.BoxRTTUs(1 << 32); got != 800 {
+		t.Fatalf("first RTT observation = %dus, want 800", got)
+	}
+	// The EWMA (⅞ old + ⅛ new) must move toward a new level without
+	// jumping to it.
+	d.ObserveRTT(1<<32, 8800*time.Microsecond)
+	if got := d.BoxRTTUs(1 << 32); got != 1800 {
+		t.Fatalf("EWMA after 800→8800 = %dus, want 1800", got)
+	}
+}
+
+// TestMonitorFeedsRTTTelemetry checks the live path behind LoadAware
+// planning: the failure monitor's successful heartbeats populate the
+// deployment's per-box RTT estimate.
+func TestMonitorFeedsRTTTelemetry(t *testing.T) {
+	reg := agg.NewRegistry()
+	reg.Register("x", agg.Concat{})
+	box, err := core.Start(core.Config{ID: 1 << 32, Registry: reg, Workers: 1, SchedSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer box.Close()
+
+	d := NewDeployment()
+	d.AddBox(BoxInfo{ID: 1 << 32, Addr: box.Addr(), Switch: "tor:0"})
+	m := NewMonitor(d, 20*time.Millisecond, 3, func(BoxInfo) {})
+	m.Start()
+	defer m.Stop()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for d.BoxRTTUs(1<<32) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("heartbeats never produced an RTT estimate")
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -118,9 +118,10 @@ func (m *Monitor) probe(ctx context.Context, b BoxInfo) {
 		case <-ticker.C:
 		}
 		seq++
-		if m.heartbeat(ctx, conn, replies, seq) {
+		if rtt, ok := m.heartbeat(ctx, conn, replies, seq); ok {
 			missed = 0
 			m.dep.MarkSeen(b.ID)
+			m.dep.ObserveRTT(b.ID, rtt)
 			if dead {
 				dead = false
 				m.dep.MarkAlive(b.ID)
@@ -145,22 +146,25 @@ func (m *Monitor) probe(ctx context.Context, b BoxInfo) {
 }
 
 // heartbeat sends one probe and waits up to the probe interval for an
-// echo carrying this (or a newer) sequence number.
-func (m *Monitor) heartbeat(ctx context.Context, conn *transport.Conn, replies <-chan uint64, seq uint64) bool {
+// echo carrying this (or a newer) sequence number, returning the observed
+// round-trip time on success (the deployment folds it into the box's RTT
+// EWMA for load-aware planning).
+func (m *Monitor) heartbeat(ctx context.Context, conn *transport.Conn, replies <-chan uint64, seq uint64) (time.Duration, bool) {
 	t0 := time.Now()
 	if err := conn.Send(&wire.Msg{Type: wire.THeartbeat, Seq: seq}); err != nil {
-		return false
+		return 0, false
 	}
 	timer := time.NewTimer(m.interval)
 	defer timer.Stop()
 	for {
 		select {
 		case <-ctx.Done():
-			return false
+			return 0, false
 		case got := <-replies:
 			if got >= seq {
-				obsHBRTT.Observe(time.Since(t0).Microseconds())
-				return true
+				rtt := time.Since(t0)
+				obsHBRTT.Observe(rtt.Microseconds())
+				return rtt, true
 			}
 			// A stale echo from an earlier probe: keep draining.
 		case <-timer.C:
@@ -168,7 +172,7 @@ func (m *Monitor) heartbeat(ctx context.Context, conn *transport.Conn, replies <
 			// dead socket's buffer. Drop the connection so the next probe
 			// re-dials instead of writing into the void.
 			conn.Reset()
-			return false
+			return 0, false
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"netagg/internal/agg"
@@ -69,6 +70,11 @@ type Box struct {
 	closed   bool
 
 	stats BoxStats
+
+	// flushUs is the EWMA of recent request flush latencies (first
+	// partial seen → result emitted) in microseconds, exported through
+	// FlushLatencyUs as a load signal for planners.
+	flushUs atomic.Int64
 
 	wg sync.WaitGroup
 }
@@ -171,6 +177,16 @@ func (b *Box) Addr() string { return b.srv.Addr() }
 // Scheduler exposes the task scheduler for resource-share measurements
 // (Figs 25-26).
 func (b *Box) Scheduler() *Scheduler { return b.sched }
+
+// QueueDepth reports the scheduler's current pending task count — the
+// box's primary load signal for load-aware tree planning
+// (treeplan.LoadSignal.QueueDepth).
+func (b *Box) QueueDepth() int { return b.sched.Pending() }
+
+// FlushLatencyUs reports the EWMA of recent request flush latencies in
+// microseconds (0 until the first request completes) — the box's
+// service-time load signal for load-aware tree planning.
+func (b *Box) FlushLatencyUs() int64 { return b.flushUs.Load() }
 
 // Stats returns a snapshot of the box counters.
 func (b *Box) Stats() BoxStats {
@@ -372,7 +388,16 @@ func (b *Box) finishRequest(req *boxRequest, resultBuf *bufpool.Buf, err error) 
 	obsBoxRequests.Inc()
 	obsBoxCombines.Add(req.tree.Combines())
 	obsFanIn.Observe(int64(req.frames))
-	obsFlushLatency.Observe(aggDone.Sub(req.firstSeen).Microseconds())
+	flushUs := aggDone.Sub(req.firstSeen).Microseconds()
+	obsFlushLatency.Observe(flushUs)
+	// Approximate EWMA (⅞ old + ⅛ new): concurrent finishes may lose an
+	// update between Load and Store, which only costs one sample of
+	// smoothing — fine for a load signal.
+	if old := b.flushUs.Load(); old == 0 {
+		b.flushUs.Store(flushUs)
+	} else {
+		b.flushUs.Store((old*7 + flushUs) / 8)
+	}
 	if err == nil {
 		obsBoxBytesOut.Add(int64(len(result)))
 	}

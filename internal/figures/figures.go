@@ -12,6 +12,7 @@ import (
 	"netagg/internal/simexp"
 	"netagg/internal/strategies"
 	"netagg/internal/topology"
+	"netagg/internal/treeplan"
 	"netagg/internal/workload"
 )
 
@@ -142,13 +143,14 @@ func deployAll(spec strategies.BoxSpec) func(*topology.Topology) {
 }
 
 // baselines is the strategy set most figures compare: rack (the
-// normalisation baseline), binary tree, chain, and NetAgg.
+// normalisation baseline), binary tree, chain, and NetAgg with the paper's
+// on-path planner wired explicitly (Fig planner swaps it for LoadAware).
 func baselines() []strategies.Strategy {
 	return []strategies.Strategy{
 		strategies.Rack{},
 		strategies.DAry{D: 2},
 		strategies.DAry{D: 1},
-		strategies.NetAgg{},
+		strategies.NetAgg{Planner: treeplan.OnPath{}},
 	}
 }
 

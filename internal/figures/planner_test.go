@@ -1,0 +1,30 @@
+package figures
+
+import (
+	"testing"
+)
+
+// TestFigPlannerLoadAwareWins checks the planner experiment's headline
+// claim: under skewed per-box background load, the telemetry-weighted
+// LoadAware planner steers trees off the hot boxes and beats the paper's
+// hash-only OnPath planner on p99 job completion time.
+func TestFigPlannerLoadAwareWins(t *testing.T) {
+	r := FigPlanner(small)
+	rows := tableRows(t, r)
+	if len(rows) != len(plannerFactors) {
+		t.Fatalf("expected %d rows, got %d:\n%s", len(plannerFactors), len(rows), r)
+	}
+	// Columns: bg_factor, onpath_p99, loadaware_p99.
+	for _, row := range rows {
+		factor, onpath, loadaware := row[0], row[1], row[2]
+		if onpath <= 0 || loadaware <= 0 {
+			t.Fatalf("degenerate p99 at factor %v:\n%s", factor, r)
+		}
+		if factor >= 1 && loadaware >= onpath {
+			t.Errorf("factor %v: loadaware p99 %v not better than onpath %v", factor, loadaware, onpath)
+		}
+	}
+	if t.Failed() {
+		t.Logf("table:\n%s", r)
+	}
+}

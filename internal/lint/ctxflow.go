@@ -68,7 +68,7 @@ func (CtxFlow) CheckPackage(files []*File, report func(pos token.Pos, msg string
 	// a dead peer is the failure mode the paper's fault model cares about.
 	var src []*File
 	for _, f := range files {
-		if !f.Test && inScope(f, "core", "shim", "cluster", "transport") {
+		if !f.Test && inScope(f, "core", "shim", "cluster", "transport", "treeplan") {
 			src = append(src, f)
 		}
 	}

@@ -21,14 +21,14 @@ import (
 type DocRule struct{}
 
 // docScope is the set of package directories DocRule applies to.
-var docScope = []string{"transport", "cluster", "core", "obs"}
+var docScope = []string{"transport", "cluster", "core", "obs", "treeplan"}
 
 // Name implements Analyzer.
 func (DocRule) Name() string { return "docrule" }
 
 // Doc implements Analyzer.
 func (DocRule) Doc() string {
-	return "exported identifiers in transport, cluster, core, obs must have doc comments"
+	return "exported identifiers in transport, cluster, core, obs, treeplan must have doc comments"
 }
 
 // Check implements Analyzer.

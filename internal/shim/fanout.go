@@ -2,8 +2,10 @@ package shim
 
 import (
 	"fmt"
+	"sort"
 
 	"netagg/internal/cluster"
+	"netagg/internal/treeplan"
 	"netagg/internal/wire"
 )
 
@@ -16,16 +18,22 @@ import (
 // no on-path box receive their copy directly from the master.
 func (m *Master) Fanout(app string, req uint64, inner []byte, targets map[string]string) error {
 	dep := m.cfg.Deployment
-	masterHost := m.cfg.Host
-	byFirst := make(map[string][][]string)
-	for worker, addr := range targets {
-		wh, ok := dep.Host(worker)
-		if !ok {
+	workers := make([]string, 0, len(targets))
+	for worker := range targets {
+		if _, ok := dep.Host(worker); !ok {
 			return fmt.Errorf("shim: unknown worker host %q", worker)
 		}
-		// The chain from the worker towards the master, reversed, is the
-		// master's route towards the worker.
-		chain := dep.Chain(wh, masterHost, req, 0)
+		workers = append(workers, worker)
+	}
+	sort.Strings(workers)
+	// Fanout reuses the aggregation planner in reverse: the chain a
+	// worker's partials would traverse towards the master, flipped, is
+	// the master's replication route towards that worker.
+	plan := m.planner.Plan(dep, treeplan.NewRequest(req, 0, 0, m.cfg.Host.Name, workers))
+	byFirst := make(map[string][][]string)
+	for _, worker := range workers {
+		addr := targets[worker]
+		chain := plan.Routes[worker]
 		route := make([]string, 0, len(chain)+1)
 		for i := len(chain) - 1; i >= 0; i-- {
 			route = append(route, chain[i].Addr)

@@ -13,6 +13,7 @@ import (
 	"netagg/internal/netem"
 	"netagg/internal/obs"
 	"netagg/internal/transport"
+	"netagg/internal/treeplan"
 	"netagg/internal/wire"
 )
 
@@ -25,6 +26,13 @@ type MasterConfig struct {
 	// NIC optionally paces the master's traffic (the 1 Gbps frontend link
 	// whose congestion NetAgg relieves).
 	NIC *netem.NIC
+	// Planner chooses the aggregation trees for submits and redirects
+	// (nil = treeplan.OnPath, the paper's hash-on-path planner). Master
+	// and worker shims of one deployment must be configured with
+	// equivalent planners: they coordinate only through the hashed
+	// request identifier, so divergent planners mean divergent trees
+	// until the straggler timer re-syncs them.
+	Planner treeplan.Planner
 	// StragglerTimeout redirects a request that has not completed in time
 	// (§3.1 "Handling stragglers"); 0 disables recovery.
 	StragglerTimeout time.Duration
@@ -98,10 +106,11 @@ type srcKey struct {
 
 // Master is a master host's shim layer.
 type Master struct {
-	cfg    MasterConfig
-	srv    *transport.Server
-	pool   *transport.Pool
-	cancel context.CancelFunc
+	cfg     MasterConfig
+	planner treeplan.Planner
+	srv     *transport.Server
+	pool    *transport.Pool
+	cancel  context.CancelFunc
 
 	mu      sync.Mutex
 	pending map[pendKey]*Pending
@@ -127,6 +136,9 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 	if cfg.MaxAttempts > 15 {
 		cfg.MaxAttempts = 15
 	}
+	if cfg.Planner == nil {
+		cfg.Planner = treeplan.OnPath{}
+	}
 	parent := cfg.Context
 	if parent == nil {
 		parent = context.Background()
@@ -134,6 +146,7 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 	ctx, cancel := context.WithCancel(parent)
 	m := &Master{
 		cfg:     cfg,
+		planner: cfg.Planner,
 		cancel:  cancel,
 		pool:    transport.NewPool(ctx, transport.Options{NIC: cfg.NIC}),
 		pending: make(map[pendKey]*Pending),
@@ -215,20 +228,34 @@ func (m *Master) Submit(app string, req uint64, workers []string, trees int) (*P
 	m.mu.Unlock()
 
 	if err := m.arm(p, 0); err != nil {
+		// arm may have started the straggler timer before the announce
+		// failed: fail the pending first (stopping the timer for good) so
+		// the dead request cannot keep redirecting in the background.
+		p.fail(err)
 		m.remove(p)
 		return nil, err
 	}
 	return p, nil
 }
 
-// arm plans an attempt, announces expectations, and starts the straggler
-// timer.
+// arm plans an attempt through the configured planner, announces
+// expectations to the boxes, and starts the straggler timer. A request
+// that completed (or failed) while the attempt was being planned is left
+// untouched: arming must never resurrect a finished request's timer.
 func (m *Master) arm(p *Pending, attempt int) error {
-	plan := m.cfg.Deployment.Plan(p.req, m.cfg.Host.Name, p.workers, p.trees)
+	trees := make([]treeplan.Tree, p.trees)
+	for tr := range trees {
+		trees[tr] = m.planner.Plan(m.cfg.Deployment,
+			treeplan.NewRequest(p.req, tr, attempt, m.cfg.Host.Name, p.workers))
+	}
 
 	p.mu.Lock()
+	if p.done {
+		p.mu.Unlock()
+		return nil
+	}
 	p.attempt = attempt
-	p.needed = plan.TotalFinals()
+	p.needed = treeplan.TotalFinals(trees)
 	p.sourcesDone = 0
 	p.received = nil
 	// A re-arm abandons the previous attempt's partial deliveries: give
@@ -239,8 +266,8 @@ func (m *Master) arm(p *Pending, attempt int) error {
 	p.bufs = nil
 	p.partsBy = make(map[srcKey][][]byte)
 	p.boxes = make(map[uint64]bool)
-	for _, tp := range plan.Trees {
-		for id := range tp.Expect {
+	for _, t := range trees {
+		for id := range t.Expect {
 			p.boxes[id] = true
 		}
 	}
@@ -252,9 +279,9 @@ func (m *Master) arm(p *Pending, attempt int) error {
 	}
 	p.mu.Unlock()
 
-	for tree, tp := range plan.Trees {
+	for tree := range trees {
 		wireReq := cluster.WireReq(p.req, tree, attempt)
-		for boxID, count := range tp.Expect {
+		for boxID, count := range trees[tree].Expect {
 			box, ok := m.cfg.Deployment.Box(boxID)
 			if !ok {
 				continue
@@ -273,6 +300,9 @@ func (m *Master) arm(p *Pending, attempt int) error {
 
 // redirect advances a pending request to the next recovery attempt: it
 // replans around dead boxes and tells every worker shim to resend (§3.1).
+// When the attempt budget is exhausted the pending request fails cleanly
+// — the error Result is delivered, the request is deregistered, and no
+// further straggler timer is armed.
 func (m *Master) redirect(p *Pending) {
 	p.mu.Lock()
 	if p.done {
@@ -281,12 +311,12 @@ func (m *Master) redirect(p *Pending) {
 	}
 	attempt := p.attempt + 1
 	p.mu.Unlock()
-	obsRedirectsSent.Inc()
 	if attempt > m.cfg.MaxAttempts {
 		p.fail(fmt.Errorf("shim: request %d failed after %d attempts", p.req, attempt-1))
 		m.remove(p)
 		return
 	}
+	obsRedirectsSent.Inc()
 	if err := m.arm(p, attempt); err != nil {
 		p.fail(err)
 		m.remove(p)

@@ -17,6 +17,7 @@ import (
 	"netagg/internal/obs"
 	"netagg/internal/topology"
 	"netagg/internal/transport"
+	"netagg/internal/treeplan"
 	"netagg/internal/wire"
 )
 
@@ -28,6 +29,10 @@ type WorkerConfig struct {
 	Deployment *cluster.Deployment
 	// NIC optionally paces this host's traffic (1 Gbps edge link).
 	NIC *netem.NIC
+	// Planner chooses this worker's box routes (nil = treeplan.OnPath).
+	// It must match the master shim's planner — see
+	// MasterConfig.Planner.
+	Planner treeplan.Planner
 	// Retention bounds how long sent partial results stay buffered for
 	// recovery resends (default 30s).
 	Retention time.Duration
@@ -38,7 +43,12 @@ type WorkerConfig struct {
 
 // Worker is a worker host's shim layer.
 type Worker struct {
-	cfg    WorkerConfig
+	cfg     WorkerConfig
+	planner treeplan.Planner
+	// self is the one-element worker list this shim plans with: planning
+	// is per-worker decomposable (treeplan package doc), so the shim only
+	// ever needs its own route.
+	self   []string
 	pool   *transport.Pool
 	ctl    *transport.Server
 	cancel context.CancelFunc
@@ -80,6 +90,9 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.Retention <= 0 {
 		cfg.Retention = 30 * time.Second
 	}
+	if cfg.Planner == nil {
+		cfg.Planner = treeplan.OnPath{}
+	}
 	parent := cfg.Context
 	if parent == nil {
 		parent = context.Background()
@@ -87,6 +100,8 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	ctx, cancel := context.WithCancel(parent)
 	w := &Worker{
 		cfg:      cfg,
+		planner:  cfg.Planner,
+		self:     []string{cfg.Host.Name},
 		cancel:   cancel,
 		pool:     transport.NewPool(ctx, transport.Options{NIC: cfg.NIC}),
 		buffered: make(map[bufKey]*bufferedSend),
@@ -154,11 +169,13 @@ func (w *Worker) SendPartials(app string, req uint64, workerIdx int, master stri
 	return w.send(b, 0)
 }
 
-// send transmits the buffered request at the given recovery attempt.
+// send transmits the buffered request at the given recovery attempt,
+// planning this worker's route through the configured planner (the
+// planner sees only this worker; per-worker decomposability guarantees
+// the route matches the master's view of the same attempt).
 func (w *Worker) send(b *bufferedSend, attempt int) error {
 	dep := w.cfg.Deployment
-	masterHost, ok := dep.Host(b.master)
-	if !ok {
+	if _, ok := dep.Host(b.master); !ok {
 		return fmt.Errorf("shim: unknown master host %q", b.master)
 	}
 	resultAddr, ok := dep.ResultAddr(b.master)
@@ -167,7 +184,8 @@ func (w *Worker) send(b *bufferedSend, attempt int) error {
 	}
 	for tree := 0; tree < b.trees; tree++ {
 		wireReq := cluster.WireReq(b.req, tree, attempt)
-		chain := dep.Chain(w.cfg.Host, masterHost, b.req, tree)
+		plan := w.planner.Plan(dep, treeplan.NewRequest(b.req, tree, attempt, b.master, w.self))
+		chain := plan.Routes[w.cfg.Host.Name]
 		target := resultAddr
 		var msgs []*wire.Msg
 		if len(chain) > 0 {
@@ -175,7 +193,7 @@ func (w *Worker) send(b *bufferedSend, attempt int) error {
 			msgs = append(msgs, &wire.Msg{
 				Type: wire.THello, App: b.app, Req: wireReq,
 				Source:  uint64(b.workerIdx),
-				Payload: wire.EncodeStrings(cluster.RouteAddrs(chain[1:], resultAddr)),
+				Payload: wire.EncodeStrings(treeplan.RouteAddrs(chain[1:], resultAddr)),
 			})
 		}
 		seq := uint64(0)

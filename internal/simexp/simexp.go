@@ -45,6 +45,12 @@ type Opts struct {
 	// component is re-waterfilled on every event. Debug/oracle mode — the
 	// simulated behaviour must be byte-identical to the incremental default.
 	FullRecompute bool
+	// Prelude, when non-nil, runs after the workload's background flows
+	// are installed and before any job is added — a hook for experiments
+	// that inject load the workload generator does not model (e.g. the
+	// planner figure's skewed per-box traffic). Flows it adds count
+	// toward link traffic and Duration but not the FCT samples.
+	Prelude func(*simnet.Network)
 }
 
 // Run simulates the workload on the topology under the given strategy.
@@ -69,6 +75,10 @@ func RunWith(topo *topology.Topology, w *workload.Workload, strat strategies.Str
 			Class: simnet.ClassBackground,
 			Job:   -1,
 		}))
+	}
+
+	if o.Prelude != nil {
+		o.Prelude(net)
 	}
 
 	jobs := make([]strategies.JobFlows, len(w.Jobs))

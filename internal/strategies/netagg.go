@@ -5,6 +5,7 @@ import (
 
 	"netagg/internal/simnet"
 	"netagg/internal/topology"
+	"netagg/internal/treeplan"
 	"netagg/internal/workload"
 )
 
@@ -25,6 +26,11 @@ type NetAgg struct {
 	// Mode selects the reduction semantics; the zero value is the paper's
 	// per-hop model.
 	Mode ReduceMode
+	// Planner chooses the agg box at each equipped switch (nil =
+	// treeplan.OnPath, the paper's hash selection). The same planner
+	// implementations drive the live fabric's shims, so planner
+	// experiments run unchanged in simulation and testbed.
+	Planner treeplan.Planner
 }
 
 // Name implements Strategy.
@@ -64,11 +70,23 @@ func (n NetAgg) addTree(net *simnet.Network, job *workload.Job, alpha float64, t
 	topo := net.Topo.T
 	h := jobHash(job.ID, tree)
 
-	// pickBox selects this job's box at an equipped switch.
-	pickBox := func(sw topology.NodeID) topology.NodeID {
-		boxes := topo.BoxesAt(sw)
-		return boxes[int(h%uint64(len(boxes)))]
+	// The tree's box routes come from the control plane: the planner
+	// walks each worker's path and picks this job's box at every
+	// equipped switch. The job hash doubles as Request.Hash so the
+	// planner's box choices stay aligned with the job's ECMP decisions.
+	planner := n.Planner
+	if planner == nil {
+		planner = treeplan.OnPath{}
 	}
+	workers := make([]string, len(job.Workers))
+	for i, w := range job.Workers {
+		workers[i] = simNodeName(w)
+	}
+	planned := planner.Plan(simTopo{topo}, treeplan.Request{
+		Req: uint64(job.ID), Tree: tree, Hash: h,
+		Master:  simNodeName(job.Master),
+		Workers: workers,
+	})
 
 	nodes := make(map[topology.NodeID]*boxNode) // keyed by box
 	var order []*boxNode                        // creation order: deterministic (follows job.Workers)
@@ -84,12 +102,10 @@ func (n NetAgg) addTree(net *simnet.Network, job *workload.Job, alpha float64, t
 
 	for i, w := range job.Workers {
 		bits := job.Bits[i] / float64(trees)
-		path := topo.PathNodes(w, job.Master, h)
+		route := planned.Routes[workers[i]]
 		var chain []topology.NodeID // boxes on the path, in order
-		for _, sw := range topo.SwitchesOn(path) {
-			if len(topo.BoxesAt(sw)) > 0 {
-				chain = append(chain, pickBox(sw))
-			}
+		for _, b := range route {
+			chain = append(chain, topology.NodeID(b.ID))
 		}
 		// The request hash h selects which boxes form the tree; the
 		// *transport* of each worker's stream to its first box uses the

@@ -8,6 +8,7 @@ import (
 	"netagg/internal/metrics"
 	"netagg/internal/testbed"
 	"netagg/internal/transport"
+	"netagg/internal/treeplan"
 	"netagg/internal/wire"
 )
 
@@ -54,6 +55,7 @@ func broadcastOnce(o Options, boxes bool, size int) time.Duration {
 		BoxGbps:        10,
 		Scale:          o.scale(),
 		Registry:       reg,
+		Planner:        treeplan.OnPath{},
 		Seed:           1,
 		Context:        o.Context,
 	})

@@ -8,6 +8,7 @@ import (
 	"netagg/internal/mapred"
 	"netagg/internal/metrics"
 	"netagg/internal/testbed"
+	"netagg/internal/treeplan"
 )
 
 // newHadoopTB builds the Hadoop experiment deployment (§4.2.2): one rack of
@@ -36,6 +37,7 @@ func newHadoopTB(mappers, boxes int, scale float64, reducerCost time.Duration) (
 		// task. The pool size carries that asymmetry (compute emulated with
 		// virtual cost on this single-CPU host).
 		BoxWorkers: 16,
+		Planner:    treeplan.OnPath{},
 		Seed:       1,
 	})
 }

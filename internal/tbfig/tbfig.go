@@ -24,6 +24,7 @@ import (
 	"netagg/internal/search"
 	"netagg/internal/stats"
 	"netagg/internal/testbed"
+	"netagg/internal/treeplan"
 )
 
 // Report mirrors figures.Report for the testbed experiments.
@@ -147,6 +148,7 @@ func newSearchRig(o searchOpts) (*searchRig, error) {
 		Scale:          o.scale,
 		Registry:       reg,
 		BoxWorkers:     o.boxWorkers,
+		Planner:        treeplan.OnPath{},
 		Seed:           1,
 	})
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 	"netagg/internal/obs"
 	"netagg/internal/shim"
 	"netagg/internal/topology"
+	"netagg/internal/treeplan"
 )
 
 // Config describes the deployment to build.
@@ -44,6 +45,14 @@ type Config struct {
 	BoxWorkers int
 	// FixedWeights disables the adaptive WFQ correction (Fig 25).
 	FixedWeights bool
+	// Planner selects the tree planner every shim uses (nil = the
+	// paper's treeplan.OnPath, or a live-telemetry LoadAware when
+	// LoadAwarePlanner is set). Master and workers always share it.
+	Planner treeplan.Planner
+	// LoadAwarePlanner, when Planner is nil, wires a treeplan.LoadAware
+	// planner fed by the deployment's own boxes: scheduler queue depth,
+	// flush-latency EWMA, and heartbeat RTT (see Testbed.Telemetry).
+	LoadAwarePlanner bool
 	// StragglerTimeout enables master-side recovery.
 	StragglerTimeout time.Duration
 	// Seed makes box scheduling deterministic.
@@ -67,6 +76,7 @@ type Testbed struct {
 	Master  *shim.Master
 
 	nics      map[string]*netem.NIC
+	boxByID   map[uint64]*core.Box
 	workers   []string // worker host names in order
 	debugAddr string
 	debugStop func()
@@ -95,6 +105,7 @@ func New(cfg Config) (*Testbed, error) {
 		Dep:     cluster.NewDeployment(),
 		Workers: make(map[string]*shim.Worker),
 		nics:    make(map[string]*netem.NIC),
+		boxByID: make(map[uint64]*core.Box),
 	}
 	nic := func(name string, gbps float64) *netem.NIC {
 		if gbps <= 0 {
@@ -144,10 +155,18 @@ func New(cfg Config) (*Testbed, error) {
 					return nil, err
 				}
 				tb.Boxes = append(tb.Boxes, box)
+				tb.boxByID[id] = box
 				tb.Dep.AddBox(cluster.BoxInfo{ID: id, Addr: box.Addr(), Switch: sw})
 				id += 1 << 32
 			}
 		}
+	}
+
+	// The planner is resolved once and shared by every shim: master and
+	// workers must plan identical trees (treeplan package doc).
+	planner := cfg.Planner
+	if planner == nil && cfg.LoadAwarePlanner {
+		planner = treeplan.LoadAware{Telemetry: tb.Telemetry()}
 	}
 
 	// Shims.
@@ -157,6 +176,7 @@ func New(cfg Config) (*Testbed, error) {
 			Host:       h,
 			Deployment: tb.Dep,
 			NIC:        nic(name, cfg.EdgeGbps),
+			Planner:    planner,
 			Context:    cfg.Context,
 		})
 		if err != nil {
@@ -169,6 +189,7 @@ func New(cfg Config) (*Testbed, error) {
 		Host:             masterHost,
 		Deployment:       tb.Dep,
 		NIC:              nic(MasterHost, cfg.EdgeGbps),
+		Planner:          planner,
 		StragglerTimeout: cfg.StragglerTimeout,
 		Context:          cfg.Context,
 	})
@@ -226,6 +247,34 @@ func (tb *Testbed) health() map[string]interface{} {
 
 // WorkerHosts lists worker host names in deployment order.
 func (tb *Testbed) WorkerHosts() []string { return tb.workers }
+
+// Telemetry returns live per-box load signals — scheduler queue depth,
+// flush-latency EWMA, heartbeat RTT — for load-aware tree planning
+// (Config.LoadAwarePlanner uses it; custom planners can too).
+func (tb *Testbed) Telemetry() treeplan.Telemetry {
+	return tbTelemetry{dep: tb.Dep, boxes: tb.boxByID}
+}
+
+// tbTelemetry adapts the in-process boxes and the deployment's heartbeat
+// record to treeplan.Telemetry. Reads are lock-light (an atomic and one
+// RLock), cheap enough to run on every Plan call.
+type tbTelemetry struct {
+	dep   *cluster.Deployment
+	boxes map[uint64]*core.Box
+}
+
+// BoxSignal implements treeplan.Telemetry.
+func (t tbTelemetry) BoxSignal(id uint64) (treeplan.LoadSignal, bool) {
+	b, ok := t.boxes[id]
+	if !ok {
+		return treeplan.LoadSignal{}, false
+	}
+	return treeplan.LoadSignal{
+		QueueDepth: int64(b.QueueDepth()),
+		FlushUs:    b.FlushLatencyUs(),
+		RTTUs:      t.dep.BoxRTTUs(id),
+	}, true
+}
 
 // NIC returns a host's emulated NIC (nil when pacing is off), so
 // application servers on that host share its link.

@@ -1,0 +1,61 @@
+package treeplan_test
+
+import (
+	"fmt"
+	"testing"
+
+	"netagg/internal/cluster"
+	"netagg/internal/treeplan"
+)
+
+// benchDeployment builds the paper's testbed shape at benchmark size:
+// 4 racks of 8 workers in one pod, two boxes per ToR and at the pod
+// aggregation switch.
+func benchDeployment() (*cluster.Deployment, []string) {
+	d := cluster.NewDeployment()
+	d.AddHost(cluster.Host{Name: "master", Rack: 0, Pod: 0})
+	var workers []string
+	for r := 0; r < 4; r++ {
+		for i := 0; i < 8; i++ {
+			name := fmt.Sprintf("r%dh%d", r, i)
+			d.AddHost(cluster.Host{Name: name, Rack: r, Pod: 0})
+			workers = append(workers, name)
+		}
+	}
+	id := uint64(1) << 32
+	for _, sw := range []string{"tor:0", "tor:1", "tor:2", "tor:3", "agg:0"} {
+		for k := 0; k < 2; k++ {
+			d.AddBox(cluster.BoxInfo{ID: id, Addr: "10.0.0.1:1", Switch: sw})
+			id += 1 << 32
+		}
+	}
+	return d, workers
+}
+
+// benchPlan drives one planner over the benchmark deployment with a fresh
+// request hash per iteration (plans are per-request work in the shims'
+// submit and redirect paths).
+func benchPlan(b *testing.B, p treeplan.Planner) {
+	d, workers := benchDeployment()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree := p.Plan(d, treeplan.NewRequest(uint64(i), 0, 0, "master", workers))
+		if tree.Finals == 0 {
+			b.Fatal("empty plan")
+		}
+	}
+}
+
+func BenchmarkPlanOnPath(b *testing.B)    { benchPlan(b, treeplan.OnPath{}) }
+func BenchmarkPlanLoadAware(b *testing.B) { benchPlan(b, treeplan.LoadAware{Telemetry: benchTel()}) }
+
+// benchTel gives every benchmark box a telemetry signal so LoadAware pays
+// its full per-pick weighting cost.
+func benchTel() treeplan.StaticTelemetry {
+	tel := treeplan.StaticTelemetry{}
+	for id := uint64(1) << 32; id <= 10<<32; id += 1 << 32 {
+		tel[id] = treeplan.LoadSignal{QueueDepth: int64(id >> 32), FlushUs: 5000, RTTUs: 300}
+	}
+	return tel
+}

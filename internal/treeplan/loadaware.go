@@ -1,0 +1,122 @@
+package treeplan
+
+import (
+	"math"
+	"math/bits"
+	"time"
+
+	"netagg/internal/topology"
+)
+
+// LoadSignal is one box's load as the planner consumes it. The fields
+// mirror the runtime metrics the deployment already exports (obs
+// box.sched_queue_depth, box.flush_latency_us, cluster.hb_rtt_us); any
+// subset may be zero when a signal is unavailable.
+type LoadSignal struct {
+	// QueueDepth is the box scheduler's pending task count.
+	QueueDepth int64
+	// FlushUs is a recent average of the box's request flush latency in
+	// microseconds (arrival of the first partial to result emission).
+	FlushUs int64
+	// RTTUs is the failure monitor's heartbeat round-trip time to the
+	// box in microseconds.
+	RTTUs int64
+}
+
+// Telemetry supplies per-box load signals to LoadAware. Implementations
+// must be safe for concurrent use; returning ok=false means "no signal",
+// which LoadAware treats as an idle box.
+type Telemetry interface {
+	// BoxSignal returns the current load signal for a box ID.
+	BoxSignal(id uint64) (LoadSignal, bool)
+}
+
+// StaticTelemetry is a fixed Telemetry for tests and simulations.
+type StaticTelemetry map[uint64]LoadSignal
+
+// BoxSignal implements Telemetry.
+func (s StaticTelemetry) BoxSignal(id uint64) (LoadSignal, bool) {
+	sig, ok := s[id]
+	return sig, ok
+}
+
+// LoadAware plans the same path set as OnPath but chooses among the live
+// boxes at each equipped switch by weighted rendezvous hashing: box i
+// gets the key -wᵢ/ln(uᵢ), where uᵢ ∈ (0,1) is derived by hashing the box
+// ID with the request hash and wᵢ = 1/(1+bucket(load)) shrinks as the
+// box's telemetry worsens; the highest key wins. An idle fleet therefore
+// spreads requests exactly as uniformly as rendezvous hashing, while a
+// hot box's share of new trees drops roughly in proportion to its load —
+// replans after failures or stragglers steer around hot boxes instead of
+// re-hashing onto them.
+//
+// The load enters the weight only through its power-of-two bucket
+// (bits.Len64), so shims whose telemetry views lag each other still
+// compute identical plans unless a box's load crosses a power-of-two
+// boundary between their reads; the divergence window is one straggler
+// timeout, after which the master's redirect re-synchronises every shim
+// on a freshly planned attempt (DESIGN.md §14).
+type LoadAware struct {
+	// Telemetry supplies the load signals; nil degrades to unweighted
+	// rendezvous hashing (all boxes idle).
+	Telemetry Telemetry
+}
+
+// Name implements Planner.
+func (LoadAware) Name() string { return "loadaware" }
+
+// Plan implements Planner.
+func (l LoadAware) Plan(topo Topology, req Request) Tree {
+	start := time.Now()
+	t, deadSkipped := plan(topo, req, func(_ string, alive []Box) Box {
+		return l.pick(alive, req.Hash)
+	})
+	observePlan(start, req, deadSkipped)
+	return t
+}
+
+// pick runs the weighted rendezvous election among the live boxes at one
+// switch. Ties (impossible in practice: keys are distinct reals) resolve
+// to the lowest deployment index, keeping the choice deterministic.
+func (l LoadAware) pick(alive []Box, hash uint64) Box {
+	best := 0
+	bestKey := math.Inf(-1)
+	for i, b := range alive {
+		key := -l.weight(b.ID) / math.Log(hashUnit(b.ID, hash))
+		if key > bestKey {
+			best, bestKey = i, key
+		}
+	}
+	return alive[best]
+}
+
+// weight maps a box's telemetry to its rendezvous weight in (0, 1].
+func (l LoadAware) weight(id uint64) float64 {
+	if l.Telemetry == nil {
+		return 1
+	}
+	sig, ok := l.Telemetry.BoxSignal(id)
+	if !ok {
+		return 1
+	}
+	return 1 / float64(1+loadBucket(sig))
+}
+
+// loadBucket quantises a load signal into its power-of-two bucket. The
+// scalar load folds the three signals into microsecond-ish units: a
+// queued task is costed at 1ms of backlog, flush latency and heartbeat
+// RTT enter directly.
+func loadBucket(sig LoadSignal) int {
+	load := sig.QueueDepth*1000 + sig.FlushUs + sig.RTTUs
+	if load <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(load))
+}
+
+// hashUnit maps (box, request hash) to a uniform value in (0, 1) using
+// the top 53 bits of the flow hash, offset so ln never sees 0 or 1.
+func hashUnit(id, hash uint64) float64 {
+	h := topology.FlowHash(0x10AD, id+1, hash)
+	return (float64(h>>11) + 0.5) / float64(1<<53)
+}

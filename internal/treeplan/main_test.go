@@ -1,0 +1,11 @@
+package treeplan_test
+
+import (
+	"testing"
+
+	"netagg/internal/testutil"
+)
+
+// TestMain gates the suite on goroutine quiescence (see internal/testutil):
+// planners are pure and must not leave anything running.
+func TestMain(m *testing.M) { testutil.LeakCheckMain(m) }

@@ -1,0 +1,39 @@
+package treeplan
+
+import "time"
+
+// OnPath is the paper's hash-on-path planner (§3.1): at each equipped
+// switch on a worker's path towards the master, the box is selected by
+// the request/tree hash modulo the live boxes there. Dead boxes are
+// skipped, which is how replanning after a failure works — the hash is
+// unchanged, so the surviving boxes' choices shift deterministically and
+// every shim shifts the same way.
+//
+// It is behavior-identical to the pre-refactor cluster.Deployment.Plan
+// (the oracle test pins this), so swapping planners is purely additive.
+type OnPath struct{}
+
+// Name implements Planner.
+func (OnPath) Name() string { return "onpath" }
+
+// Plan implements Planner.
+func (OnPath) Plan(topo Topology, req Request) Tree {
+	start := time.Now()
+	t, deadSkipped := plan(topo, req, func(_ string, alive []Box) Box {
+		return alive[req.Hash%uint64(len(alive))]
+	})
+	observePlan(start, req, deadSkipped)
+	return t
+}
+
+// observePlan records the planner metrics shared by all implementations:
+// planning latency, replan count (attempt > 0), and dead boxes skipped.
+func observePlan(start time.Time, req Request, deadSkipped int) {
+	obsPlanComputeUs.Observe(time.Since(start).Microseconds())
+	if req.Attempt > 0 {
+		obsPlanReplans.Inc()
+	}
+	if deadSkipped > 0 {
+		obsPlanDeadSkipped.Add(int64(deadSkipped))
+	}
+}

@@ -1,0 +1,189 @@
+// Package treeplan is the tree control plane: it decides, for one
+// aggregation request, which agg boxes the partial results of each worker
+// traverse on their way to the master (§3.1). The data plane — shims,
+// boxes, the simulator — asks a Planner for a Tree and executes it; how
+// the boxes are chosen is the planner's business alone, which is the seam
+// ROADMAP items 1 (congestion-aware dynamic trees) and 2 (bounded
+// placement) plug into.
+//
+// Planning must be per-worker decomposable: a worker shim plans with only
+// itself in Request.Workers and must get the same route the master
+// computed for it, because shims and masters coordinate purely through
+// the hashed request identifier (§3.1: "The next agg box on-path is
+// determined by hashing an application/request identifier"), never by
+// exchanging plans. Both built-in planners — OnPath (the paper's pure
+// hash) and LoadAware (telemetry-weighted rendezvous hashing) — have this
+// property; new planners must preserve it.
+//
+// The same Planner serves the live fabric (cluster.Deployment implements
+// Topology over hosts and deployed boxes) and the simulator
+// (strategies.NetAgg adapts topology.Topology), so planner experiments
+// run unchanged in both worlds.
+package treeplan
+
+import "netagg/internal/topology"
+
+// Box is one candidate aggregation box as the planner sees it.
+type Box struct {
+	// ID is the cluster-unique box identifier.
+	ID uint64
+	// Addr is the box's data listen address ("" in the simulator).
+	Addr string
+	// Switch names the switch the box is attached to.
+	Switch string
+	// Dead marks a box the failure monitor has declared failed; planners
+	// must never route through a dead box.
+	Dead bool
+}
+
+// Request identifies one aggregation tree to plan.
+type Request struct {
+	// Req is the application-level request identifier.
+	Req uint64
+	// Tree is the aggregation tree index within the request (§3.1
+	// "Multiple aggregation trees per application").
+	Tree int
+	// Attempt is the recovery attempt being planned (0 = first try).
+	// OnPath ignores it — replans change only by excluding boxes that
+	// died — but planners may use it to diversify retries.
+	Attempt int
+	// Hash is the request/tree hash every consistent-planning decision
+	// derives from. NewRequest fills it with RequestHash; the simulator
+	// supplies its own per-job hash so simulated ECMP and box choices
+	// stay aligned with the rest of the simulation.
+	Hash uint64
+	// Master is the master host's name (the tree root's destination).
+	Master string
+	// Workers lists the worker hosts to plan routes for. A worker shim
+	// passes only itself; the master passes all workers. Per-worker
+	// decomposability (see the package comment) makes both views agree.
+	Workers []string
+}
+
+// NewRequest builds a Request with the canonical live-fabric Hash.
+func NewRequest(req uint64, tree, attempt int, master string, workers []string) Request {
+	return Request{
+		Req: req, Tree: tree, Attempt: attempt,
+		Hash:   RequestHash(req, tree),
+		Master: master, Workers: workers,
+	}
+}
+
+// RequestHash derives the live fabric's request/tree hash (the salt is
+// fixed so every shim and master computes the same value independently).
+func RequestHash(req uint64, tree int) uint64 {
+	return topology.FlowHash(0xC4A1, req, uint64(tree)+1)
+}
+
+// Tree is one planned aggregation tree. Each tree is an independent
+// wire-level request (see cluster.WireReq), so trees can safely share agg
+// boxes — e.g. the box in the master's rack, which every tree's chain
+// ends at (§3.1).
+type Tree struct {
+	// Routes[worker] is the box chain the worker's partial results
+	// traverse, ordered from first hop to chain root (an empty chain
+	// means: send directly to the master).
+	Routes map[string][]Box
+	// Expect[box ID] counts the distinct direct sources (workers and
+	// upstream boxes) the box must hear an end-of-stream from (§3.2.2
+	// "Partial result collection").
+	Expect map[uint64]int
+	// Finals counts the sources that deliver results to the master shim
+	// for this tree: distinct chain roots plus workers with no on-path
+	// box.
+	Finals int
+}
+
+// TotalFinals counts result deliveries the master waits for across trees.
+func TotalFinals(trees []Tree) int {
+	n := 0
+	for i := range trees {
+		n += trees[i].Finals
+	}
+	return n
+}
+
+// RouteAddrs converts a box chain plus the master result address into the
+// wire route carried by THello frames.
+func RouteAddrs(chain []Box, masterAddr string) []string {
+	out := make([]string, 0, len(chain)+1)
+	for _, b := range chain {
+		out = append(out, b.Addr)
+	}
+	return append(out, masterAddr)
+}
+
+// Topology is the planner's read-only view of the network: which switches
+// a worker-to-master path crosses and which boxes each switch offers.
+// cluster.Deployment implements it for the live fabric; the simulator
+// adapts topology.Topology.
+type Topology interface {
+	// PathSwitches lists the switches on the up-down path from a worker
+	// to the master, in traversal order. Implementations with equal-cost
+	// multipath use hash to pin one path; single-path fabrics ignore it.
+	PathSwitches(worker, master string, hash uint64) []string
+	// BoxesAt lists the boxes attached to a switch in deployment order,
+	// including dead ones (planners filter on Box.Dead so they can count
+	// what they skipped).
+	BoxesAt(sw string) []Box
+}
+
+// Planner plans one aggregation tree over a topology. Implementations
+// must be pure with respect to (topo, req) plus whatever telemetry they
+// consume, deterministic, and per-worker decomposable (see the package
+// comment); they are called concurrently from many shims.
+type Planner interface {
+	// Name identifies the planner in experiment output and logs.
+	Name() string
+	// Plan computes the request's aggregation tree.
+	Plan(topo Topology, req Request) Tree
+}
+
+// plan builds a Tree by walking each worker's path and asking pick to
+// choose among the live boxes at every equipped switch. It is the shared
+// skeleton of OnPath and LoadAware: the tree-shape bookkeeping (expected
+// fan-in per box, finals at the master) is planner-independent. It
+// returns the number of dead boxes skipped for the planner to report.
+func plan(topo Topology, req Request, pick func(sw string, alive []Box) Box) (Tree, int) {
+	t := Tree{
+		Routes: make(map[string][]Box, len(req.Workers)),
+		Expect: make(map[uint64]int),
+	}
+	deadSkipped := 0
+	type edge struct{ up, down uint64 }
+	boxEdges := make(map[edge]bool)
+	roots := make(map[uint64]bool)
+	var alive []Box // reused across switches; Routes gets fresh slices
+	for _, wname := range req.Workers {
+		var chain []Box
+		for _, sw := range topo.PathSwitches(wname, req.Master, req.Hash) {
+			alive = alive[:0]
+			for _, b := range topo.BoxesAt(sw) {
+				if b.Dead {
+					deadSkipped++
+					continue
+				}
+				alive = append(alive, b)
+			}
+			if len(alive) == 0 {
+				continue
+			}
+			chain = append(chain, pick(sw, alive))
+		}
+		t.Routes[wname] = chain
+		if len(chain) == 0 {
+			t.Finals++
+			continue
+		}
+		t.Expect[chain[0].ID]++ // one direct worker stream
+		for i := 0; i+1 < len(chain); i++ {
+			boxEdges[edge{up: chain[i].ID, down: chain[i+1].ID}] = true
+		}
+		roots[chain[len(chain)-1].ID] = true
+	}
+	for e := range boxEdges {
+		t.Expect[e.down]++
+	}
+	t.Finals += len(roots)
+	return t, deadSkipped
+}
