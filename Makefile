@@ -44,7 +44,7 @@ fuzz-smoke:
 # turning use-after-release into a deterministic panic instead of silent
 # corruption. Run under -race so the checker also orders the accesses.
 bufpool-debug:
-	$(GO) test -tags netaggdebug -race ./internal/bufpool
+	$(GO) test -tags netaggdebug -race ./internal/bufpool ./internal/transport
 
 # The tier-1 gate: everything CI and pre-commit should run.
 verify: build vet lint escape race
@@ -62,16 +62,27 @@ profile:
 obs-smoke:
 	$(GO) run ./cmd/obs-smoke
 
-# CI bench smoke: the allocator micro-benchmarks (small, seconds) recorded
-# as a benchstat-compatible artifact — BENCH_simnet.json holds raw Go
-# benchmark text (the input format benchstat consumes); the fixed name is
-# the CI artifact convention. Compare two commits with
+# CI bench smoke: micro-benchmarks (small, seconds) recorded as
+# benchstat-compatible artifacts — each BENCH_*.json holds raw Go
+# benchmark text (the input format benchstat consumes); the fixed names
+# are the CI artifact convention. Compare two commits with
 # `benchstat old/BENCH_simnet.json new/BENCH_simnet.json`.
+#
+# The bufpool and transport artifacts are alloc-guarded: the fresh run
+# lands in a .new file, benchguard fails the target if any benchmark's
+# B/op grew >25% over the checked-in artifact, and only a passing run
+# replaces it — so alloc regressions break CI instead of silently
+# re-baselining (the BenchmarkTransportEcho 1488 B/op drift, CHANGES.md).
 bench-smoke:
 	$(GO) test ./internal/simnet -run '^$$' -bench BenchmarkAllocate \
 		-benchmem -benchtime 200x -count 5 | tee BENCH_simnet.json
-	$(GO) test ./internal/bufpool ./internal/transport -run '^$$' \
-		-bench 'BenchmarkBufpool|BenchmarkTransportEcho' \
-		-benchmem -benchtime 200x -count 5 | tee BENCH_bufpool.json
+	$(GO) test ./internal/bufpool -run '^$$' -bench BenchmarkBufpool \
+		-benchmem -benchtime 200x -count 5 | tee BENCH_bufpool.json.new
+	$(GO) run ./cmd/benchguard -baseline BENCH_bufpool.json BENCH_bufpool.json.new
+	mv BENCH_bufpool.json.new BENCH_bufpool.json
+	$(GO) test ./internal/transport -run '^$$' -bench BenchmarkTransport \
+		-benchmem -benchtime 2000x -count 5 | tee BENCH_transport.json.new
+	$(GO) run ./cmd/benchguard -baseline BENCH_transport.json BENCH_transport.json.new
+	mv BENCH_transport.json.new BENCH_transport.json
 	$(GO) test ./internal/treeplan -run '^$$' -bench BenchmarkPlan \
 		-benchmem -benchtime 200x -count 5 | tee BENCH_treeplan.json

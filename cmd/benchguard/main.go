@@ -1,0 +1,142 @@
+// Command benchguard compares a fresh Go benchmark run against a
+// checked-in baseline artifact and fails when allocation size regresses:
+// any benchmark whose mean B/op grows more than -max-growth (default
+// 25%) over the baseline exits non-zero. bench-smoke runs it before
+// overwriting the BENCH_*.json artifacts, so an alloc regression breaks
+// CI instead of silently re-baselining itself — the failure mode behind
+// the 1488 B/op drift this tool was written to catch.
+//
+// Usage:
+//
+//	benchguard -baseline BENCH_transport.json fresh-run.txt
+//
+// Both inputs are raw `go test -bench -benchmem` text (the benchstat
+// input format). Benchmarks present in only one file are ignored: new
+// benchmarks are allowed, and retired ones don't block.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "", "checked-in benchmark artifact to compare against")
+	maxGrowth := flag.Float64("max-growth", 0.25, "maximum allowed fractional B/op growth over the baseline")
+	flag.Parse()
+	if *baselinePath == "" || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchguard -baseline <artifact> <fresh-run>")
+		os.Exit(2)
+	}
+	base, err := parseFile(*baselinePath)
+	if err != nil {
+		// A missing baseline is not a regression: the first run of a new
+		// artifact has nothing to compare against.
+		if os.IsNotExist(err) {
+			fmt.Printf("benchguard: no baseline %s; skipping\n", *baselinePath)
+			return
+		}
+		fatal(err)
+	}
+	fresh, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if len(fresh) == 0 {
+		fatal(fmt.Errorf("no benchmark results in %s", flag.Arg(0)))
+	}
+	failed := false
+	for name, got := range fresh {
+		want, ok := base[name]
+		if !ok {
+			continue
+		}
+		limit := want.mean() * (1 + *maxGrowth)
+		// An absolute slack floor keeps tiny baselines (a few bytes) from
+		// tripping on measurement granularity.
+		if limit < want.mean()+16 {
+			limit = want.mean() + 16
+		}
+		if got.mean() > limit {
+			failed = true
+			fmt.Printf("benchguard: FAIL %s: %.0f B/op vs baseline %.0f B/op (> %+.0f%%)\n",
+				name, got.mean(), want.mean(), 100**maxGrowth)
+		} else {
+			fmt.Printf("benchguard: ok   %s: %.0f B/op vs baseline %.0f B/op\n",
+				name, got.mean(), want.mean())
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(2)
+}
+
+// sample accumulates the B/op readings of one benchmark across -count
+// repetitions.
+type sample struct {
+	sum float64
+	n   int
+}
+
+func (s sample) mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// parseFile extracts per-benchmark B/op from raw `go test -bench` output.
+// Lines look like:
+//
+//	BenchmarkTransportEcho-8   200   12052 ns/op   160 B/op   2 allocs/op
+//
+// The -8 GOMAXPROCS suffix is stripped so baselines travel across
+// machines.
+func parseFile(path string) (map[string]sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]sample)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] != "B/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			s := out[name]
+			s.sum += v
+			s.n++
+			out[name] = s
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -84,18 +84,31 @@ func run() error {
 	if err := getJSON(base+"/metrics", &metrics); err != nil {
 		return err
 	}
-	for _, want := range []string{"transport.frames_out", "box.frames_aggregated", "plan.replans", "plan.dead_boxes_skipped"} {
+	for _, want := range []string{
+		"transport.frames_out", "transport.writev_calls", "transport.batch_frames",
+		"box.frames_aggregated", "box.cutthrough_merges",
+		"plan.replans", "plan.dead_boxes_skipped",
+	} {
 		if _, ok := metrics.Counters[want]; !ok {
 			return fmt.Errorf("/metrics missing counter %q (got %d counters)", want, len(metrics.Counters))
 		}
 	}
-	for _, want := range []string{"shim.partial_bytes", "box.flush_latency_us", "box.fanin_parts", "plan.compute_us"} {
+	for _, want := range []string{"shim.partial_bytes", "box.flush_latency_us", "box.fanin_parts", "plan.compute_us", "transport.batch_size"} {
 		if _, ok := metrics.Histograms[want]; !ok {
 			return fmt.Errorf("/metrics missing histogram %q (got %d histograms)", want, len(metrics.Histograms))
 		}
 	}
 	if metrics.Counters["box.frames_aggregated"] == 0 {
 		return fmt.Errorf("box.frames_aggregated is 0 after a completed job")
+	}
+	// The batched write path must actually have been exercised: every
+	// frame the job pushed went through a flusher's vectored write.
+	if metrics.Counters["transport.writev_calls"] == 0 {
+		return fmt.Errorf("transport.writev_calls is 0 after a completed job")
+	}
+	if metrics.Counters["transport.batch_frames"] < metrics.Counters["transport.writev_calls"] {
+		return fmt.Errorf("transport.batch_frames (%d) < transport.writev_calls (%d)",
+			metrics.Counters["transport.batch_frames"], metrics.Counters["transport.writev_calls"])
 	}
 
 	// /traces must hold a completed trace for the job with all hops.

@@ -18,6 +18,10 @@ var (
 	obsBoxRequests = obs.C("box.requests")
 	// obsBoxCombines counts aggregation tasks executed (§3.2.1).
 	obsBoxCombines = obs.C("box.combines")
+	// obsCutThrough counts merges executed cut-through: a combine task
+	// pulled the next waiting part directly instead of re-queueing its
+	// intermediate result on the scheduler (pipelined aggregation).
+	obsCutThrough = obs.C("box.cutthrough_merges")
 	// obsFanIn is the per-request fan-in batch size: how many partial
 	// result frames one local tree consumed before emitting.
 	obsFanIn = obs.H("box.fanin_parts")

@@ -41,8 +41,12 @@ type LocalTree struct {
 
 	// BytesIn counts external payload bytes, for throughput measurements.
 	bytesIn int64
-	// combines counts executed aggregation tasks.
+	// combines counts pairwise merges executed (always n-1 for n parts).
 	combines int64
+	// cutThrough counts merges that ran cut-through: the combine task
+	// pulled the next waiting part directly instead of re-queueing its
+	// result on the scheduler.
+	cutThrough int64
 }
 
 // NewLocalTree creates a tree executing app's aggregation function on
@@ -136,26 +140,57 @@ func (t *LocalTree) scheduleLocked() {
 // inputs and encode a fresh output (the contract documented on
 // agg.Aggregator), so the output never aliases a or b.
 //
+// The task runs cut-through (§3.2.1 pipelined aggregation): when further
+// parts are already waiting, the freshly produced intermediate result is
+// merged with the next one in the same task instead of being re-queued
+// through the scheduler, so partials stream through one hot combine loop
+// as they arrive. Associativity and commutativity make the greedy order
+// equivalent to a binary tree; the result count stays n-1 merges.
+//
 //netagg:owns a
 //netagg:owns b
 func (t *LocalTree) combine(a, b *bufpool.Buf) {
-	out, err := t.aggregator.Combine(a.Bytes(), b.Bytes())
-	a.Release()
-	b.Release()
-	t.mu.Lock()
-	t.inflight--
-	t.combines++
-	if err != nil {
-		t.failLocked(err)
+	for {
+		out, err := t.aggregator.Combine(a.Bytes(), b.Bytes())
+		a.Release()
+		b.Release()
+		t.mu.Lock()
+		t.combines++
+		if err != nil {
+			t.inflight--
+			t.failLocked(err)
+			t.mu.Unlock()
+			return
+		}
+		if t.err != nil {
+			// The tree already failed; the intermediate result is dead
+			// weight for the GC, matching the pre-cut-through behaviour.
+			t.inflight--
+			t.maybeFinishLocked()
+			t.mu.Unlock()
+			return
+		}
+		if len(t.parts) > 0 {
+			// Cut-through: claim the next waiting part and keep merging in
+			// this task. inflight stays 1 for this task's two inputs;
+			// popping a part frees budget, so wake blocked Adds.
+			next := t.parts[len(t.parts)-1]
+			t.parts = t.parts[:len(t.parts)-1]
+			t.cutThrough++
+			obsCutThrough.Inc()
+			t.cond.Broadcast()
+			t.mu.Unlock()
+			a, b = bufpool.Adopt(out), next //netagg:owns out
+			continue
+		}
+		t.inflight--
+		t.parts = append(t.parts, bufpool.Adopt(out)) //netagg:owns out
+		t.scheduleLocked()
+		t.maybeFinishLocked()
 		t.mu.Unlock()
 		return
 	}
-	if t.err == nil {
-		t.parts = append(t.parts, bufpool.Adopt(out)) //netagg:owns out
-		t.scheduleLocked()
-	}
-	t.maybeFinishLocked()
-	t.mu.Unlock()
+	//lint:ignore bufown a and b are re-bound each cut-through iteration; the loop releases every pair right after Combine, so no path exits holding them
 }
 
 // failLocked records the first error and releases waiters.
@@ -210,9 +245,17 @@ func (t *LocalTree) BytesIn() int64 {
 	return t.bytesIn
 }
 
-// Combines reports the number of aggregation tasks executed.
+// Combines reports the number of pairwise merges executed.
 func (t *LocalTree) Combines() int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.combines
+}
+
+// CutThrough reports how many merges ran cut-through (without a
+// scheduler round-trip between them).
+func (t *LocalTree) CutThrough() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cutThrough
 }

@@ -78,6 +78,45 @@ func TestLocalTreeAggregatesKVs(t *testing.T) {
 	}
 }
 
+// Cut-through: with parts already waiting when a combine finishes, the
+// task merges in place instead of re-queueing its intermediate result
+// through the scheduler. The merge count must stay exactly n-1 and the
+// result must be unchanged.
+func TestLocalTreeCutThrough(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{Workers: 1, Seed: 1})
+	defer s.Close()
+	s.Register("wc", 1)
+	wr := newWaitResult()
+	tree := NewLocalTree(s, "wc", agg.KVCombiner{Op: agg.OpSum}, 128, wr.done)
+	const n = 40
+	for i := 0; i < n; i++ {
+		if !tree.Add(bufpool.Adopt(agg.EncodeKVs([]agg.KV{{Key: "k", Val: 1}}))) {
+			t.Fatal("Add refused")
+		}
+	}
+	tree.CloseInputs()
+	result, err := wr.wait(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kvs, err := agg.DecodeKVs(result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 1 || kvs[0].Val != n {
+		t.Fatalf("unexpected result %v", kvs)
+	}
+	if got := tree.Combines(); got != n-1 {
+		t.Fatalf("combines = %d, want %d (n-1 merges)", got, n-1)
+	}
+	// One scheduler worker serialises the tasks, so every task after the
+	// first finds the previous intermediate result waiting: cut-through
+	// must have fired.
+	if tree.CutThrough() == 0 {
+		t.Fatal("expected cut-through merges with a single worker and a backlog")
+	}
+}
+
 func TestLocalTreeSinglePartPassesThrough(t *testing.T) {
 	s := NewScheduler(SchedulerConfig{Workers: 2, Seed: 1})
 	defer s.Close()

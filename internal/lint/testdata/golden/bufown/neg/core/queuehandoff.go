@@ -1,0 +1,26 @@
+package core
+
+import "netagg/internal/bufpool"
+
+// sendQueue models the transport's send-queue admission with the
+// hand-off declared: the queue owns one retained reference per entry,
+// released by the flusher after the write (DESIGN.md §15).
+type sendQueue struct {
+	pending []*bufpool.Buf
+}
+
+// admit parks the queue's own reference with the transfer marked.
+func (q *sendQueue) admit(b *bufpool.Buf) {
+	c := b.Retain()
+	q.pending = append(q.pending, c) //netagg:owns c — the queue's reference, released by flushOne
+}
+
+// flushOne drains one entry and releases the queue's reference.
+func (q *sendQueue) flushOne() {
+	if len(q.pending) == 0 {
+		return
+	}
+	b := q.pending[len(q.pending)-1]
+	q.pending = q.pending[:len(q.pending)-1]
+	b.Release()
+}

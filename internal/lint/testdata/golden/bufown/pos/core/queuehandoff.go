@@ -1,0 +1,18 @@
+package core
+
+import "netagg/internal/bufpool"
+
+// sendQueue models the transport's send-queue admission: callers hand a
+// frame in, the queue takes its own retained reference, and a flusher
+// releases it after the write.
+type sendQueue struct {
+	pending []*bufpool.Buf
+}
+
+// admitWithoutMarker parks the queue's retain in the pending slice
+// without declaring the hand-off: the stored reference has no visible
+// owner, which is exactly how a queue teardown path comes to forget it.
+func (q *sendQueue) admitWithoutMarker(b *bufpool.Buf) {
+	c := b.Retain()
+	q.pending = append(q.pending, c)
+}

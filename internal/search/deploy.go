@@ -40,8 +40,12 @@ type Cluster struct {
 	Backends []*Backend
 }
 
-// Close stops the backends (the testbed owns the shims and boxes).
+// Close stops the frontend's connection pool and the backends (the
+// testbed owns the shims and boxes).
 func (c *Cluster) Close() {
+	if c.Frontend != nil {
+		c.Frontend.Close()
+	}
 	for _, b := range c.Backends {
 		b.Close()
 	}

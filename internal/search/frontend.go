@@ -69,6 +69,11 @@ func NewFrontend(cfg FrontendConfig) *Frontend {
 	return f
 }
 
+// Close tears down the frontend's backend connection pool (each pooled
+// connection owns a flusher goroutine). Equivalent to cancelling the
+// configured Context; idempotent.
+func (f *Frontend) Close() { f.pool.Close() }
+
 // Response is one completed query.
 type Response struct {
 	// Docs is the final merged result.

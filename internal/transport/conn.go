@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"netagg/internal/netem"
@@ -19,12 +20,47 @@ var ErrBackingOff = errors.New("transport: backing off after failed dial")
 // ErrClosed reports use of a closed connection.
 var ErrClosed = errors.New("transport: connection closed")
 
+// sendReq is one frame staged in the send queue. m is a value copy of
+// the sender's Msg, taken at admission so the sender may reuse its Msg
+// struct the moment Send returns; m.Buf carries the queue's own payload
+// reference (retained at admission, released or moved to the replay
+// window by the flusher). done, when non-nil, is where a synchronous
+// sender waits for the outcome of its frame's flush.
+type sendReq struct {
+	m    wire.Msg
+	done chan error
+	// sync marks a frame whose sender is waiting synchronously (the
+	// group's waiter rides the last frame; earlier frames carry sync
+	// alone). On a failed attempt sync frames are dropped with the error
+	// reported, where fire-and-forget frames persist for the retry.
+	sync bool
+}
+
+// connHandle wraps the established net.Conn so Close and Reset can
+// reach the live socket (to unblock an in-flight vectored write) without
+// sharing the flusher's connection state.
+type connHandle struct {
+	nc net.Conn
+}
+
 // Conn is a persistent outbound frame connection — the client side of
-// the data plane, subsuming the legacy wire.Client. It dials lazily with
-// a bounded timeout, serialises writes, drops the connection on a write
-// failure so the next send re-dials, paces re-dials to a dead peer with
-// jittered exponential backoff, and optionally replays recent frames
-// after a reconnect. Cancelling the constructor's context closes it.
+// the data plane. Senders enqueue frames into a bounded send queue; a
+// dedicated flusher goroutine drains the queue and coalesces everything
+// available into a single vectored write (headers in one scratch buffer,
+// pooled payloads as their own iovec elements — no copy between the
+// buffer pool and the socket). The flush policy is adaptive: a lone
+// frame on an idle connection flushes immediately, concurrent senders
+// are amortised into batched writev calls bounded by MaxBatchFrames and
+// MaxBatchBytes.
+//
+// The flusher also owns the connection lifecycle: it dials lazily with a
+// bounded timeout, paces re-dials to a dead peer with jittered
+// exponential backoff, and optionally replays recent frames after a
+// reconnect. While a healthy connection is established, Send blocks only
+// on queue admission; while disconnected, Send degrades to synchronous
+// so dial errors and backoff refusals surface to the caller exactly as
+// they did before the queue existed. Cancelling the constructor's
+// context closes the connection.
 type Conn struct {
 	addr string
 	opts Options
@@ -33,17 +69,36 @@ type Conn struct {
 
 	stats counters
 
-	mu         sync.Mutex
+	// Sender-side queue state. qmu guards only the queue and the
+	// closed/started flags — never a network operation, which is what
+	// fixes the old head-of-line blocking where one slow peer's write
+	// stalled every sender sharing the connection's mutex.
+	qmu     sync.Mutex
+	notFull *sync.Cond
+	queue   []sendReq
+	closed  bool
+	started bool // flusher goroutine launched
+
+	wake      chan struct{}              // flusher doorbell, 1-buffered
+	connected atomic.Bool                // an established connection is believed healthy
+	resetReq  atomic.Bool                // Reset asked the flusher to drop the connection
+	live      atomic.Pointer[connHandle] // the established socket, for Close/Reset teardown
+	dead      atomic.Pointer[connHandle] // reader's death notice for one specific connection
+
+	// Flusher-owned connection state: accessed only from the flusher
+	// goroutine, so none of it needs a lock.
 	conn       net.Conn
-	w          *wire.Writer
-	closed     bool
+	vw         *wire.VectorWriter
 	everUp     bool        // a connection has been established before
 	needReplay bool        // the previous connection died with frames possibly unread
-	replay     []*wire.Msg // last ReplayWindow frames written
+	replay     []wire.Msg  // last ReplayWindow frames written; owns one payload ref each
 	dialFails  int         // consecutive dial failures
 	nextDial   time.Time   // start of the next allowed dial (backoff)
+	writeFails int         // consecutive vectored-write failures
+	pending    []sendReq   // frames taken off the queue, not yet written
+	batch      []*wire.Msg // reused per-writev staging
 
-	wg sync.WaitGroup // reader goroutines
+	wg sync.WaitGroup // flusher + reader goroutines
 }
 
 // NewConn returns a connection to addr. Nothing is dialled until the
@@ -54,7 +109,13 @@ func NewConn(ctx context.Context, addr string, opts Options) *Conn {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	c := &Conn{addr: addr, opts: opts.withDefaults(), ctx: ctx}
+	c := &Conn{
+		addr: addr,
+		opts: opts.withDefaults(),
+		ctx:  ctx,
+		wake: make(chan struct{}, 1),
+	}
+	c.notFull = sync.NewCond(&c.qmu)
 	c.stop = context.AfterFunc(ctx, c.Close)
 	return c
 }
@@ -65,101 +126,339 @@ func (c *Conn) Addr() string { return c.addr }
 // Stats returns a snapshot of the connection's counters.
 func (c *Conn) Stats() Stats { return c.stats.snapshot() }
 
-// Send writes one frame, dialling (bounded, backoff-paced) on demand and
-// retrying across reconnects up to MaxSendAttempts.
+// Send queues one frame for the flusher. With a healthy connection
+// established it blocks only on send-queue admission (back-pressure) and
+// returns before the frame reaches the wire; delivery failures are
+// recovered through the replay window and the receiver's dedup (§3.1).
+// While disconnected it waits for the flusher's verdict so dial errors
+// and ErrBackingOff surface synchronously.
 func (c *Conn) Send(m *wire.Msg) error {
 	one := [1]*wire.Msg{m}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.sendLocked(one[:])
+	return c.enqueue(one[:])
 }
 
-// SendAll writes several frames with a single flush, with the same
-// dial/retry behaviour as Send.
+// SendAll queues several frames as one group: they are admitted
+// atomically, so the flusher coalesces them into the minimum number of
+// vectored writes (one, when the group fits the batch bounds).
 func (c *Conn) SendAll(msgs []*wire.Msg) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.sendLocked(msgs)
+	return c.enqueue(msgs)
 }
 
-// sendLocked runs the dial/write/retry loop. c.mu exists to serialise
-// all traffic on the connection, so holding it across these bounded
-// operations (dial timeout, kernel send buffer) is the invariant.
-func (c *Conn) sendLocked(msgs []*wire.Msg) error {
-	var err error
-	for attempt := 0; attempt < c.opts.MaxSendAttempts; attempt++ {
-		if err = c.ensureLocked(); err != nil {
-			// Dial failed or we are inside a backoff window: the window
-			// paces the next try, retrying here would just busy-dial.
-			return err
-		}
-		if err = c.writeLocked(msgs); err == nil {
-			c.retainLocked(msgs)
-			return nil
-		}
-		c.dropLocked()
+// enqueue admits msgs to the send queue and, when the connection is not
+// yet established, waits for the flusher to report the group's outcome.
+func (c *Conn) enqueue(msgs []*wire.Msg) error {
+	if len(msgs) == 0 {
+		return nil
 	}
-	return err
-}
-
-// writeLocked writes msgs followed by one flush and counts them.
-//
-//netagg:hotpath
-func (c *Conn) writeLocked(msgs []*wire.Msg) error {
-	for _, m := range msgs {
-		if err := c.w.Write(m); err != nil {
-			return err
-		}
-	}
-	if err := c.w.Flush(); err != nil {
+	if err := c.ctx.Err(); err != nil {
 		return err
 	}
-	for _, m := range msgs {
-		c.stats.framesOut.Add(1)
-		c.stats.bytesOut.Add(int64(len(m.Payload)))
-		obsFramesOut.Inc()
-		obsBytesOut.Add(int64(len(m.Payload)))
+	sync := !c.connected.Load()
+	var done chan error
+	if sync {
+		done = make(chan error, 1)
+	}
+	c.qmu.Lock()
+	if !c.started && !c.closed {
+		c.started = true
+		c.wg.Add(1)
+		go c.flusher()
+	}
+	// Admission: wait until the whole group fits the bounded queue. An
+	// empty queue always admits, so a group larger than the bound cannot
+	// deadlock — it just has the queue to itself.
+	for len(c.queue) > 0 && len(c.queue)+len(msgs) > c.opts.SendQueue && !c.closed {
+		c.stats.queueWaits.Add(1)
+		obsQueueWaits.Inc()
+		//lint:ignore lockdiscipline admission back-pressure: qmu guards only the queue (no network I/O ever runs under it) and Close broadcasts after setting closed, so the wait always terminates
+		c.notFull.Wait()
+	}
+	if c.closed {
+		c.qmu.Unlock()
+		return ErrClosed
+	}
+	for i, m := range msgs {
+		cp := *m
+		cp.Buf = m.Buf.Retain() //netagg:owns cp — the queue's reference, released or moved to the replay window by the flusher
+		var d chan error
+		if sync && i == len(msgs)-1 {
+			d = done // the group's waiter rides its last frame
+		}
+		c.queue = append(c.queue, sendReq{m: cp, done: d, sync: sync})
+	}
+	c.qmu.Unlock()
+	c.doorbell()
+	if !sync {
+		return nil
+	}
+	select {
+	case err := <-done:
+		return err
+	case <-c.ctx.Done():
+		// The flusher's verdict (if any) lands in the buffered channel and
+		// is dropped with it; the frames themselves are completed by the
+		// flusher's shutdown path.
+		return c.ctx.Err()
+	}
+}
+
+// doorbell nudges the flusher; a full buffer means a wake-up is already
+// pending.
+func (c *Conn) doorbell() {
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+}
+
+// flusher is the connection's single writer goroutine: it drains the
+// send queue, establishes the connection as needed, and turns every
+// drained run of frames into coalesced vectored writes.
+func (c *Conn) flusher() {
+	defer c.wg.Done()
+	for {
+		closed := c.moveQueued()
+		if c.resetReq.Swap(false) {
+			c.dropConn()
+		}
+		// A death notice names one specific connection; honour it only if
+		// that connection is still current, so a stale reader cannot kill
+		// its successor.
+		if d := c.dead.Swap(nil); d != nil && c.conn != nil && d.nc == c.conn {
+			c.dropConn()
+		}
+		if closed {
+			c.shutdown()
+			return
+		}
+		if len(c.pending) == 0 {
+			if c.needReplay && len(c.replay) > 0 {
+				// Eager §3.1 recovery: the window may hold frames the dead
+				// peer never processed, and no future send is guaranteed to
+				// arrive and trigger the rewrite lazily. Reconnect now
+				// (ensure replays before reporting success), pacing retries
+				// with the dial backoff.
+				if err := c.ensure(); err != nil {
+					if c.ctx.Err() != nil {
+						c.qmu.Lock()
+						c.closed = true
+						c.notFull.Broadcast()
+						c.qmu.Unlock()
+						continue
+					}
+					c.waitRetry()
+				}
+				continue
+			}
+			select {
+			case <-c.wake:
+			case <-c.ctx.Done():
+				// Mark closed ourselves: the context's AfterFunc runs
+				// Close concurrently, but observing the cancellation here
+				// must terminate the loop even if that hook is delayed.
+				c.qmu.Lock()
+				c.closed = true
+				c.notFull.Broadcast()
+				c.qmu.Unlock()
+			}
+			continue
+		}
+		if err := c.ensure(); err != nil {
+			c.failWaiters(err)
+			if len(c.pending) > 0 {
+				// Fire-and-forget frames persist across the outage; wait
+				// for the backoff window (or new work) and try again.
+				c.waitRetry()
+			}
+			continue
+		}
+		c.writePending()
+	}
+}
+
+// moveQueued claims everything senders have queued, reopening admission
+// space, and reports whether the connection has been closed.
+func (c *Conn) moveQueued() bool {
+	c.qmu.Lock()
+	if len(c.queue) > 0 {
+		c.pending = append(c.pending, c.queue...)
+		for i := range c.queue {
+			c.queue[i] = sendReq{}
+		}
+		c.queue = c.queue[:0]
+		c.notFull.Broadcast()
+	}
+	closed := c.closed
+	c.qmu.Unlock()
+	return closed
+}
+
+// waitRetry sleeps until the next allowed dial, new work, or shutdown.
+func (c *Conn) waitRetry() {
+	d := time.Until(c.nextDial)
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-c.wake:
+		c.doorbell() // preserve the nudge for the main loop's next block
+	case <-t.C:
+	case <-c.ctx.Done():
+	}
+}
+
+// writePending drains the pending frames into batch-bounded vectored
+// writes. On a write error the connection is dropped and pending frames
+// are kept for the post-reconnect rewrite; repeated failures surface the
+// error to synchronous waiters.
+func (c *Conn) writePending() {
+	for len(c.pending) > 0 {
+		n := c.batchBound()
+		c.batch = c.batch[:0]
+		for i := 0; i < n; i++ {
+			c.batch = append(c.batch, &c.pending[i].m)
+		}
+		if err := c.writeVec(); err != nil {
+			c.dropConn()
+			c.writeFails++
+			if c.writeFails >= c.opts.MaxSendAttempts {
+				c.failWaiters(err)
+				c.writeFails = 0
+			}
+			return
+		}
+		c.writeFails = 0
+		c.finishBatch(n)
+	}
+}
+
+// batchBound returns how many pending frames the next vectored write may
+// coalesce under the frame-count and payload-byte caps (always at least
+// one).
+//
+//netagg:hotpath
+func (c *Conn) batchBound() int {
+	n := len(c.pending)
+	if n > c.opts.MaxBatchFrames {
+		n = c.opts.MaxBatchFrames
+	}
+	bytes := 0
+	for i := 0; i < n; i++ {
+		bytes += len(c.pending[i].m.Payload)
+		if bytes > c.opts.MaxBatchBytes && i > 0 {
+			return i
+		}
+	}
+	return n
+}
+
+// writeVec issues one vectored write for the frames staged in c.batch
+// and records the per-batch counters.
+//
+//netagg:hotpath
+func (c *Conn) writeVec() error {
+	written, err := c.vw.WriteBatch(c.batch)
+	if err != nil {
+		return err
+	}
+	k := int64(len(c.batch))
+	var payload int64
+	for _, m := range c.batch {
+		payload += int64(len(m.Payload))
+	}
+	c.stats.writevCalls.Add(1)
+	c.stats.framesOut.Add(k)
+	c.stats.bytesOut.Add(payload)
+	obsWritevCalls.Inc()
+	obsBatchSize.Observe(k)
+	obsBatchFrames.Add(k)
+	obsBatchBytes.Add(written)
+	obsFramesOut.Add(k)
+	obsBytesOut.Add(payload)
+	if k > 1 {
+		c.stats.batchedFrames.Add(k)
+		obsFlushCoalesce.Add(k - 1)
 	}
 	return nil
 }
 
-// retainLocked appends msgs to the replay window, trimming to the
-// configured size. The window takes its own reference on each pooled
-// payload so senders may release theirs as soon as Send returns; trimmed
-// frames give their reference back.
-func (c *Conn) retainLocked(msgs []*wire.Msg) {
-	n := c.opts.ReplayWindow
-	if n <= 0 {
-		return
-	}
-	for _, m := range msgs {
-		_ = m.Buf.Retain() //netagg:owns m — the window's reference, released on trim/Close
-	}
-	c.replay = append(c.replay, msgs...)
-	if len(c.replay) > n {
-		drop := c.replay[:len(c.replay)-n]
-		for _, m := range drop {
-			m.Buf.Release()
+// finishBatch completes the first n pending frames after a successful
+// write: the queue's payload reference moves to the replay window (or is
+// released), and synchronous waiters are woken with success.
+func (c *Conn) finishBatch(n int) {
+	for i := 0; i < n; i++ {
+		req := &c.pending[i]
+		if c.opts.ReplayWindow > 0 {
+			c.retainReplay(req.m)
+		} else {
+			req.m.Buf.Release()
 		}
-		c.replay = append([]*wire.Msg(nil), c.replay[len(c.replay)-n:]...)
+		if req.done != nil {
+			select {
+			case req.done <- nil:
+			default: // cap-1 channel, single verdict per group: never full
+			}
+		}
+	}
+	m := copy(c.pending, c.pending[n:])
+	for i := m; i < len(c.pending); i++ {
+		c.pending[i] = sendReq{}
+	}
+	c.pending = c.pending[:m]
+}
+
+// failWaiters reports err to every synchronous sender in pending and
+// releases the frames of their groups; fire-and-forget frames stay
+// pending for the next attempt, preserving their order.
+func (c *Conn) failWaiters(err error) {
+	kept := c.pending[:0]
+	for i := range c.pending {
+		req := c.pending[i]
+		if req.sync {
+			req.m.Buf.Release()
+			if req.done != nil {
+				select {
+				case req.done <- err:
+				default: // cap-1 channel, single verdict per group: never full
+				}
+			}
+		} else {
+			kept = append(kept, req)
+		}
+	}
+	for i := len(kept); i < len(c.pending); i++ {
+		c.pending[i] = sendReq{}
+	}
+	c.pending = kept
+}
+
+// retainReplay moves the queue's payload reference on m into the replay
+// window, trimming the oldest frames beyond the configured size.
+func (c *Conn) retainReplay(m wire.Msg) {
+	c.replay = append(c.replay, m) //netagg:owns m — the window's reference, released on trim/Close
+	if n := c.opts.ReplayWindow; len(c.replay) > n {
+		drop := c.replay[:len(c.replay)-n]
+		for i := range drop {
+			drop[i].Buf.Release()
+		}
+		c.replay = append(c.replay[:0], c.replay[len(c.replay)-n:]...)
 	}
 }
 
-// releaseReplayLocked drops the window's payload references; called once
-// on Close, when no further replay can happen.
-func (c *Conn) releaseReplayLocked() {
-	for _, m := range c.replay {
-		m.Buf.Release()
+// releaseReplay drops the window's payload references; called once on
+// shutdown, when no further replay can happen.
+func (c *Conn) releaseReplay() {
+	for i := range c.replay {
+		c.replay[i].Buf.Release()
 	}
 	c.replay = nil
 }
 
-// ensureLocked establishes the connection if needed, honouring the
-// backoff window, and replays retained frames after a reconnect.
-func (c *Conn) ensureLocked() error {
-	if c.closed {
-		return ErrClosed
-	}
+// ensure establishes the connection if needed, honouring the backoff
+// window, and rewrites retained frames after a reconnect.
+func (c *Conn) ensure() error {
 	if err := c.ctx.Err(); err != nil {
 		return err
 	}
@@ -193,7 +492,9 @@ func (c *Conn) ensureLocked() error {
 		nc = netem.Wrap(nc, c.opts.NIC)
 	}
 	c.conn = nc
-	c.w = wire.NewWriter(nc)
+	c.vw = wire.NewVectorWriter(nc)
+	h := &connHandle{nc: nc}
+	c.live.Store(h)
 	c.dialFails = 0
 	c.nextDial = time.Time{}
 	c.stats.dials.Add(1)
@@ -203,59 +504,122 @@ func (c *Conn) ensureLocked() error {
 		obsReconnects.Inc()
 	}
 	c.everUp = true
-	if c.opts.OnFrame != nil {
-		c.wg.Add(1)
-		go c.readLoop(nc)
-	}
+	// The reader runs even without OnFrame: a write-only flusher with an
+	// empty queue would otherwise never notice a dead peer (the last batch
+	// "succeeds" into the dead socket's buffer), and the §3.1 replay would
+	// wait forever for a failure that cannot surface.
+	c.wg.Add(1)
+	go c.readLoop(nc, h)
 	if c.needReplay && len(c.replay) > 0 {
 		c.stats.replayed.Add(int64(len(c.replay)))
 		obsReplayed.Add(int64(len(c.replay)))
-		if err := c.writeLocked(c.replay); err != nil {
-			c.dropLocked()
+		if err := c.writeReplay(); err != nil {
+			c.dropConn()
 			return err
 		}
 	}
 	c.needReplay = false
+	c.connected.Store(true)
 	return nil
 }
 
-// dropLocked tears down the current connection so the next send
-// re-dials. With a replay window configured, the frames retained are
-// marked for rewrite on the next connection: a write that "succeeded"
-// into a dead peer's socket buffer is indistinguishable from a delivered
-// one, so recovery must resend (receivers dedup, §3.1).
-func (c *Conn) dropLocked() {
+// writeReplay rewrites the replay window onto a fresh connection, in
+// batch-bounded vectored writes. A write that "succeeded" into a dead
+// peer's socket buffer is indistinguishable from a delivered one, so
+// recovery must resend; receivers dedup (§3.1).
+func (c *Conn) writeReplay() error {
+	for off := 0; off < len(c.replay); {
+		n := len(c.replay) - off
+		if n > c.opts.MaxBatchFrames {
+			n = c.opts.MaxBatchFrames
+		}
+		c.batch = c.batch[:0]
+		for i := 0; i < n; i++ {
+			c.batch = append(c.batch, &c.replay[off+i])
+		}
+		if err := c.writeVec(); err != nil {
+			return err
+		}
+		off += n
+	}
+	return nil
+}
+
+// dropConn tears down the current connection so the next attempt
+// re-dials. With a replay window configured, retained frames are marked
+// for rewrite on the next connection.
+func (c *Conn) dropConn() {
+	c.connected.Store(false)
 	if c.conn == nil {
 		return
 	}
 	c.conn.Close()
 	c.conn = nil
-	c.w = nil
+	c.vw = nil
+	c.live.Store(nil)
 	if c.opts.ReplayWindow > 0 {
 		c.needReplay = true
 	}
 }
 
-// readLoop delivers inbound frames to OnFrame until the connection dies.
-// Each frame's pooled payload reference transfers to OnFrame (see
-// Options.OnFrame): the handler releases it, and a handler that forgets
-// merely falls back to the GC.
-func (c *Conn) readLoop(nc net.Conn) {
+// shutdown is the flusher's exit path: every queued and pending frame is
+// completed (waiters get ErrClosed, fire-and-forget frames are counted
+// dropped), all queue and replay references are released, and the socket
+// is closed.
+func (c *Conn) shutdown() {
+	for i := range c.pending {
+		req := c.pending[i]
+		req.m.Buf.Release()
+		if req.done != nil {
+			select {
+			case req.done <- ErrClosed:
+			default: // cap-1 channel, single verdict per group: never full
+			}
+		}
+		if !req.sync {
+			c.stats.dropped.Add(1)
+			obsQueueDrops.Inc()
+		}
+		c.pending[i] = sendReq{}
+	}
+	c.pending = nil
+	c.releaseReplay()
+	c.dropConn()
+}
+
+// readLoop delivers inbound frames to OnFrame (discarding them when none
+// is set — it still runs as the connection's death watcher) until the
+// connection dies, then posts a death notice naming its connection so the
+// flusher drops it and the next send re-dials and replays. Each frame's
+// pooled payload reference transfers to OnFrame (see Options.OnFrame):
+// the handler releases it, and a handler that forgets merely falls back
+// to the GC.
+func (c *Conn) readLoop(nc net.Conn, h *connHandle) {
 	defer c.wg.Done()
 	r := wire.NewReader(nc)
 	for {
 		m, err := r.Read()
 		if err != nil {
 			// Ensure the writer side notices promptly even if it is the
-			// peer that went away.
+			// peer that went away, then tell the flusher which connection
+			// died.
 			nc.Close()
+			if c.live.Load() == h {
+				c.connected.Store(false)
+			}
+			c.dead.Store(h)
+			c.doorbell()
 			return
 		}
 		c.stats.framesIn.Add(1)
 		c.stats.bytesIn.Add(int64(len(m.Payload)))
 		obsFramesIn.Inc()
 		obsBytesIn.Add(int64(len(m.Payload)))
-		c.opts.OnFrame(m)
+		if c.opts.OnFrame != nil {
+			c.opts.OnFrame(m)
+		} else {
+			m.Buf.Release()
+		}
 	}
 }
 
@@ -263,24 +627,35 @@ func (c *Conn) readLoop(nc net.Conn) {
 // The failure monitor uses it when a peer stops replying without the
 // connection erroring.
 func (c *Conn) Reset() {
-	c.mu.Lock()
-	c.dropLocked()
-	c.mu.Unlock()
+	c.resetReq.Store(true)
+	c.connected.Store(false)
+	if h := c.live.Load(); h != nil {
+		h.nc.Close() // unblock an in-flight write into the dead socket
+	}
+	c.doorbell()
 }
 
-// Close tears the connection down and drains its reader goroutine. It is
-// idempotent and is also invoked by cancellation of the constructor's
-// context.
+// Close tears the connection down: the flusher completes or drops every
+// queued frame, releases the replay window, and exits; reader goroutines
+// drain. It is idempotent and is also invoked by cancellation of the
+// constructor's context.
 func (c *Conn) Close() {
-	c.mu.Lock()
+	c.qmu.Lock()
 	if c.closed {
-		c.mu.Unlock()
+		c.qmu.Unlock()
+		if c.stop != nil {
+			c.stop()
+		}
 		return
 	}
 	c.closed = true
-	c.dropLocked()
-	c.releaseReplayLocked()
-	c.mu.Unlock()
+	c.notFull.Broadcast()
+	c.qmu.Unlock()
+	c.connected.Store(false)
+	c.doorbell()
+	if h := c.live.Load(); h != nil {
+		h.nc.Close() // unblock an in-flight write so the flusher can exit
+	}
 	if c.stop != nil {
 		c.stop()
 	}

@@ -42,6 +42,16 @@ const (
 	// defaultSendAttempts is the original try plus one retry after a
 	// reconnect, matching the legacy client's behaviour.
 	defaultSendAttempts = 2
+	// defaultSendQueue bounds frames admitted to a connection's send
+	// queue before senders block (back-pressure toward the application).
+	defaultSendQueue = 256
+	// defaultMaxBatchFrames caps frames coalesced into one vectored
+	// write.
+	defaultMaxBatchFrames = 64
+	// defaultMaxBatchBytes caps payload bytes coalesced into one
+	// vectored write, so a run of large frames does not pin the flusher
+	// (and every queued sender behind it) in a single enormous writev.
+	defaultMaxBatchBytes = 1 << 20
 )
 
 // Options configure an outbound Conn (and every Conn a Pool creates).
@@ -79,6 +89,20 @@ type Options struct {
 	// own reference on each frame's pooled payload, so senders must not
 	// recycle or mutate a sent Msg's payload buffer out from under it.
 	ReplayWindow int
+	// SendQueue bounds the frames buffered between senders and the
+	// connection's flusher goroutine (default 256). Once an established
+	// connection exists, Send blocks only on admission to this queue;
+	// the flusher drains it into coalesced vectored writes.
+	SendQueue int
+	// MaxBatchFrames caps how many queued frames one vectored write may
+	// coalesce (default 64). The flush policy is adaptive below the cap:
+	// an empty queue flushes a lone frame immediately, a backlog is
+	// drained in cap-sized writev calls.
+	MaxBatchFrames int
+	// MaxBatchBytes caps the payload bytes one vectored write may
+	// coalesce (default 1 MiB); a single frame larger than the cap still
+	// goes out alone.
+	MaxBatchBytes int
 }
 
 // withDefaults fills zero fields.
@@ -88,6 +112,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxSendAttempts <= 0 {
 		o.MaxSendAttempts = defaultSendAttempts
+	}
+	if o.SendQueue <= 0 {
+		o.SendQueue = defaultSendQueue
+	}
+	if o.MaxBatchFrames <= 0 {
+		o.MaxBatchFrames = defaultMaxBatchFrames
+	}
+	if o.MaxBatchBytes <= 0 {
+		o.MaxBatchBytes = defaultMaxBatchBytes
 	}
 	o.Backoff = o.Backoff.withDefaults()
 	return o
@@ -120,6 +153,17 @@ type Stats struct {
 	// Active is the number of currently open inbound connections
 	// (Server only).
 	Active int64
+	// WritevCalls counts vectored writes issued by the endpoint's
+	// flusher; FramesOut / WritevCalls is the mean coalesced batch size.
+	WritevCalls int64
+	// BatchedFrames counts frames that shared a vectored write with at
+	// least one other frame (the coalescing win over one-flush-per-frame).
+	BatchedFrames int64
+	// QueueWaits counts sends that blocked on send-queue admission
+	// (back-pressure events, not failures).
+	QueueWaits int64
+	// Dropped counts queued frames released undelivered at Close/teardown.
+	Dropped int64
 }
 
 // merge adds o into s (Pool aggregation).
@@ -135,6 +179,10 @@ func (s Stats) merge(o Stats) Stats {
 	s.Replayed += o.Replayed
 	s.Accepted += o.Accepted
 	s.Active += o.Active
+	s.WritevCalls += o.WritevCalls
+	s.BatchedFrames += o.BatchedFrames
+	s.QueueWaits += o.QueueWaits
+	s.Dropped += o.Dropped
 	return s
 }
 
@@ -147,20 +195,28 @@ type counters struct {
 	backoffSkips        atomic.Int64
 	replayed            atomic.Int64
 	accepted, active    atomic.Int64
+	writevCalls         atomic.Int64
+	batchedFrames       atomic.Int64
+	queueWaits          atomic.Int64
+	dropped             atomic.Int64
 }
 
 func (c *counters) snapshot() Stats {
 	return Stats{
-		FramesIn:     c.framesIn.Load(),
-		BytesIn:      c.bytesIn.Load(),
-		FramesOut:    c.framesOut.Load(),
-		BytesOut:     c.bytesOut.Load(),
-		Dials:        c.dials.Load(),
-		DialFailures: c.dialFailures.Load(),
-		Reconnects:   c.reconnects.Load(),
-		BackoffSkips: c.backoffSkips.Load(),
-		Replayed:     c.replayed.Load(),
-		Accepted:     c.accepted.Load(),
-		Active:       c.active.Load(),
+		FramesIn:      c.framesIn.Load(),
+		BytesIn:       c.bytesIn.Load(),
+		FramesOut:     c.framesOut.Load(),
+		BytesOut:      c.bytesOut.Load(),
+		Dials:         c.dials.Load(),
+		DialFailures:  c.dialFailures.Load(),
+		Reconnects:    c.reconnects.Load(),
+		BackoffSkips:  c.backoffSkips.Load(),
+		Replayed:      c.replayed.Load(),
+		Accepted:      c.accepted.Load(),
+		Active:        c.active.Load(),
+		WritevCalls:   c.writevCalls.Load(),
+		BatchedFrames: c.batchedFrames.Load(),
+		QueueWaits:    c.queueWaits.Load(),
+		Dropped:       c.dropped.Load(),
 	}
 }
