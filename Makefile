@@ -86,3 +86,7 @@ bench-smoke:
 	mv BENCH_transport.json.new BENCH_transport.json
 	$(GO) test ./internal/treeplan -run '^$$' -bench BenchmarkPlan \
 		-benchmem -benchtime 200x -count 5 | tee BENCH_treeplan.json
+	$(GO) test ./internal/strategies -run '^$$' -bench BenchmarkReplan \
+		-benchmem -benchtime 20x -count 5 | tee BENCH_replan.json.new
+	$(GO) run ./cmd/benchguard -baseline BENCH_replan.json BENCH_replan.json.new
+	mv BENCH_replan.json.new BENCH_replan.json

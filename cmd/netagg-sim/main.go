@@ -1,7 +1,7 @@
 // Command netagg-sim regenerates the paper's simulation figures (§2.4 and
 // §4.1: Figs 2, 3, 6-14) on the flow-level data centre simulator and prints
 // the same rows/series the paper plots, plus the repository's own planner
-// experiment (EXPERIMENTS.md "planner").
+// and dynamic-tree experiments (EXPERIMENTS.md "planner" and "replan").
 //
 // Usage:
 //
@@ -34,12 +34,13 @@ var all = map[string]func(figures.Options) *figures.Report{
 	"fig13":   figures.Fig13,
 	"fig14":   figures.Fig14,
 	"planner": figures.FigPlanner,
+	"replan":  figures.FigReplan,
 }
 
 var order = []string{
 	"fig02", "fig03", "fig06", "fig07", "fig08",
 	"fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
-	"planner",
+	"planner", "replan",
 }
 
 func main() {

@@ -23,6 +23,7 @@ import (
 
 	"netagg/internal/agg"
 	"netagg/internal/testbed"
+	"netagg/internal/treeplan"
 )
 
 func main() {
@@ -40,9 +41,12 @@ func run() error {
 	tb, err := testbed.New(testbed.Config{
 		Racks:          2,
 		WorkersPerRack: 2,
-		BoxesPerSwitch: 1,
+		BoxesPerSwitch: 2,
 		Registry:       reg,
-		DebugAddr:      "127.0.0.1:0",
+		// The straggler timer re-syncs workers whose requests the forced
+		// migration below re-epochs before they have anything buffered.
+		StragglerTimeout: 300 * time.Millisecond,
+		DebugAddr:        "127.0.0.1:0",
 	})
 	if err != nil {
 		return err
@@ -72,6 +76,62 @@ func run() error {
 		return fmt.Errorf("job did not complete within 10s")
 	}
 
+	// A forced subtree migration so the replan.* metrics and the
+	// "migrate" trace hop have something to report (DESIGN.md §16,
+	// OPERATIONS.md §9): a second request is submitted, then a replanner
+	// wired like Testbed.StartReplanner is ticked with fake-hot telemetry
+	// one box at a time until the migration moves the pending request.
+	// The workers send only afterwards — at the superseded epoch — so the
+	// straggler timer must re-sync them and the request must still
+	// complete exactly once.
+	const migReq = 9
+	pendingMig, err := tb.Master.Submit("wc", migReq, workers, 1)
+	if err != nil {
+		return err
+	}
+	tel := treeplan.StaticTelemetry{}
+	migrated := 0
+	rp := treeplan.NewReplanner(treeplan.ReplannerConfig{
+		Policy:    treeplan.ReplanPolicy{HotLoadUs: 1, HotStreak: 1, CooldownTicks: 1 << 20},
+		Boxes:     tb.Dep.PlannerBoxes,
+		Telemetry: tel,
+		Mark:      tb.Dep.MarkCongested,
+		Migrate: func(id uint64) int {
+			n := tb.Master.MigrateAway(id)
+			migrated += n
+			return n
+		},
+	})
+	for _, b := range tb.Dep.Boxes() {
+		tel[b.ID] = treeplan.LoadSignal{QueueDepth: 1 << 20}
+		rp.Tick()
+		delete(tel, b.ID)
+		if migrated > 0 {
+			break
+		}
+	}
+	if migrated == 0 {
+		return fmt.Errorf("forced replan never migrated the pending request")
+	}
+	for i, host := range workers {
+		part := agg.EncodeKVs([]agg.KV{{Key: "mig", Val: int64(i + 1)}})
+		if err := tb.Workers[host].SendPartials("wc", migReq, i, testbed.MasterHost, [][]byte{part}, 1); err != nil {
+			return err
+		}
+	}
+	select {
+	case res := <-pendingMig.C:
+		if res.Err != nil {
+			return fmt.Errorf("migrated job failed: %w", res.Err)
+		}
+		if res.Attempts < 1 {
+			return fmt.Errorf("migrated job reports %d attempts, want >= 1", res.Attempts)
+		}
+		res.Release()
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("migrated job did not complete within 10s")
+	}
+
 	base := "http://" + tb.DebugAddr() + "/debug/netagg"
 
 	// /metrics must be valid JSON and contain at least one metric from
@@ -87,7 +147,9 @@ func run() error {
 	for _, want := range []string{
 		"transport.frames_out", "transport.writev_calls", "transport.batch_frames",
 		"box.frames_aggregated", "box.cutthrough_merges",
-		"plan.replans", "plan.dead_boxes_skipped",
+		"plan.replans", "plan.dead_boxes_skipped", "plan.slow_boxes_avoided",
+		"replan.ticks", "replan.migrations", "replan.migrated_requests",
+		"replan.cooldown_holds", "box.requests_cancelled", "transport.replay_trimmed",
 	} {
 		if _, ok := metrics.Counters[want]; !ok {
 			return fmt.Errorf("/metrics missing counter %q (got %d counters)", want, len(metrics.Counters))
@@ -110,37 +172,60 @@ func run() error {
 		return fmt.Errorf("transport.batch_frames (%d) < transport.writev_calls (%d)",
 			metrics.Counters["transport.batch_frames"], metrics.Counters["transport.writev_calls"])
 	}
+	// The forced migration must be visible to an operator reading the
+	// replan.* metrics (OPERATIONS.md §9).
+	if metrics.Counters["replan.ticks"] == 0 {
+		return fmt.Errorf("replan.ticks is 0 after ticking the replanner")
+	}
+	if metrics.Counters["replan.migrations"] == 0 {
+		return fmt.Errorf("replan.migrations is 0 after a forced migration")
+	}
+	if metrics.Counters["replan.migrated_requests"] == 0 {
+		return fmt.Errorf("replan.migrated_requests is 0 after a forced migration")
+	}
+	if _, ok := metrics.Gauges["replan.congested_boxes"]; !ok {
+		return fmt.Errorf("/metrics missing gauge replan.congested_boxes")
+	}
 
-	// /traces must hold a completed trace for the job with all hops.
+	// /traces must hold a completed trace for the job with all hops, and
+	// the forced migration must have left a "migrate" span on some trace
+	// (the superseded attempt's — it never completes, so look at active
+	// and recent alike; see OPERATIONS.md §9).
+	type traceInfo struct {
+		App   string `json:"app"`
+		Done  bool   `json:"done"`
+		Spans []struct {
+			Hop string `json:"hop"`
+		} `json:"spans"`
+	}
 	var traces struct {
-		Active []json.RawMessage `json:"active"`
-		Recent []struct {
-			App   string `json:"app"`
-			Done  bool   `json:"done"`
-			Spans []struct {
-				Hop string `json:"hop"`
-			} `json:"spans"`
-		} `json:"recent"`
+		Active []traceInfo `json:"active"`
+		Recent []traceInfo `json:"recent"`
 	}
 	if err := getJSON(base+"/traces", &traces); err != nil {
 		return err
 	}
-	found := false
-	for _, tr := range traces.Recent {
-		if tr.App != "wc" || !tr.Done {
+	found, migrateSpan := false, false
+	for _, tr := range append(traces.Recent, traces.Active...) {
+		if tr.App != "wc" {
 			continue
 		}
 		hops := map[string]int{}
 		for _, s := range tr.Spans {
 			hops[s.Hop]++
 		}
-		if hops["shim.send"] > 0 && hops["box"] > 0 && hops["master"] > 0 {
+		if hops["migrate"] > 0 {
+			migrateSpan = true
+		}
+		if tr.Done && hops["shim.send"] > 0 && hops["box"] > 0 && hops["master"] > 0 {
 			found = true
-			break
 		}
 	}
 	if !found {
 		return fmt.Errorf("/traces has no completed wc trace covering shim.send, box, and master hops")
+	}
+	if !migrateSpan {
+		return fmt.Errorf("/traces has no wc trace with a migrate span after the forced migration")
 	}
 
 	// /health must be valid JSON reporting the deployment shape.

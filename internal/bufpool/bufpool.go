@@ -56,10 +56,12 @@ type Buf struct {
 // charged to the escape gate's hot line ranges.
 var pools [numClasses]sync.Pool
 
-// news counts pool misses (fresh backing-array allocations); gets and
-// releases count the hot-path operations. Tests assert recycling by
-// watching news stay flat while gets climb.
-var news, gets, releases atomic.Int64
+// news counts pool misses (fresh backing-array allocations); gets,
+// retains, adopts, and releases count the reference operations. Tests
+// assert recycling by watching news stay flat while gets climb, and
+// leak-freedom by checking gets+retains+adopts == releases once a
+// deployment has drained.
+var news, gets, retains, adopts, releases atomic.Int64
 
 func init() {
 	for c := range pools {
@@ -119,6 +121,7 @@ func getOversize(n int) *Buf {
 // owners uniformly. The buffer is unpooled: releasing the last
 // reference just drops it for the garbage collector.
 func Adopt(p []byte) *Buf {
+	adopts.Add(1)
 	b := &Buf{p: p, n: len(p), class: -1}
 	b.refs.Store(1)
 	return b
@@ -179,6 +182,7 @@ func (b *Buf) Retain() *Buf {
 	if b == nil {
 		return nil
 	}
+	retains.Add(1)
 	if b.refs.Add(1) <= 1 {
 		panic(panicRetainReleased)
 	}
@@ -222,11 +226,23 @@ func (b *Buf) Refs() int32 {
 // Stats is a snapshot of the pool's counters.
 type Stats struct {
 	// Gets counts Get calls, News the subset that allocated a fresh
-	// backing array (pool misses), Releases the Release calls.
-	Gets, News, Releases int64
+	// backing array (pool misses), Retains and Adopts the other two ways
+	// a reference is minted, and Releases the Release calls. Once every
+	// holder has drained, Gets+Retains+Adopts == Releases — the
+	// leak-freedom half of the ownership contract (the netaggdebug build
+	// checks the double-release half).
+	Gets, News, Retains, Adopts, Releases int64
 }
+
+// Acquires returns the total references minted (Gets+Retains+Adopts) —
+// the number Releases must reach for the snapshot to be balanced.
+func (s Stats) Acquires() int64 { return s.Gets + s.Retains + s.Adopts }
 
 // ReadStats snapshots the package counters.
 func ReadStats() Stats {
-	return Stats{Gets: gets.Load(), News: news.Load(), Releases: releases.Load()}
+	return Stats{
+		Gets: gets.Load(), News: news.Load(),
+		Retains: retains.Load(), Adopts: adopts.Load(),
+		Releases: releases.Load(),
+	}
 }

@@ -62,24 +62,30 @@ type Deployment struct {
 	hosts    map[string]Host
 	control  map[string]string // host name → worker shim control address
 	results  map[string]string // host name → master shim result address
-	boxes    map[string][]BoxInfo
-	byID     map[uint64]BoxInfo
-	dead     map[uint64]bool
-	lastSeen map[uint64]time.Time // box id → last successful heartbeat
-	rttUs    map[uint64]int64     // box id → smoothed heartbeat RTT (µs)
+	boxes     map[string][]BoxInfo
+	byID      map[uint64]BoxInfo
+	dead      map[uint64]bool
+	congested map[uint64]bool
+	lastSeen  map[uint64]time.Time // box id → last successful heartbeat
+	rttUs     map[uint64]int64     // box id → smoothed heartbeat RTT (µs)
+	queueLen  map[uint64]int64     // box id → last reported sched queue depth
+	flushUs   map[uint64]int64     // box id → last reported flush-latency EWMA (µs)
 }
 
 // NewDeployment returns an empty deployment.
 func NewDeployment() *Deployment {
 	return &Deployment{
-		hosts:    make(map[string]Host),
-		control:  make(map[string]string),
-		results:  make(map[string]string),
-		boxes:    make(map[string][]BoxInfo),
-		byID:     make(map[uint64]BoxInfo),
-		dead:     make(map[uint64]bool),
-		lastSeen: make(map[uint64]time.Time),
-		rttUs:    make(map[uint64]int64),
+		hosts:     make(map[string]Host),
+		control:   make(map[string]string),
+		results:   make(map[string]string),
+		boxes:     make(map[string][]BoxInfo),
+		byID:      make(map[uint64]BoxInfo),
+		dead:      make(map[uint64]bool),
+		congested: make(map[uint64]bool),
+		lastSeen:  make(map[uint64]time.Time),
+		rttUs:     make(map[uint64]int64),
+		queueLen:  make(map[uint64]int64),
+		flushUs:   make(map[uint64]int64),
 	}
 }
 
@@ -207,6 +213,73 @@ func (d *Deployment) Dead(id uint64) bool {
 	return d.dead[id]
 }
 
+// MarkCongested flips a box's congestion flag (the replanner calls it as
+// the box crosses the hysteresis thresholds). Planners see the flag as
+// treeplan.Box.Slow: congested boxes are avoided when the switch has an
+// alternative, but — unlike dead boxes — stay eligible as a last resort.
+func (d *Deployment) MarkCongested(id uint64, congested bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if congested {
+		d.congested[id] = true
+	} else {
+		delete(d.congested, id)
+	}
+}
+
+// Congested reports whether a box is currently marked congested.
+func (d *Deployment) Congested(id uint64) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.congested[id]
+}
+
+// ObserveLoad records a box's self-reported load signal — scheduler
+// queue depth and flush-latency EWMA — delivered in its heartbeat echo
+// (wire.DecodeLoad). The failure monitor calls it; together with the
+// RTT EWMA it completes the deployment's treeplan.Telemetry view.
+func (d *Deployment) ObserveLoad(id uint64, queueDepth int, flushUs int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.queueLen[id] = int64(queueDepth)
+	d.flushUs[id] = flushUs
+}
+
+// BoxSignal implements treeplan.Telemetry over the monitor-fed state:
+// heartbeat RTT EWMA plus the box's last self-reported queue depth and
+// flush latency. ok is false until any signal has been observed.
+func (d *Deployment) BoxSignal(id uint64) (treeplan.LoadSignal, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	sig := treeplan.LoadSignal{
+		QueueDepth: d.queueLen[id],
+		FlushUs:    d.flushUs[id],
+		RTTUs:      d.rttUs[id],
+	}
+	if sig == (treeplan.LoadSignal{}) {
+		_, seen := d.rttUs[id]
+		return sig, seen
+	}
+	return sig, true
+}
+
+// PlannerBoxes lists every deployed box as the planner sees it (Dead and
+// Slow flags filled in), ordered by ID — the replanner's per-tick
+// candidate view.
+func (d *Deployment) PlannerBoxes() []treeplan.Box {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]treeplan.Box, 0, len(d.byID))
+	for _, b := range d.byID {
+		out = append(out, treeplan.Box{
+			ID: b.ID, Addr: b.Addr, Switch: b.Switch,
+			Dead: d.dead[b.ID], Slow: d.congested[b.ID],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // ObserveRTT folds one heartbeat round-trip sample into the box's
 // smoothed RTT (EWMA, ⅞ old + ⅛ new). The failure monitor calls it; the
 // smoothed value feeds load-aware planning (treeplan.LoadSignal.RTTUs).
@@ -253,8 +326,13 @@ func PathSwitches(worker, master Host) []string {
 
 // The Deployment is the live fabric's treeplan.Topology: planners walk
 // the deployment's single up-down path per host pair and see every
-// deployed box with its current liveness.
-var _ treeplan.Topology = (*Deployment)(nil)
+// deployed box with its current liveness. It is also the live fabric's
+// treeplan.Telemetry: the monitor feeds RTT and heartbeat-carried load
+// into it, and LoadAware/Replanner read the combined signal back out.
+var (
+	_ treeplan.Topology  = (*Deployment)(nil)
+	_ treeplan.Telemetry = (*Deployment)(nil)
+)
 
 // PathSwitches implements treeplan.Topology: the switches on the up-down
 // path from a worker to the master. The hash is ignored — the emulated
@@ -280,7 +358,10 @@ func (d *Deployment) BoxesAt(sw string) []treeplan.Box {
 	defer d.mu.RUnlock()
 	out := make([]treeplan.Box, 0, len(d.boxes[sw]))
 	for _, b := range d.boxes[sw] {
-		out = append(out, treeplan.Box{ID: b.ID, Addr: b.Addr, Switch: b.Switch, Dead: d.dead[b.ID]})
+		out = append(out, treeplan.Box{
+			ID: b.ID, Addr: b.Addr, Switch: b.Switch,
+			Dead: d.dead[b.ID], Slow: d.congested[b.ID],
+		})
 	}
 	return out
 }

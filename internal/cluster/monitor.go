@@ -95,10 +95,16 @@ func (m *Monitor) probe(ctx context.Context, b BoxInfo) {
 		Backoff:         transport.Backoff{Min: 2 * m.interval, Max: 16 * m.interval},
 		MaxSendAttempts: 1,
 		OnFrame: func(msg *wire.Msg) {
-			msg.Release() // heartbeats carry no payload
 			if msg.Type != wire.THeartbeat {
+				msg.Release()
 				return
 			}
+			// The echo payload carries the box's load signal (queue depth,
+			// flush latency); decode before Release invalidates it.
+			if q, f, err := wire.DecodeLoad(msg.Payload); err == nil {
+				m.dep.ObserveLoad(b.ID, q, f)
+			}
+			msg.Release()
 			select {
 			case replies <- msg.Seq:
 			default: // prober is behind; dropping an echo just costs a miss
@@ -131,6 +137,13 @@ func (m *Monitor) probe(ctx context.Context, b BoxInfo) {
 		}
 		missed++
 		obsHBMisses.Inc()
+		// A missed heartbeat is still an RTT observation: the true
+		// round-trip exceeded the probe interval. Folding the interval in
+		// as a penalized sample makes a degrading box's smoothed RTT — and
+		// with it its load-aware planning score — rise while the box is
+		// merely slow, instead of staying frozen at its last healthy value
+		// until the box is declared dead.
+		m.dep.ObserveRTT(b.ID, m.interval)
 		if missed >= m.misses && !dead {
 			dead = true
 			if last := m.dep.LastSeen(b.ID); !last.IsZero() {

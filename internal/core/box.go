@@ -106,6 +106,12 @@ type boxRequest struct {
 	route    []string // remaining hops; last entry is the master
 	expected int      // direct sources; -1 until TExpect arrives
 	ends     map[uint64]bool
+	// nextSeq is the next expected TData sequence number per source.
+	// Frames arrive in order per source over one TCP stream, so a frame
+	// below the mark is a transport-replay duplicate (§3.1 at-least-once
+	// delivery after a reconnect) and must be dropped, not combined
+	// twice.
+	nextSeq  map[uint64]uint64
 	lastSeen time.Time
 	closed   bool
 
@@ -231,9 +237,14 @@ func (b *Box) Close() {
 func (b *Box) serveFrame(conn *transport.ServerConn, m *wire.Msg) {
 	switch m.Type {
 	case wire.THeartbeat:
-		// The echo goes back on the same connection; a reply failure
-		// means the prober is gone, so drop the connection.
-		if err := conn.Reply(&wire.Msg{Type: wire.THeartbeat, Source: b.cfg.ID, Seq: m.Seq}); err != nil {
+		// The echo goes back on the same connection carrying the box's
+		// load signal, so every liveness probe doubles as a telemetry
+		// sample for load-aware planning and the replanner; a reply
+		// failure means the prober is gone, so drop the connection.
+		if err := conn.Reply(&wire.Msg{
+			Type: wire.THeartbeat, Source: b.cfg.ID, Seq: m.Seq,
+			Payload: wire.EncodeLoad(b.QueueDepth(), b.FlushLatencyUs()),
+		}); err != nil {
 			b.logf("box %d: heartbeat reply: %v", b.cfg.ID, err)
 			_ = conn.Close()
 		}
@@ -245,6 +256,8 @@ func (b *Box) serveFrame(conn *transport.ServerConn, m *wire.Msg) {
 		if err := b.handleFanout(m); err != nil {
 			b.logf("box %d: fanout: %v", b.cfg.ID, err)
 		}
+	case wire.TCancel:
+		b.handleCancel(m)
 	default:
 		b.logf("box %d: unexpected frame %s", b.cfg.ID, m.Type)
 	}
@@ -284,6 +297,7 @@ func (b *Box) handle(m *wire.Msg) error {
 			key:       key,
 			expected:  -1,
 			ends:      make(map[uint64]bool),
+			nextSeq:   make(map[uint64]uint64),
 			lastSeen:  time.Now(),
 			firstSeen: time.Now(),
 		}
@@ -333,6 +347,16 @@ func (b *Box) handle(m *wire.Msg) error {
 		return nil
 
 	case wire.TData:
+		if m.Seq < req.nextSeq[m.Source] {
+			// A transport-replay duplicate: the sender's replay window
+			// rewrote frames the box already consumed. Dropping here is
+			// what turns the replay path's at-least-once into the tree's
+			// exactly-once.
+			b.mu.Unlock()
+			obsDupFrames.Inc()
+			return nil
+		}
+		req.nextSeq[m.Source] = m.Seq + 1
 		b.stats.BytesIn += int64(len(m.Payload))
 		req.frames++
 		req.bytesIn += int64(len(m.Payload))
@@ -350,6 +374,30 @@ func (b *Box) handle(m *wire.Msg) error {
 		b.mu.Unlock()
 		return fmt.Errorf("unexpected frame %s", m.Type)
 	}
+}
+
+// handleCancel tears down a request whose epoch a subtree migration
+// superseded: the master's new attempt carries a different wire request
+// id, so this box's partial state can never contribute again. Discarding
+// promptly releases the buffered partials' pool buffers instead of
+// pinning them until the janitor's idle timeout. Unknown requests are a
+// no-op — the cancel may race the request's own completion, which is
+// fine because the master drops stale-attempt results anyway.
+func (b *Box) handleCancel(m *wire.Msg) {
+	key := reqKey{app: m.App, req: m.Req}
+	b.mu.Lock()
+	req, ok := b.requests[key]
+	if ok {
+		delete(b.requests, key)
+	}
+	b.mu.Unlock()
+	if !ok {
+		return
+	}
+	obsBoxCancelled.Inc()
+	// Discard outside b.mu: it takes the tree lock and releases the
+	// buffered parts (same discipline as the janitor).
+	req.tree.Discard()
 }
 
 // maybeCloseInputsLocked closes the local tree when every expected source

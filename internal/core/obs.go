@@ -33,4 +33,11 @@ var (
 	// tasks) across every scheduler in the process — the §3.2.1 WFQ
 	// queue depth.
 	obsSchedQueue = obs.G("box.sched_queue_depth")
+	// obsBoxCancelled counts requests torn down by TCancel (subtree
+	// migration superseded their epoch before they completed).
+	obsBoxCancelled = obs.C("box.requests_cancelled")
+	// obsDupFrames counts transport-replay duplicate TData frames dropped
+	// by the per-source sequence check (at-least-once delivery made
+	// exactly-once at the tree).
+	obsDupFrames = obs.C("box.dup_frames_dropped")
 )

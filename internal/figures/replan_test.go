@@ -1,0 +1,33 @@
+package figures
+
+import "testing"
+
+// TestFigReplanDynamicWins checks the dynamic-tree experiment's headline:
+// with no churn the dynamic strategy migrates nothing and matches static
+// exactly, and at the highest churn factor it migrates at least one
+// subtree and beats static job completion time.
+func TestFigReplanDynamicWins(t *testing.T) {
+	r := FigReplan(small)
+	rows := tableRows(t, r)
+	if len(rows) != len(replanFactors) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(replanFactors))
+	}
+
+	quiet := rows[0]
+	if quiet[3] != 0 {
+		t.Fatalf("factor 0 migrated %g times", quiet[3])
+	}
+	if quiet[2] != quiet[1] {
+		t.Fatalf("factor 0: dynamic p99 %g differs from static %g without migrations", quiet[2], quiet[1])
+	}
+
+	worst := rows[len(rows)-1]
+	if worst[3] == 0 {
+		t.Fatalf("factor %g never migrated despite the churn burst", worst[0])
+	}
+	if worst[2] >= worst[1] {
+		t.Fatalf("factor %g: dynamic p99 %g not better than static %g (migrations=%g)",
+			worst[0], worst[2], worst[1], worst[3])
+	}
+	t.Logf("factor %g: static=%g dynamic=%g migrations=%g", worst[0], worst[1], worst[2], worst[3])
+}

@@ -39,6 +39,12 @@ type MasterConfig struct {
 	// MaxAttempts bounds recovery attempts per request (default 3; the wire
 	// encoding supports at most 16).
 	MaxAttempts int
+	// NoMigrateApps lists applications whose pending requests MigrateAway
+	// must leave in place (OPERATIONS.md §9: per-application migration
+	// opt-out). Their requests still recover through the straggler timer
+	// and OnBoxFailure — opting out of migration never opts out of
+	// failure recovery.
+	NoMigrateApps []string
 	// Context optionally bounds the shim's lifetime: cancelling it is
 	// equivalent to Close (nil = Background).
 	Context context.Context
@@ -106,11 +112,12 @@ type srcKey struct {
 
 // Master is a master host's shim layer.
 type Master struct {
-	cfg     MasterConfig
-	planner treeplan.Planner
-	srv     *transport.Server
-	pool    *transport.Pool
-	cancel  context.CancelFunc
+	cfg       MasterConfig
+	planner   treeplan.Planner
+	srv       *transport.Server
+	pool      *transport.Pool
+	cancel    context.CancelFunc
+	noMigrate map[string]bool
 
 	mu      sync.Mutex
 	pending map[pendKey]*Pending
@@ -145,11 +152,15 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 	}
 	ctx, cancel := context.WithCancel(parent)
 	m := &Master{
-		cfg:     cfg,
-		planner: cfg.Planner,
-		cancel:  cancel,
-		pool:    transport.NewPool(ctx, transport.Options{NIC: cfg.NIC}),
-		pending: make(map[pendKey]*Pending),
+		cfg:       cfg,
+		planner:   cfg.Planner,
+		cancel:    cancel,
+		pool:      transport.NewPool(ctx, transport.Options{NIC: cfg.NIC}),
+		pending:   make(map[pendKey]*Pending),
+		noMigrate: make(map[string]bool, len(cfg.NoMigrateApps)),
+	}
+	for _, app := range cfg.NoMigrateApps {
+		m.noMigrate[app] = true
 	}
 	// The result listener: every frame lands in handle on its
 	// connection's reader goroutine; the transport server owns the accept
@@ -254,6 +265,7 @@ func (m *Master) arm(p *Pending, attempt int) error {
 		p.mu.Unlock()
 		return nil
 	}
+	oldAttempt, oldBoxes := p.attempt, p.boxes
 	p.attempt = attempt
 	p.needed = treeplan.TotalFinals(trees)
 	p.sourcesDone = 0
@@ -278,6 +290,15 @@ func (m *Master) arm(p *Pending, attempt int) error {
 		p.timer = time.AfterFunc(m.cfg.StragglerTimeout, func() { m.redirect(p) })
 	}
 	p.mu.Unlock()
+
+	// A re-arm supersedes the previous attempt's epoch: tell its boxes to
+	// discard their partial aggregation state now, instead of letting the
+	// buffered partials pin pool buffers until the janitor's idle timeout.
+	// Correctness never depends on these cancels landing — the old epoch's
+	// wire request id can no longer complete at this master.
+	if attempt > 0 && len(oldBoxes) > 0 {
+		m.cancelAttempt(p, oldBoxes, oldAttempt)
+	}
 
 	for tree := range trees {
 		wireReq := cluster.WireReq(p.req, tree, attempt)
@@ -339,6 +360,26 @@ func (m *Master) redirect(p *Pending) {
 	}
 }
 
+// cancelAttempt sends TCancel for every (tree, box) of a superseded
+// attempt, best-effort: an unreachable box keeps its stale state until
+// the janitor collects it, which costs buffer residency, not
+// correctness.
+func (m *Master) cancelAttempt(p *Pending, boxes map[uint64]bool, attempt int) {
+	for boxID := range boxes {
+		box, ok := m.cfg.Deployment.Box(boxID)
+		if !ok {
+			continue
+		}
+		for tree := 0; tree < p.trees; tree++ {
+			if err := m.pool.Send(box.Addr, &wire.Msg{
+				Type: wire.TCancel, App: p.app, Req: cluster.WireReq(p.req, tree, attempt),
+			}); err != nil {
+				log.Printf("shim: cancel request %d attempt %d at box %d: %v", p.req, attempt, boxID, err)
+			}
+		}
+	}
+}
+
 // OnBoxFailure triggers immediate recovery of every pending request whose
 // current plan includes the failed box, instead of waiting for the
 // straggler timeout. Wire it to a cluster.Monitor.
@@ -356,6 +397,50 @@ func (m *Master) OnBoxFailure(boxID uint64) {
 	for _, p := range affected {
 		m.redirect(p)
 	}
+}
+
+// MigrateAway migrates every pending request whose current plan routes
+// through the named box onto a freshly planned attempt, and returns how
+// many requests it moved. The replanner calls it when a box crosses the
+// congestion hysteresis (DESIGN.md §16): the box is already marked Slow
+// in the deployment, so the replanned attempt routes around it; the old
+// attempt's boxes receive TCancel and drain their partials; and the
+// attempt epoch in every wire request id guarantees nothing is lost or
+// double-combined — the new attempt is complete on its own, and stale
+// frames from the old epoch are dropped by the master's attempt check.
+// Applications listed in NoMigrateApps are skipped.
+func (m *Master) MigrateAway(boxID uint64) int {
+	m.mu.Lock()
+	var affected []*Pending
+	for _, p := range m.pending {
+		if m.noMigrate[p.app] {
+			continue
+		}
+		p.mu.Lock()
+		if p.boxes[boxID] && !p.done {
+			affected = append(affected, p)
+		}
+		p.mu.Unlock()
+	}
+	m.mu.Unlock()
+	node := fmt.Sprintf("box:%d", boxID)
+	for _, p := range affected {
+		start := time.Now()
+		m.redirect(p)
+		// The migration span lands on the new attempt's trace, so an
+		// operator reading /debug/netagg/traces sees which box the
+		// request was moved off and when (OPERATIONS.md §9).
+		p.mu.Lock()
+		attempt := p.attempt
+		p.mu.Unlock()
+		for tree := 0; tree < p.trees; tree++ {
+			obs.DefaultTracer.Record(cluster.WireReq(p.req, tree, attempt), p.app, obs.Span{
+				Hop: "migrate", Node: node,
+				Start: start.UnixNano(), End: time.Now().UnixNano(),
+			})
+		}
+	}
+	return len(affected)
 }
 
 func (m *Master) remove(p *Pending) {

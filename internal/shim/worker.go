@@ -36,6 +36,12 @@ type WorkerConfig struct {
 	// Retention bounds how long sent partial results stay buffered for
 	// recovery resends (default 30s).
 	Retention time.Duration
+	// ReplayWindow is the per-box-connection transport replay window:
+	// the last N frames written are rewritten after a reconnect, so
+	// partials buffered in a dying box's socket survive the reconnect
+	// (§3.1 at-least-once; boxes dedup replayed frames per source
+	// sequence). Default 128; negative disables replay entirely.
+	ReplayWindow int
 	// Context optionally bounds the shim's lifetime: cancelling it is
 	// equivalent to Close (nil = Background).
 	Context context.Context
@@ -93,6 +99,12 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.Planner == nil {
 		cfg.Planner = treeplan.OnPath{}
 	}
+	if cfg.ReplayWindow == 0 {
+		cfg.ReplayWindow = 128
+	}
+	if cfg.ReplayWindow < 0 {
+		cfg.ReplayWindow = 0
+	}
 	parent := cfg.Context
 	if parent == nil {
 		parent = context.Background()
@@ -103,7 +115,7 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		planner:  cfg.Planner,
 		self:     []string{cfg.Host.Name},
 		cancel:   cancel,
-		pool:     transport.NewPool(ctx, transport.Options{NIC: cfg.NIC}),
+		pool:     transport.NewPool(ctx, transport.Options{NIC: cfg.NIC, ReplayWindow: cfg.ReplayWindow}),
 		buffered: make(map[bufKey]*bufferedSend),
 	}
 	// The control listener carries only tiny redirect frames, so it is
@@ -248,18 +260,55 @@ func (w *Worker) control(_ *transport.ServerConn, m *wire.Msg) {
 	}
 	w.mu.Lock()
 	b, ok := w.buffered[bufKey{m.App, m.Req}]
+	prevAttempt := 0
 	if ok && attempt <= b.lastAttempt {
 		ok = false // duplicate or stale redirect
 	}
 	if ok {
+		prevAttempt = b.lastAttempt
 		b.lastAttempt = attempt
 	}
 	w.mu.Unlock()
 	if ok {
 		obsRedirectsApplied.Inc()
+		w.trimStaleReplay(b, prevAttempt, attempt)
 		// Replan happens inside send: dead boxes are excluded from
 		// chains, and the new attempt id keeps the replayed streams
 		// distinct at every box.
 		_ = w.send(b, attempt)
+	}
+}
+
+// trimStaleReplay drops the transport replay windows of connections to
+// boxes on the superseded attempt's routes but not the new one: every
+// frame those windows retain carries the old (tree, attempt) epoch,
+// which the new attempt resends in full, so replaying them after a
+// reconnect could only deliver frames the receivers drop as stale. The
+// trim is best-effort — re-planning the old attempt against today's
+// deployment may differ from the plan at send time if liveness or
+// congestion marks moved since, and an untrimmed window still cannot
+// double-combine (the box's epoch and sequence checks hold either way);
+// trimming just releases the retained buffers and avoids pointless
+// replay traffic.
+func (w *Worker) trimStaleReplay(b *bufferedSend, oldAttempt, newAttempt int) {
+	dep := w.cfg.Deployment
+	stale := make(map[string]bool)
+	for tree := 0; tree < b.trees; tree++ {
+		plan := w.planner.Plan(dep, treeplan.NewRequest(b.req, tree, oldAttempt, b.master, w.self))
+		for _, box := range plan.Routes[w.cfg.Host.Name] {
+			stale[box.Addr] = true
+		}
+	}
+	if len(stale) == 0 {
+		return
+	}
+	for tree := 0; tree < b.trees; tree++ {
+		plan := w.planner.Plan(dep, treeplan.NewRequest(b.req, tree, newAttempt, b.master, w.self))
+		for _, box := range plan.Routes[w.cfg.Host.Name] {
+			delete(stale, box.Addr)
+		}
+	}
+	for addr := range stale {
+		w.pool.DropReplay(addr)
 	}
 }

@@ -98,18 +98,36 @@ func RunWith(topo *topology.Topology, w *workload.Workload, strat strategies.Str
 		Stats:         stats,
 	}
 	for _, id := range bg {
+		if net.Sim.FlowTruncated(id) {
+			continue // churn flow cut short mid-run; its FCT is not real
+		}
 		fct := net.Sim.FCT(id)
 		res.AllFCT.Add(fct)
 		res.BackgroundFCT.Add(fct)
 	}
 	for _, jf := range jobs {
-		for _, id := range jf.All {
+		// Dynamic strategies add migration resend flows after the build
+		// phase; fold them in. Truncated flows (superseded attempts) are
+		// excluded from the FCT samples — their early ends are artifacts
+		// of migration, not completions.
+		all, finals := jf.All, jf.Finals
+		if jf.Extra != nil {
+			all = append(append([]simnet.FlowID(nil), all...), jf.Extra.All...)
+			finals = append(append([]simnet.FlowID(nil), finals...), jf.Extra.Finals...)
+		}
+		for _, id := range all {
+			if net.Sim.FlowTruncated(id) {
+				continue
+			}
 			fct := net.Sim.FCT(id)
 			res.AllFCT.Add(fct)
 			res.AggFCT.Add(fct)
 		}
 		end := 0.0
-		for _, id := range jf.Finals {
+		for _, id := range finals {
+			if net.Sim.FlowTruncated(id) {
+				continue // superseded by a resend's result flow
+			}
 			if e := net.Sim.FlowEnd(id); e > end {
 				end = e
 			}

@@ -1,0 +1,211 @@
+package simnet
+
+import (
+	"testing"
+)
+
+// TestAtTimerInjectsFlow injects a flow mid-run: a timer at t=5 adds a
+// second flow onto an otherwise private link; the first flow's tail and
+// the injected flow then share it.
+func TestAtTimerInjectsFlow(t *testing.T) {
+	s := New()
+	l := s.AddResource(KindLink, 100, 0)
+	a := s.AddFlow(FlowSpec{Resources: []ResourceID{l}, Bits: 1000})
+	var b FlowID
+	s.At(5, func() {
+		b = s.AddFlow(FlowSpec{Resources: []ResourceID{l}, Bits: 500, Start: s.Now()})
+	})
+	s.Run()
+	// a: 500 bits alone by t=5, then 500 left at share 50 → t=15.
+	approx(t, s.FlowEnd(a), 15, 1e-6, "pre-existing flow slowed by injection")
+	// b: 250 bits at share 50 by t=10 (a still running), then... a has
+	// 250 left at t=10? No: both have 250 left at t=10, both finish t=15.
+	approx(t, s.FlowEnd(b), 15, 1e-6, "injected flow")
+	approx(t, s.LinkBits(l), 1500, 1e-6, "link carried both flows")
+}
+
+// TestTruncateActiveFlow stops a flow mid-transfer: it completes at the
+// truncation time having sent exactly what the fluid model gave it, and
+// the remaining flow inherits the freed capacity.
+func TestTruncateActiveFlow(t *testing.T) {
+	s := New()
+	l := s.AddResource(KindLink, 100, 0)
+	a := s.AddFlow(FlowSpec{Resources: []ResourceID{l}, Bits: 1000})
+	b := s.AddFlow(FlowSpec{Resources: []ResourceID{l}, Bits: 1000})
+	s.At(4, func() { s.Truncate(a) })
+	s.Run()
+	approx(t, s.FlowEnd(a), 4, 1e-6, "truncated flow ends at the timer")
+	approx(t, s.FlowSent(a), 200, 1e-6, "truncated flow kept its fair-share bits")
+	if !s.FlowTruncated(a) || !s.FlowDone(a) {
+		t.Fatalf("truncated flow must be done and flagged")
+	}
+	// b: 200 bits by t=4 at share 50, then full link: 800/100 = 8s more.
+	approx(t, s.FlowEnd(b), 12, 1e-6, "survivor inherits freed capacity")
+}
+
+// TestTruncatePendingFlow cancels a flow before it starts: it completes
+// at zero size and never contends.
+func TestTruncatePendingFlow(t *testing.T) {
+	s := New()
+	l := s.AddResource(KindLink, 100, 0)
+	a := s.AddFlow(FlowSpec{Resources: []ResourceID{l}, Bits: 1000})
+	late := s.AddFlow(FlowSpec{Resources: []ResourceID{l}, Bits: 1000, Start: 100})
+	s.At(2, func() { s.Truncate(late) })
+	s.Run()
+	approx(t, s.FlowEnd(a), 10, 1e-6, "survivor never contends")
+	approx(t, s.FlowSent(late), 0, 1e-9, "cancelled flow sent nothing")
+	if !s.FlowDone(late) {
+		t.Fatalf("cancelled pending flow must be done")
+	}
+}
+
+// TestTruncateSubtreeAndResend models a subtree migration: a streaming
+// aggregation pair (worker→box, box→master) is truncated mid-job and a
+// replacement pair is injected through a different box — the full-resend
+// recovery of §3.1. The sim must complete with the replacement's timing.
+func TestTruncateSubtreeAndResend(t *testing.T) {
+	s := New()
+	edge := s.AddResource(KindLink, 1000, 0)
+	slowBox := s.AddResource(KindProc, 1000, 1)
+	fastBox := s.AddResource(KindProc, 1000, 2)
+	down := s.AddResource(KindLink, 1000, 3)
+
+	in := s.AddFlow(FlowSpec{Resources: []ResourceID{edge, slowBox}, Bits: 8000})
+	out := s.AddFlow(FlowSpec{Resources: []ResourceID{down}, Bits: 4000, Inputs: []FlowID{in}})
+
+	var in2, out2 FlowID
+	s.At(2, func() {
+		// Migrate: stop the old subtree, resend in full through fastBox.
+		s.Truncate(in)
+		s.Truncate(out)
+		in2 = s.AddFlow(FlowSpec{Resources: []ResourceID{edge, fastBox}, Bits: 8000, Start: s.Now()})
+		out2 = s.AddFlow(FlowSpec{Resources: []ResourceID{down}, Bits: 4000, Inputs: []FlowID{in2}, Start: s.Now()})
+	})
+	st := s.Run()
+	approx(t, s.FlowEnd(in), 2, 1e-6, "old input stops at migration")
+	approx(t, s.FlowEnd(out), 2, 1e-6, "old output stops at migration")
+	// The resend is a fresh 8000-bit pipelined pair starting at t=2.
+	approx(t, s.FlowEnd(in2), 10, 1e-6, "resent input")
+	approx(t, s.FlowEnd(out2), 10, 1e-6, "resent output pipelines with it")
+	if st.Duration < 10-1e-6 {
+		t.Fatalf("run ended early: %g", st.Duration)
+	}
+}
+
+// TestResourceActiveFlows samples mid-run load through a timer — the
+// telemetry the dynamic-tree strategy feeds its congestion tracker.
+func TestResourceActiveFlows(t *testing.T) {
+	s := New()
+	l := s.AddResource(KindLink, 100, 0)
+	s.AddFlow(FlowSpec{Resources: []ResourceID{l}, Bits: 1000})
+	s.AddFlow(FlowSpec{Resources: []ResourceID{l}, Bits: 1000})
+	s.AddFlow(FlowSpec{Resources: []ResourceID{l}, Bits: 100})
+	samples := make(map[float64]int)
+	for _, at := range []float64{1, 10, 25} {
+		at := at
+		s.At(at, func() { samples[at] = s.ResourceActiveFlows(l) })
+	}
+	s.Run()
+	// t=1: all three active. The 100-bit flow (share 33.3) ends at t=3;
+	// the big ones end at t=(2100-100·3/100... ) — by t=10 two remain, by
+	// t=25 none (total 2100 bits / 100 ≥ 21s).
+	if samples[1] != 3 || samples[10] != 2 || samples[25] != 0 {
+		t.Fatalf("active-flow samples = %v, want {1:3 10:2 25:0}", samples)
+	}
+}
+
+// TestTimerOnlyTail keeps the run alive past the last flow: a timer
+// after all flows complete still fires (and may inject more work).
+func TestTimerOnlyTail(t *testing.T) {
+	s := New()
+	l := s.AddResource(KindLink, 100, 0)
+	s.AddFlow(FlowSpec{Resources: []ResourceID{l}, Bits: 100})
+	var fired bool
+	var late FlowID
+	s.At(50, func() {
+		fired = true
+		late = s.AddFlow(FlowSpec{Resources: []ResourceID{l}, Bits: 100, Start: s.Now()})
+	})
+	s.Run()
+	if !fired {
+		t.Fatal("tail timer never fired")
+	}
+	approx(t, s.FlowEnd(late), 51, 1e-6, "flow injected by tail timer")
+}
+
+// TestDynamicOracleEquivalence runs a mid-run-injection + truncation
+// scenario in incremental and FullRecompute modes: flow timings, link
+// counters, and event counts must agree exactly, extending the
+// incremental-allocator equivalence argument to dynamic interventions.
+func TestDynamicOracleEquivalence(t *testing.T) {
+	build := func(full bool) (*Sim, RunStats) {
+		s := New()
+		s.FullRecompute = full
+		edge := s.AddResource(KindLink, 1000, 0)
+		box := s.AddResource(KindProc, 800, 1)
+		box2 := s.AddResource(KindProc, 800, 2)
+		down := s.AddResource(KindLink, 500, 3)
+		var flows []FlowID
+		for w := 0; w < 4; w++ {
+			flows = append(flows, s.AddFlow(FlowSpec{
+				Resources: []ResourceID{edge, box}, Bits: 4000,
+			}))
+		}
+		fed := s.AddFlow(FlowSpec{
+			Resources: []ResourceID{down}, Bits: 4000, Inputs: flows,
+		})
+		// Background churn: burners arrive on the box at t=1, leave at t=3.
+		var burners []FlowID
+		s.At(1, func() {
+			for k := 0; k < 3; k++ {
+				burners = append(burners, s.AddFlow(FlowSpec{
+					Resources: []ResourceID{box}, Bits: 1e9, Start: s.Now(),
+				}))
+			}
+		})
+		s.At(3, func() {
+			for _, b := range burners {
+				s.Truncate(b)
+			}
+		})
+		// Migration at t=4: move worker 0's stream (and the fed flow) to
+		// box2 with a full resend.
+		s.At(4, func() {
+			for _, f := range flows {
+				s.Truncate(f)
+			}
+			s.Truncate(fed)
+			var nf []FlowID
+			for w := 0; w < 4; w++ {
+				nf = append(nf, s.AddFlow(FlowSpec{
+					Resources: []ResourceID{edge, box2}, Bits: 4000, Start: s.Now(),
+				}))
+			}
+			s.AddFlow(FlowSpec{
+				Resources: []ResourceID{down}, Bits: 4000, Inputs: nf, Start: s.Now(),
+			})
+		})
+		st := s.Run()
+		return s, st
+	}
+	inc, incStats := build(false)
+	full, fullStats := build(true)
+	if inc.NumFlows() != full.NumFlows() {
+		t.Fatalf("flow counts diverge: %d vs %d", inc.NumFlows(), full.NumFlows())
+	}
+	for i := 0; i < inc.NumFlows(); i++ {
+		id := FlowID(i)
+		if inc.FlowEnd(id) != full.FlowEnd(id) {
+			t.Errorf("flow %d end: incremental %g, oracle %g", i, inc.FlowEnd(id), full.FlowEnd(id))
+		}
+		if inc.FlowSent(id) != full.FlowSent(id) {
+			t.Errorf("flow %d sent: incremental %g, oracle %g", i, inc.FlowSent(id), full.FlowSent(id))
+		}
+	}
+	if incStats.Events != fullStats.Events {
+		t.Errorf("event counts diverge: %d vs %d", incStats.Events, fullStats.Events)
+	}
+	if incStats.Duration != fullStats.Duration {
+		t.Errorf("durations diverge: %g vs %g", incStats.Duration, fullStats.Duration)
+	}
+}

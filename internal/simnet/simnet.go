@@ -14,6 +14,8 @@ package simnet
 import (
 	"fmt"
 	"math"
+	"slices"
+	"sort"
 	"strings"
 )
 
@@ -103,14 +105,15 @@ type flow struct {
 	spec  FlowSpec
 	ratio float64 // (Bits-StaticBits) / Σ input Bits; 0 if no inputs
 
-	state    flowState
-	sent     float64
-	produced float64
-	rate     float64
-	cap      float64
-	frozen   bool
-	start    float64 // actual activation time
-	end      float64
+	state     flowState
+	sent      float64
+	produced  float64
+	rate      float64
+	cap       float64
+	frozen    bool
+	truncated bool    // stopped early by Truncate; retires at sent
+	start     float64 // actual activation time
+	end       float64
 
 	inputsDone int
 
@@ -156,6 +159,11 @@ type Sim struct {
 	now    float64
 	ran    bool
 	report RunStats
+
+	// timers are pending At callbacks, sorted by firing time (FIFO within
+	// a time). They drive mid-run injection: background-traffic churn and
+	// the dynamic-tree replanner (§ dynamic trees, DESIGN.md §16).
+	timers []simTimer
 
 	// allocator scratch, reused across events to avoid per-event allocation
 	stamp          int
@@ -254,6 +262,75 @@ func (s *Sim) AddFlow(spec FlowSpec) FlowID {
 	return id
 }
 
+// simTimer is one pending At callback.
+type simTimer struct {
+	at float64
+	fn func()
+}
+
+// At schedules fn to run at simulated time t, at an event boundary (all
+// fluid state is advanced to t before fn runs). Callbacks may add flows
+// with AddFlow, stop flows with Truncate, read simulation state through
+// the accessors, and schedule further timers — this is how mid-run
+// interventions (background-traffic churn, dynamic-tree replanning) are
+// modelled. Timers at the same t fire in scheduling order. A t at or
+// before the current simulated time fires at the next event boundary.
+func (s *Sim) At(t float64, fn func()) {
+	if t < 0 {
+		panic("simnet: timer time must be >= 0")
+	}
+	i := sort.Search(len(s.timers), func(i int) bool { return s.timers[i].at > t })
+	s.timers = slices.Insert(s.timers, i, simTimer{at: t, fn: fn})
+}
+
+// Truncate stops a flow early: it keeps whatever it has sent so far and
+// completes at the current simulated time (a pending flow is cancelled
+// outright and completes at zero size the moment it would have started).
+// The flow's consumers see it as a finished input — they will not receive
+// the bits it never sent, so a caller migrating an aggregation subtree
+// must truncate the fed flows of the subtree as well and re-inject
+// replacement flows (the full-resend recovery of §3.1). Valid before Run
+// or from an At callback.
+func (s *Sim) Truncate(id FlowID) {
+	f := &s.flows[id]
+	switch f.state {
+	case stateDone:
+		return
+	case statePending:
+		f.spec.Bits = 0
+		f.spec.StaticBits = 0
+		f.truncated = true
+	case stateActive:
+		f.spec.Bits = f.sent
+		if f.spec.StaticBits > f.spec.Bits {
+			f.spec.StaticBits = f.spec.Bits
+		}
+		f.truncated = true
+		s.markFlowDirty(id)
+	}
+}
+
+// Now returns the current simulated time (0 before Run; only meaningful
+// mid-run from an At callback).
+func (s *Sim) Now() float64 { return s.now }
+
+// FlowSent returns the bits a flow has sent so far.
+func (s *Sim) FlowSent(id FlowID) float64 { return s.flows[id].sent }
+
+// FlowDone reports whether a flow has completed (or been truncated and
+// retired).
+func (s *Sim) FlowDone(id FlowID) bool { return s.flows[id].state == stateDone }
+
+// FlowTruncated reports whether a flow was stopped early by Truncate.
+func (s *Sim) FlowTruncated(id FlowID) bool { return s.flows[id].truncated }
+
+// ResourceActiveFlows returns the number of flows currently crossing a
+// resource — the simulator's stand-in for an agg box's scheduler queue
+// depth when sampled on its processing resource.
+func (s *Sim) ResourceActiveFlows(id ResourceID) int {
+	return len(s.resources[id].active)
+}
+
 // NumFlows reports the number of flows added.
 func (s *Sim) NumFlows() int { return len(s.flows) }
 
@@ -326,6 +403,11 @@ func (s *Sim) Run() RunStats {
 
 	activate := func(id FlowID) {
 		f := &s.flows[id]
+		// Flows injected mid-run (from an At callback) missed the backing
+		// pre-allocation above; give them their own index slice lazily.
+		if len(f.resPos) < len(f.spec.Resources) {
+			f.resPos = make([]int32, len(f.spec.Resources))
+		}
 		f.state = stateActive
 		f.start = s.now
 		f.produced = f.spec.StaticBits
@@ -348,9 +430,14 @@ func (s *Sim) Run() RunStats {
 		s.markFlowDirty(id)
 	}
 
-	// startable reports whether a pending flow may activate now.
+	// startable reports whether a pending flow may activate now. A
+	// truncated pending flow is always startable: it activates at zero
+	// size and retires immediately, regardless of its original gating.
 	startable := func(id FlowID) bool {
 		f := &s.flows[id]
+		if f.truncated {
+			return true
+		}
 		if f.spec.Start > s.now+timeEps {
 			return false
 		}
@@ -358,6 +445,15 @@ func (s *Sim) Run() RunStats {
 			return f.inputsDone == len(f.spec.Inputs)
 		}
 		return true
+	}
+
+	// retirable reports whether an active flow has delivered everything it
+	// ever will: all bits sent and every input complete — or truncation,
+	// which waives the inputs (they will never deliver the missing bits).
+	retirable := func(id FlowID) bool {
+		f := &s.flows[id]
+		return f.spec.Bits-f.sent <= math.Max(eps, f.spec.Bits*1e-12) &&
+			(f.producedAll() || f.truncated)
 	}
 
 	finish := func(id FlowID) {
@@ -392,8 +488,20 @@ func (s *Sim) Run() RunStats {
 	}
 
 	guard := 0
-	maxEvents := 100*len(s.flows) + 1000
 	for {
+		// Fire due timers. Callbacks may add flows (queued as pending
+		// below) and truncate existing ones (swept by the retire pass);
+		// both are picked up before this event's allocation.
+		for len(s.timers) > 0 && s.timers[0].at <= s.now+timeEps {
+			tm := s.timers[0]
+			s.timers = s.timers[1:]
+			known := len(s.flows)
+			tm.fn()
+			for id := known; id < len(s.flows); id++ {
+				pending = append(pending, FlowID(id))
+			}
+		}
+
 		// Move newly startable flows from pending to active.
 		next := pending[:0]
 		for _, id := range pending {
@@ -405,34 +513,51 @@ func (s *Sim) Run() RunStats {
 		}
 		pending = next
 
-		// Retire zero-size flows immediately.
-		compact := active[:0]
-		for _, id := range active {
-			if s.flows[id].spec.Bits <= eps && s.flows[id].producedAll() {
-				finish(id)
-				s.report.Events++
-			} else {
-				compact = append(compact, id)
+		// Retire flows with nothing left to send — zero-size flows, and
+		// flows a timer just truncated. A retiring input can complete a
+		// truncated consumer in the same sweep, so sweep to a fixpoint.
+		var compact []FlowID
+		for {
+			finished := false
+			compact = active[:0]
+			for _, id := range active {
+				if retirable(id) {
+					finish(id)
+					s.report.Events++
+					finished = true
+				} else {
+					compact = append(compact, id)
+				}
 			}
-		}
-		active = compact
-
-		if len(active) == 0 {
-			if len(pending) == 0 {
+			active = compact
+			if !finished {
 				break
 			}
-			// Jump to the earliest future start.
+		}
+
+		if len(active) == 0 {
+			if len(pending) == 0 && len(s.timers) == 0 {
+				break
+			}
+			// Jump to the earliest future start or timer. Pending flows
+			// whose start has already passed are gated on something else
+			// (store-and-forward inputs): they cannot unblock while no
+			// flow is active, but a timer still can inject new work.
 			t := math.Inf(1)
 			for _, id := range pending {
-				st := s.flows[id].spec.Start
-				if st < t {
+				if st := s.flows[id].spec.Start; st > s.now+timeEps && st < t {
 					t = st
 				}
 			}
-			if math.IsInf(t, 1) || t <= s.now+timeEps {
+			if len(s.timers) > 0 && s.timers[0].at < t {
+				t = s.timers[0].at
+			}
+			if math.IsInf(t, 1) {
 				panic("simnet: deadlock — pending flows can never start")
 			}
-			s.now = t
+			if t > s.now {
+				s.now = t
+			}
 			continue
 		}
 
@@ -469,6 +594,12 @@ func (s *Sim) Run() RunStats {
 				if d := st - s.now; d < dt {
 					dt = d
 				}
+			}
+		}
+		// A timer is an event boundary too: never advance past one.
+		if len(s.timers) > 0 {
+			if d := s.timers[0].at - s.now; d < dt {
+				dt = d
 			}
 		}
 		if dt < dtMin {
@@ -531,8 +662,7 @@ func (s *Sim) Run() RunStats {
 			finished := false
 			compact = active[:0]
 			for _, id := range active {
-				f := &s.flows[id]
-				if f.spec.Bits-f.sent <= math.Max(eps, f.spec.Bits*1e-12) && f.producedAll() {
+				if retirable(id) {
 					finish(id)
 					finished = true
 				} else {
@@ -546,6 +676,8 @@ func (s *Sim) Run() RunStats {
 		}
 
 		guard++
+		// Recomputed each event: timers may have grown the flow population.
+		maxEvents := 100*len(s.flows) + 1000
 		if guard > maxEvents {
 			panic(fmt.Sprintf("simnet: event budget exceeded (%d events > 100×%d flows + 1000; likely a dependency livelock) — %s",
 				guard, len(s.flows), s.stuckReport(active, pending, dt)))

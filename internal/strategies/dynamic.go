@@ -1,0 +1,217 @@
+package strategies
+
+import (
+	"fmt"
+
+	"netagg/internal/simnet"
+	"netagg/internal/topology"
+	"netagg/internal/treeplan"
+	"netagg/internal/workload"
+)
+
+// DynamicNetAgg is NetAgg with congestion-aware dynamic aggregation trees
+// (DESIGN.md §16): it plans jobs exactly like NetAgg, then keeps scoring
+// every agg box on a simulated-time tick through the same
+// treeplan.HotTracker hysteresis that drives the live fabric's Replanner.
+// When a box turns congested mid-job, every incomplete job routed through
+// it migrates: the job's current flows are truncated and the trees are
+// re-planned against a topology view with the congested boxes marked
+// Slow, re-sending the partial results in full from the workers — the
+// simulator's rendition of the attempt-epoch full resend the live shims
+// perform (§3.1 recovery reused for migration).
+//
+// A DynamicNetAgg instance is stateful and not safe for concurrent use:
+// give each simulation run its own instance (figures construct one per
+// scenario cell).
+type DynamicNetAgg struct {
+	// Trees, Mode, and Planner mean the same as on NetAgg. The planner is
+	// consulted for the initial plan and again on every migration, each
+	// time through the congestion-marked topology view.
+	Trees   int
+	Mode    ReduceMode
+	Planner treeplan.Planner
+	// Interval is the replanning tick period in simulated seconds
+	// (default 0.005 — the simulator analogue of the live replanner's
+	// 500ms against wall-clock job times three orders larger).
+	Interval float64
+	// Policy is the hysteresis/cooldown policy. Load is scored as
+	// treeplan.LoadUs over a queue depth equal to the number of flows
+	// currently crossing the box's processing resource, so HotLoadUs
+	// of N×1000 means "N concurrent flows on the box".
+	Policy treeplan.ReplanPolicy
+
+	// Migrations counts subtree migrations performed (one per affected
+	// job per congestion event), summed over every run this instance saw.
+	Migrations int
+
+	state map[*simnet.Sim]*dynState
+}
+
+// dynState is the per-simulation replanning state.
+type dynState struct {
+	net     *simnet.Network
+	tracker *treeplan.HotTracker
+	slow    map[topology.NodeID]bool
+	boxes   []topology.NodeID
+	jobs    []*dynJob
+}
+
+// dynJob tracks one job's current flow set across migrations.
+type dynJob struct {
+	job    *workload.Job
+	alpha  float64
+	extra  *ExtraFlows
+	live   []simnet.FlowID // every flow of the current attempt
+	finals []simnet.FlowID // the current attempt's result flows
+	boxes  map[topology.NodeID]bool
+}
+
+// done reports whether the job's current result flows have all landed.
+func (dj *dynJob) done(sim *simnet.Sim) bool {
+	for _, id := range dj.finals {
+		if !sim.FlowDone(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// Name implements Strategy.
+func (n *DynamicNetAgg) Name() string {
+	if n.Trees > 1 {
+		return fmt.Sprintf("netagg-dynamic-%dtrees", n.Trees)
+	}
+	return "netagg-dynamic"
+}
+
+// base is the static strategy the dynamic one plans through.
+func (n *DynamicNetAgg) base() NetAgg {
+	return NetAgg{Trees: n.Trees, Mode: n.Mode, Planner: n.Planner}
+}
+
+// view is the planner's congestion-marked topology.
+func (st *dynState) view() treeplan.Topology {
+	return simTopo{topo: st.net.Topo.T, slow: st.slow}
+}
+
+// AddJob implements Strategy.
+func (n *DynamicNetAgg) AddJob(net *simnet.Network, job *workload.Job, alpha float64) JobFlows {
+	st := n.stateFor(net)
+	trees := n.Trees
+	if trees < 1 {
+		trees = 1
+	}
+	dj := &dynJob{job: job, alpha: alpha, extra: &ExtraFlows{}, boxes: make(map[topology.NodeID]bool)}
+	var jf JobFlows
+	base := n.base()
+	for tr := 0; tr < trees; tr++ {
+		for _, b := range base.addTree(net, st.view(), job, alpha, tr, trees, 0, &jf) {
+			dj.boxes[b] = true
+		}
+	}
+	dj.live = jf.All
+	dj.finals = jf.Finals
+	jf.Extra = dj.extra
+	st.jobs = append(st.jobs, dj)
+	return jf
+}
+
+// stateFor returns (building on first use) the replanning state of one
+// simulation and arms its first tick.
+func (n *DynamicNetAgg) stateFor(net *simnet.Network) *dynState {
+	if n.state == nil {
+		n.state = make(map[*simnet.Sim]*dynState)
+	}
+	if st, ok := n.state[net.Sim]; ok {
+		return st
+	}
+	st := &dynState{
+		net:     net,
+		tracker: treeplan.NewHotTracker(n.Policy),
+		slow:    make(map[topology.NodeID]bool),
+		boxes:   net.Topo.T.AggBoxes(),
+	}
+	n.state[net.Sim] = st
+	interval := n.Interval
+	if interval <= 0 {
+		interval = 0.005
+	}
+	// Self-rearming tick: the chain stops once every job has delivered,
+	// so the timers never keep an otherwise finished simulation alive.
+	var tick func()
+	tick = func() {
+		if n.tick(st) {
+			net.Sim.At(net.Sim.Now()+interval, tick)
+		}
+	}
+	net.Sim.At(interval, tick)
+	return st
+}
+
+// tick is one scoring pass; it reports whether any job is still running
+// (the re-arm condition).
+func (n *DynamicNetAgg) tick(st *dynState) bool {
+	sim := st.net.Sim
+	// Score every box and step the hysteresis; collect the boxes whose
+	// transition to congested should trigger a migration this tick.
+	var migrateFrom []topology.NodeID
+	for _, b := range st.boxes {
+		depth := int64(sim.ResourceActiveFlows(st.net.Topo.ProcResource(b)))
+		hot, changed := st.tracker.Observe(uint64(b), treeplan.LoadUs(treeplan.LoadSignal{QueueDepth: depth}))
+		if !changed {
+			continue
+		}
+		if hot {
+			st.slow[b] = true
+			if !st.tracker.CoolingDown(uint64(b)) {
+				migrateFrom = append(migrateFrom, b)
+				st.tracker.StartCooldown(uint64(b))
+			}
+		} else {
+			delete(st.slow, b)
+		}
+	}
+	for _, b := range migrateFrom {
+		n.migrate(st, b)
+	}
+	for _, dj := range st.jobs {
+		if !dj.done(sim) {
+			return true
+		}
+	}
+	return false
+}
+
+// migrate moves every incomplete job off a congested box: the current
+// attempt's flows are truncated and the trees re-planned and re-sent in
+// full from the current time — the simulator analogue of the live
+// master's MigrateAway → TRedirect → attempt-epoch full resend.
+func (n *DynamicNetAgg) migrate(st *dynState, box topology.NodeID) {
+	sim := st.net.Sim
+	now := sim.Now()
+	trees := n.Trees
+	if trees < 1 {
+		trees = 1
+	}
+	base := n.base()
+	for _, dj := range st.jobs {
+		if !dj.boxes[box] || dj.done(sim) {
+			continue
+		}
+		for _, id := range dj.live {
+			sim.Truncate(id)
+		}
+		var tmp JobFlows
+		dj.boxes = make(map[topology.NodeID]bool)
+		for tr := 0; tr < trees; tr++ {
+			for _, b := range base.addTree(st.net, st.view(), dj.job, dj.alpha, tr, trees, now, &tmp) {
+				dj.boxes[b] = true
+			}
+		}
+		dj.live = tmp.All
+		dj.finals = tmp.Finals
+		dj.extra.All = append(dj.extra.All, tmp.All...)
+		dj.extra.Finals = append(dj.extra.Finals, tmp.Finals...)
+		n.Migrations++
+	}
+}

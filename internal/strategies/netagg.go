@@ -2,6 +2,7 @@ package strategies
 
 import (
 	"fmt"
+	"math"
 
 	"netagg/internal/simnet"
 	"netagg/internal/topology"
@@ -61,12 +62,20 @@ func (n NetAgg) AddJob(net *simnet.Network, job *workload.Job, alpha float64) Jo
 	}
 	var jf JobFlows
 	for tr := 0; tr < trees; tr++ {
-		n.addTree(net, job, alpha, tr, trees, &jf)
+		n.addTree(net, simTopo{topo: net.Topo.T}, job, alpha, tr, trees, 0, &jf)
 	}
 	return jf
 }
 
-func (n NetAgg) addTree(net *simnet.Network, job *workload.Job, alpha float64, tree, trees int, jf *JobFlows) {
+// addTree plans and emits the flows of one aggregation tree. view is the
+// planner's topology (a congestion-marked view during dynamic-tree
+// migration; the plain topology otherwise), startAt floors every flow's
+// start time (non-zero for mid-run migration resends, where the workers
+// replay their buffered partials from the current simulated time), and
+// the boxes the tree routed through are returned in deterministic
+// creation order so a dynamic strategy knows which jobs a congested box
+// affects.
+func (n NetAgg) addTree(net *simnet.Network, view treeplan.Topology, job *workload.Job, alpha float64, tree, trees int, startAt float64, jf *JobFlows) []topology.NodeID {
 	topo := net.Topo.T
 	h := jobHash(job.ID, tree)
 
@@ -82,7 +91,7 @@ func (n NetAgg) addTree(net *simnet.Network, job *workload.Job, alpha float64, t
 	for i, w := range job.Workers {
 		workers[i] = simNodeName(w)
 	}
-	planned := planner.Plan(simTopo{topo}, treeplan.Request{
+	planned := planner.Plan(view, treeplan.Request{
 		Req: uint64(job.ID), Tree: tree, Hash: h,
 		Master:  simNodeName(job.Master),
 		Workers: workers,
@@ -102,6 +111,7 @@ func (n NetAgg) addTree(net *simnet.Network, job *workload.Job, alpha float64, t
 
 	for i, w := range job.Workers {
 		bits := job.Bits[i] / float64(trees)
+		start := math.Max(job.Delay[i], startAt)
 		route := planned.Routes[workers[i]]
 		var chain []topology.NodeID // boxes on the path, in order
 		for _, b := range route {
@@ -124,7 +134,7 @@ func (n NetAgg) addTree(net *simnet.Network, job *workload.Job, alpha float64, t
 			// No box on the path: the shim sends directly to the master.
 			id := net.AddFlowOnPath(w, job.Master, wh, simnet.FlowSpec{
 				Bits:  bits,
-				Start: job.Delay[i],
+				Start: start,
 				Class: simnet.ClassAggregation,
 				Job:   job.ID,
 				Final: true,
@@ -137,7 +147,7 @@ func (n NetAgg) addTree(net *simnet.Network, job *workload.Job, alpha float64, t
 		first := getNode(chain[0])
 		id := net.AddFlowOnPath(w, chain[0], wh, simnet.FlowSpec{
 			Bits:  bits,
-			Start: job.Delay[i],
+			Start: start,
 			Class: simnet.ClassAggregation,
 			Job:   job.ID,
 		})
@@ -206,6 +216,7 @@ func (n NetAgg) addTree(net *simnet.Network, job *workload.Job, alpha float64, t
 		bn.out = net.AddFlowOnPath(bn.box, bn.next, h, simnet.FlowSpec{
 			Bits:   bits,
 			Inputs: inputs,
+			Start:  startAt,
 			Class:  simnet.ClassAggregation,
 			Job:    job.ID,
 			Final:  !bn.nextIsBox,
@@ -227,6 +238,11 @@ func (n NetAgg) addTree(net *simnet.Network, job *workload.Job, alpha float64, t
 			panic("strategies: orphaned agg box in aggregation tree")
 		}
 	}
+	boxes := make([]topology.NodeID, len(order))
+	for i, bn := range order {
+		boxes[i] = bn.box
+	}
+	return boxes
 }
 
 // emitOnce guards against double emission when two boxes share an upstream

@@ -15,6 +15,10 @@ import (
 // allocates nothing beyond the plan itself.
 type simTopo struct {
 	topo *topology.Topology
+	// slow marks boxes the dynamic-tree strategy currently considers
+	// congested; planners see them as Box.Slow and route around them
+	// where the switch has a cold alternative. Nil for static planning.
+	slow map[topology.NodeID]bool
 }
 
 // simNodeName renders a simulated node as a planner host name.
@@ -43,11 +47,12 @@ func (s simTopo) PathSwitches(worker, master string, hash uint64) []string {
 
 // BoxesAt implements treeplan.Topology. Simulated boxes cannot die, so
 // none are flagged Dead; failure experiments run on the live fabric.
+// Boxes the dynamic-tree strategy has marked congested carry Slow.
 func (s simTopo) BoxesAt(sw string) []treeplan.Box {
 	boxes := s.topo.BoxesAt(simNodeID(sw))
 	out := make([]treeplan.Box, len(boxes))
 	for i, b := range boxes {
-		out[i] = treeplan.Box{ID: uint64(b), Switch: sw}
+		out[i] = treeplan.Box{ID: uint64(b), Switch: sw, Slow: s.slow[b]}
 	}
 	return out
 }

@@ -62,6 +62,20 @@ type JobFlows struct {
 	// Finals lists the flows that deliver results to the master; the job
 	// completes when the last of them ends.
 	Finals []simnet.FlowID
+	// Extra, when non-nil, collects flows a dynamic strategy adds after
+	// the build phase (mid-run migration resends). It is a pointer because
+	// JobFlows is copied by value into the experiment driver before the
+	// simulation runs: the strategy appends through the shared ExtraFlows
+	// as its timers fire, and the driver folds them in afterwards.
+	Extra *ExtraFlows
+}
+
+// ExtraFlows holds flows created mid-run for a job (see JobFlows.Extra).
+type ExtraFlows struct {
+	// All lists every mid-run flow of the job.
+	All []simnet.FlowID
+	// Finals lists the mid-run flows that deliver results to the master.
+	Finals []simnet.FlowID
 }
 
 // Strategy adds the flows of one job to a simulation.

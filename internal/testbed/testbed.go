@@ -276,6 +276,25 @@ func (t tbTelemetry) BoxSignal(id uint64) (treeplan.LoadSignal, bool) {
 	}, true
 }
 
+// StartReplanner wires a dynamic-tree replanner (treeplan.Replanner,
+// DESIGN.md §16) over this deployment and starts it: boxes are scored
+// from the in-process telemetry every interval, boxes crossing the
+// congestion hysteresis are marked in the deployment so new plans avoid
+// them, and pending requests are migrated off them through the master
+// shim. Cancel ctx or call Stop on the returned replanner to stop it.
+func (tb *Testbed) StartReplanner(ctx context.Context, interval time.Duration, policy treeplan.ReplanPolicy) *treeplan.Replanner {
+	r := treeplan.NewReplanner(treeplan.ReplannerConfig{
+		Interval:  interval,
+		Policy:    policy,
+		Boxes:     tb.Dep.PlannerBoxes,
+		Telemetry: tb.Telemetry(),
+		Mark:      tb.Dep.MarkCongested,
+		Migrate:   tb.Master.MigrateAway,
+	})
+	r.StartContext(ctx)
+	return r
+}
+
 // NIC returns a host's emulated NIC (nil when pacing is off), so
 // application servers on that host share its link.
 func (tb *Testbed) NIC(host string) *netem.NIC { return tb.nics[host] }

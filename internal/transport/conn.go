@@ -82,6 +82,7 @@ type Conn struct {
 	wake      chan struct{}              // flusher doorbell, 1-buffered
 	connected atomic.Bool                // an established connection is believed healthy
 	resetReq  atomic.Bool                // Reset asked the flusher to drop the connection
+	trimReq   atomic.Bool                // DropReplay asked the flusher to discard the replay window
 	live      atomic.Pointer[connHandle] // the established socket, for Close/Reset teardown
 	dead      atomic.Pointer[connHandle] // reader's death notice for one specific connection
 
@@ -220,6 +221,9 @@ func (c *Conn) flusher() {
 		closed := c.moveQueued()
 		if c.resetReq.Swap(false) {
 			c.dropConn()
+		}
+		if c.trimReq.Swap(false) {
+			c.trimReplay()
 		}
 		// A death notice names one specific connection; honour it only if
 		// that connection is still current, so a stale reader cannot kill
@@ -454,6 +458,32 @@ func (c *Conn) releaseReplay() {
 		c.replay[i].Buf.Release()
 	}
 	c.replay = nil
+}
+
+// trimReplay is the flusher-side half of DropReplay: it releases the
+// window's payload references and clears the pending-replay mark so a
+// reconnect starts clean instead of resending frames of a superseded
+// epoch.
+func (c *Conn) trimReplay() {
+	if n := len(c.replay); n > 0 {
+		c.stats.replayTrimmed.Add(int64(n))
+		obsReplayTrimmed.Add(int64(n))
+	}
+	c.releaseReplay()
+	c.needReplay = false
+}
+
+// DropReplay asks the flusher to discard the replay window, releasing
+// the buffer references it retains. A subtree migration calls it on
+// connections to boxes removed from a route: everything the window
+// holds belongs to a superseded (tree, attempt) epoch that the new
+// attempt resends in full, so replaying it after a reconnect would only
+// deliver frames the receivers drop as stale (§3.1 dedup). The trim is
+// asynchronous — frames already admitted or in flight are unaffected,
+// which is safe for exactly the same epoch reason.
+func (c *Conn) DropReplay() {
+	c.trimReq.Store(true)
+	c.doorbell()
 }
 
 // ensure establishes the connection if needed, honouring the backoff

@@ -68,10 +68,10 @@ func (LoadAware) Name() string { return "loadaware" }
 // Plan implements Planner.
 func (l LoadAware) Plan(topo Topology, req Request) Tree {
 	start := time.Now()
-	t, deadSkipped := plan(topo, req, func(_ string, alive []Box) Box {
+	t, deadSkipped, slowAvoided := plan(topo, req, func(_ string, alive []Box) Box {
 		return l.pick(alive, req.Hash)
 	})
-	observePlan(start, req, deadSkipped)
+	observePlan(start, req, deadSkipped, slowAvoided)
 	return t
 }
 
@@ -102,12 +102,17 @@ func (l LoadAware) weight(id uint64) float64 {
 	return 1 / float64(1+loadBucket(sig))
 }
 
-// loadBucket quantises a load signal into its power-of-two bucket. The
-// scalar load folds the three signals into microsecond-ish units: a
-// queued task is costed at 1ms of backlog, flush latency and heartbeat
-// RTT enter directly.
+// LoadUs folds a load signal into one scalar in microsecond-ish units:
+// a queued task is costed at 1ms of backlog, flush latency and heartbeat
+// RTT enter directly. LoadAware buckets it for weighting; the Replanner
+// compares it against its hot/cold thresholds directly.
+func LoadUs(sig LoadSignal) int64 {
+	return sig.QueueDepth*1000 + sig.FlushUs + sig.RTTUs
+}
+
+// loadBucket quantises a load signal into its power-of-two bucket.
 func loadBucket(sig LoadSignal) int {
-	load := sig.QueueDepth*1000 + sig.FlushUs + sig.RTTUs
+	load := LoadUs(sig)
 	if load <= 0 {
 		return 0
 	}

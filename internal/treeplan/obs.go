@@ -12,4 +12,25 @@ var (
 	obsPlanReplans = obs.C("plan.replans")
 	// obsPlanDeadSkipped counts dead boxes excluded from plans.
 	obsPlanDeadSkipped = obs.C("plan.dead_boxes_skipped")
+	// obsPlanSlowAvoided counts congested boxes plans routed around.
+	obsPlanSlowAvoided = obs.C("plan.slow_boxes_avoided")
+)
+
+// Replanner observability (obs-smoke validates these after a forced
+// migration): tick cadence, how many boxes are currently marked
+// congested, and how migration activity breaks down.
+var (
+	// obsReplanTicks counts replanner scoring passes.
+	obsReplanTicks = obs.C("replan.ticks")
+	// obsReplanCongested is the number of boxes currently congested.
+	obsReplanCongested = obs.G("replan.congested_boxes")
+	// obsReplanMigrations counts migrations triggered (one per box
+	// crossing the hot threshold outside its cooldown window).
+	obsReplanMigrations = obs.C("replan.migrations")
+	// obsReplanMigratedReqs counts pending requests redirected by
+	// migrations.
+	obsReplanMigratedReqs = obs.C("replan.migrated_requests")
+	// obsReplanCooldownHolds counts migrations suppressed because the
+	// box re-heated inside its cooldown window.
+	obsReplanCooldownHolds = obs.C("replan.cooldown_holds")
 )

@@ -19,21 +19,25 @@ func (OnPath) Name() string { return "onpath" }
 // Plan implements Planner.
 func (OnPath) Plan(topo Topology, req Request) Tree {
 	start := time.Now()
-	t, deadSkipped := plan(topo, req, func(_ string, alive []Box) Box {
+	t, deadSkipped, slowAvoided := plan(topo, req, func(_ string, alive []Box) Box {
 		return alive[req.Hash%uint64(len(alive))]
 	})
-	observePlan(start, req, deadSkipped)
+	observePlan(start, req, deadSkipped, slowAvoided)
 	return t
 }
 
 // observePlan records the planner metrics shared by all implementations:
-// planning latency, replan count (attempt > 0), and dead boxes skipped.
-func observePlan(start time.Time, req Request, deadSkipped int) {
+// planning latency, replan count (attempt > 0), dead boxes skipped, and
+// congested boxes routed around.
+func observePlan(start time.Time, req Request, deadSkipped, slowAvoided int) {
 	obsPlanComputeUs.Observe(time.Since(start).Microseconds())
 	if req.Attempt > 0 {
 		obsPlanReplans.Inc()
 	}
 	if deadSkipped > 0 {
 		obsPlanDeadSkipped.Add(int64(deadSkipped))
+	}
+	if slowAvoided > 0 {
+		obsPlanSlowAvoided.Add(int64(slowAvoided))
 	}
 }

@@ -34,6 +34,11 @@ type Box struct {
 	// Dead marks a box the failure monitor has declared failed; planners
 	// must never route through a dead box.
 	Dead bool
+	// Slow marks a box the replanner has declared congested: planners
+	// avoid it whenever the switch offers a non-slow alternative, but —
+	// unlike Dead — may still route through it when it is the only box
+	// standing, because a slow tree beats no tree.
+	Slow bool
 }
 
 // Request identifies one aggregation tree to plan.
@@ -143,13 +148,20 @@ type Planner interface {
 // choose among the live boxes at every equipped switch. It is the shared
 // skeleton of OnPath and LoadAware: the tree-shape bookkeeping (expected
 // fan-in per box, finals at the master) is planner-independent. It
-// returns the number of dead boxes skipped for the planner to report.
-func plan(topo Topology, req Request, pick func(sw string, alive []Box) Box) (Tree, int) {
+// returns the number of dead boxes skipped and slow boxes avoided for
+// the planner to report.
+//
+// Slow boxes are excluded from the candidate set only when the switch
+// offers a non-slow alternative — a switch whose every live box is
+// congested still gets its best-effort box. Because the filter is
+// deterministic and runs before pick, congestion marks shift every
+// shim's choice identically, preserving per-worker decomposability.
+func plan(topo Topology, req Request, pick func(sw string, alive []Box) Box) (Tree, int, int) {
 	t := Tree{
 		Routes: make(map[string][]Box, len(req.Workers)),
 		Expect: make(map[uint64]int),
 	}
-	deadSkipped := 0
+	deadSkipped, slowAvoided := 0, 0
 	type edge struct{ up, down uint64 }
 	boxEdges := make(map[edge]bool)
 	roots := make(map[uint64]bool)
@@ -158,15 +170,30 @@ func plan(topo Topology, req Request, pick func(sw string, alive []Box) Box) (Tr
 		var chain []Box
 		for _, sw := range topo.PathSwitches(wname, req.Master, req.Hash) {
 			alive = alive[:0]
+			slowHere := 0
 			for _, b := range topo.BoxesAt(sw) {
 				if b.Dead {
 					deadSkipped++
 					continue
 				}
+				if b.Slow {
+					slowHere++
+				}
 				alive = append(alive, b)
 			}
 			if len(alive) == 0 {
 				continue
+			}
+			if slowHere > 0 && slowHere < len(alive) {
+				n := 0
+				for _, b := range alive {
+					if !b.Slow {
+						alive[n] = b
+						n++
+					}
+				}
+				alive = alive[:n]
+				slowAvoided += slowHere
 			}
 			chain = append(chain, pick(sw, alive))
 		}
@@ -185,5 +212,5 @@ func plan(topo Topology, req Request, pick func(sw string, alive []Box) Box) (Tr
 		t.Expect[e.down]++
 	}
 	t.Finals += len(roots)
-	return t, deadSkipped
+	return t, deadSkipped, slowAvoided
 }

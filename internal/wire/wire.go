@@ -38,6 +38,12 @@ const (
 	TAck
 	// TError reports a fatal per-request error upstream.
 	TError
+	// TCancel tells a box to discard its local aggregation state for a
+	// superseded request epoch (subtree migration, §3.1 recovery): the
+	// box drains and releases buffered partials instead of waiting for
+	// the janitor, and the master ignores any result the stale epoch
+	// still produces via its attempt check.
+	TCancel
 )
 
 // String names the frame type.
@@ -61,6 +67,8 @@ func (t Type) String() string {
 		return "ack"
 	case TError:
 		return "error"
+	case TCancel:
+		return "cancel"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -366,4 +374,30 @@ func DecodeCount(p []byte) (int, error) {
 		return 0, ErrCorrupt
 	}
 	return int(v), nil
+}
+
+// EncodeLoad encodes a box's load signal — scheduler queue depth and
+// flush-latency EWMA in microseconds — as a THeartbeat reply payload, so
+// every liveness probe doubles as a telemetry sample for the replanner.
+func EncodeLoad(queueDepth int, flushUs int64) []byte {
+	p := binary.AppendUvarint(nil, uint64(queueDepth))
+	return binary.AppendUvarint(p, uint64(flushUs))
+}
+
+// DecodeLoad decodes a heartbeat-reply load payload. An empty payload
+// decodes as zero load: boxes predating the telemetry extension reply
+// without one, and their heartbeats must keep working.
+func DecodeLoad(p []byte) (queueDepth int, flushUs int64, err error) {
+	if len(p) == 0 {
+		return 0, 0, nil
+	}
+	q, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, 0, ErrCorrupt
+	}
+	f, n2 := binary.Uvarint(p[n:])
+	if n2 <= 0 {
+		return 0, 0, ErrCorrupt
+	}
+	return int(q), int64(f), nil
 }
