@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint vet race escape fuzz-smoke verify profile bench-smoke obs-smoke bufpool-debug
+.PHONY: build test lint vet race escape fuzz-smoke verify profile bench-smoke obs-smoke bufpool-debug protocol-check
 
 build:
 	$(GO) build ./...
@@ -13,10 +13,12 @@ test:
 
 # netagg-lint: repo-specific analyzers (determinism, docrule,
 # lockdiscipline, errcheck-wire, goroutine-hygiene, lockorder, ctxflow,
-# exhaustive, bufown). Exit 1 on findings; suppress audited false
-# positives with //lint:ignore <analyzer> <reason> or the
+# exhaustive, bufown, protocheck). Exit 1 on findings; suppress audited
+# false positives with //lint:ignore <analyzer> <reason> or the
 # .netagg-lint-allow file (bufown also honours its own
-# //netagg:bufown-allow <reason> markers, see DESIGN.md §13).
+# //netagg:bufown-allow <reason> markers, see DESIGN.md §13). Stale
+# suppressions — directives or allowlist entries matching nothing — are
+# findings too (DESIGN.md §17).
 lint:
 	$(GO) run ./cmd/netagg-lint ./...
 
@@ -42,12 +44,23 @@ fuzz-smoke:
 # Runtime half of the buffer-ownership contract: the netaggdebug build
 # tag poisons released buffers (0xDB) and verifies the poison on reuse,
 # turning use-after-release into a deterministic panic instead of silent
-# corruption. Run under -race so the checker also orders the accesses.
+# corruption. The same tag arms wire.CheckReceive, the dynamic half of
+# the protocol table (DESIGN.md §17), so the suite also covers the
+# packages with annotated frame handlers. Run under -race so the checker
+# also orders the accesses.
 bufpool-debug:
-	$(GO) test -tags netaggdebug -race ./internal/bufpool ./internal/transport
+	$(GO) test -tags netaggdebug -race ./internal/bufpool ./internal/transport \
+		./internal/wire ./internal/core ./internal/shim ./internal/cluster
+
+# Protocol drift gate (DESIGN.md §17): the matrix embedded in DESIGN.md
+# must be exactly what internal/wire/protocol.go renders, and the lint
+# framework must survive its own analyzers (self-lint).
+protocol-check:
+	$(GO) run ./cmd/protogen -check
+	$(GO) run ./cmd/netagg-lint ./internal/lint
 
 # The tier-1 gate: everything CI and pre-commit should run.
-verify: build vet lint escape race
+verify: build vet lint protocol-check escape race
 
 # Flamegraph entry point for the next perf PR: profile the full-scale Fig 6
 # regeneration (the allocator-bound path). Inspect with

@@ -1,10 +1,14 @@
 // Command benchguard compares a fresh Go benchmark run against a
-// checked-in baseline artifact and fails when allocation size regresses:
-// any benchmark whose mean B/op grows more than -max-growth (default
-// 25%) over the baseline exits non-zero. bench-smoke runs it before
-// overwriting the BENCH_*.json artifacts, so an alloc regression breaks
-// CI instead of silently re-baselining itself — the failure mode behind
-// the 1488 B/op drift this tool was written to catch.
+// checked-in baseline artifact and fails on regressions: any benchmark
+// whose mean B/op grows more than -max-growth (default 25%) or whose
+// mean ns/op grows more than -max-time-growth (default 50%) over the
+// baseline exits non-zero. The time gate is deliberately looser than the
+// allocation gate — wall time is noisy across machines and CI load,
+// while B/op is deterministic — but a 1.5x slowdown is a real regression
+// on any hardware. bench-smoke runs benchguard before overwriting the
+// BENCH_*.json artifacts, so a regression breaks CI instead of silently
+// re-baselining itself — the failure mode behind the 1488 B/op drift
+// this tool was written to catch.
 //
 // Usage:
 //
@@ -27,6 +31,7 @@ import (
 func main() {
 	baselinePath := flag.String("baseline", "", "checked-in benchmark artifact to compare against")
 	maxGrowth := flag.Float64("max-growth", 0.25, "maximum allowed fractional B/op growth over the baseline")
+	maxTimeGrowth := flag.Float64("max-time-growth", 0.5, "maximum allowed fractional ns/op growth over the baseline")
 	flag.Parse()
 	if *baselinePath == "" || flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: benchguard -baseline <artifact> <fresh-run>")
@@ -55,19 +60,20 @@ func main() {
 		if !ok {
 			continue
 		}
-		limit := want.mean() * (1 + *maxGrowth)
-		// An absolute slack floor keeps tiny baselines (a few bytes) from
-		// tripping on measurement granularity.
-		if limit < want.mean()+16 {
-			limit = want.mean() + 16
-		}
-		if got.mean() > limit {
-			failed = true
-			fmt.Printf("benchguard: FAIL %s: %.0f B/op vs baseline %.0f B/op (> %+.0f%%)\n",
-				name, got.mean(), want.mean(), 100**maxGrowth)
-		} else {
-			fmt.Printf("benchguard: ok   %s: %.0f B/op vs baseline %.0f B/op\n",
-				name, got.mean(), want.mean())
+		// An absolute slack floor keeps tiny baselines from tripping on
+		// measurement granularity: 16 bytes for allocations, 1000 ns for
+		// timer resolution and scheduler jitter on sub-microsecond loops.
+		for _, line := range []string{
+			compare(name, "B/op", got.bop, want.bop, *maxGrowth, 16),
+			compare(name, "ns/op", got.nsop, want.nsop, *maxTimeGrowth, 1000),
+		} {
+			if line == "" {
+				continue
+			}
+			fmt.Println(line)
+			if strings.Contains(line, "FAIL") {
+				failed = true
+			}
 		}
 	}
 	if failed {
@@ -75,13 +81,30 @@ func main() {
 	}
 }
 
+// compare renders one metric's verdict line, or "" when either side has
+// no readings for the metric (old artifacts predate the ns/op gate).
+func compare(name, unit string, got, want sample, maxGrowth, floor float64) string {
+	if got.n == 0 || want.n == 0 {
+		return ""
+	}
+	limit := want.mean() * (1 + maxGrowth)
+	if limit < want.mean()+floor {
+		limit = want.mean() + floor
+	}
+	if got.mean() > limit {
+		return fmt.Sprintf("benchguard: FAIL %s: %.0f %s vs baseline %.0f %s (> %+.0f%%)",
+			name, got.mean(), unit, want.mean(), unit, 100*maxGrowth)
+	}
+	return fmt.Sprintf("benchguard: ok   %s: %.0f %s vs baseline %.0f %s",
+		name, got.mean(), unit, want.mean(), unit)
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "benchguard:", err)
 	os.Exit(2)
 }
 
-// sample accumulates the B/op readings of one benchmark across -count
-// repetitions.
+// sample accumulates one metric's readings across -count repetitions.
 type sample struct {
 	sum float64
 	n   int
@@ -94,20 +117,26 @@ func (s sample) mean() float64 {
 	return s.sum / float64(s.n)
 }
 
-// parseFile extracts per-benchmark B/op from raw `go test -bench` output.
-// Lines look like:
+// bench holds one benchmark's readings for both guarded metrics.
+type bench struct {
+	bop  sample
+	nsop sample
+}
+
+// parseFile extracts per-benchmark B/op and ns/op from raw
+// `go test -bench` output. Lines look like:
 //
 //	BenchmarkTransportEcho-8   200   12052 ns/op   160 B/op   2 allocs/op
 //
 // The -8 GOMAXPROCS suffix is stripped so baselines travel across
 // machines.
-func parseFile(path string) (map[string]sample, error) {
+func parseFile(path string) (map[string]bench, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	out := make(map[string]sample)
+	out := make(map[string]bench)
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
@@ -120,20 +149,22 @@ func parseFile(path string) (map[string]sample, error) {
 				name = name[:i]
 			}
 		}
+		b := out[name]
 		for i := 2; i+1 < len(fields); i++ {
-			if fields[i+1] != "B/op" {
-				continue
-			}
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
-				break
+				continue
 			}
-			s := out[name]
-			s.sum += v
-			s.n++
-			out[name] = s
-			break
+			switch fields[i+1] {
+			case "B/op":
+				b.bop.sum += v
+				b.bop.n++
+			case "ns/op":
+				b.nsop.sum += v
+				b.nsop.n++
+			}
 		}
+		out[name] = b
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

@@ -136,6 +136,37 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	findings = allow.Filter(findings)
 
+	// A suppression that suppresses nothing is itself a finding: a stale
+	// //lint:ignore or allowlist entry claims an audited violation that no
+	// longer exists, so its recorded reason misdocuments the code. Both
+	// scans are scoped to what this run actually checked: ignores naming
+	// analyzers outside -only and allowlist entries for unparsed files are
+	// left alone.
+	findings = append(findings, lint.UnusedIgnores(files, analyzers)...)
+	parsed := make(map[string]bool, len(files))
+	for _, f := range files {
+		parsed[f.Path] = true
+	}
+	for _, key := range allow.UnusedKeys(parsed) {
+		path, rest, _ := strings.Cut(key, "\t")
+		analyzer, _, _ := strings.Cut(rest, "\t")
+		findings = append(findings, lint.Finding{
+			Analyzer: "unusedallow",
+			File:     path,
+			Message:  fmt.Sprintf("allowlist entry for %s matched no finding: remove the stale line from %s", analyzer, ap),
+		})
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"netagg/internal/wire"
+)
+
+func TestSpliceReplacesBetweenMarkers(t *testing.T) {
+	doc := "head\n" + beginMarker + "\nold table\n" + endMarker + "\ntail\n"
+	got, err := splice(doc, "| new |\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "head\n" + beginMarker + "\n| new |\n" + endMarker + "\ntail\n"
+	if got != want {
+		t.Fatalf("splice = %q, want %q", got, want)
+	}
+	// Idempotent: re-splicing the result changes nothing.
+	again, err := splice(got, "| new |\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != got {
+		t.Fatal("splice is not idempotent")
+	}
+}
+
+func TestSpliceErrors(t *testing.T) {
+	for _, doc := range []string{
+		"no markers at all",
+		beginMarker + "\nno end",
+		beginMarker + "\n" + endMarker + "\n" + beginMarker + "\n" + endMarker,
+	} {
+		if _, err := splice(doc, "x"); err == nil {
+			t.Errorf("splice(%q) succeeded, want error", doc)
+		}
+	}
+}
+
+func TestMatrixCoversEveryRule(t *testing.T) {
+	m := wire.ProtocolMatrix()
+	for _, r := range wire.Protocol() {
+		if !strings.Contains(m, r.Name) {
+			t.Errorf("matrix is missing frame %s", r.Name)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"log"
 	"sync"
 	"time"
 
@@ -95,20 +96,7 @@ func (m *Monitor) probe(ctx context.Context, b BoxInfo) {
 		Backoff:         transport.Backoff{Min: 2 * m.interval, Max: 16 * m.interval},
 		MaxSendAttempts: 1,
 		OnFrame: func(msg *wire.Msg) {
-			if msg.Type != wire.THeartbeat {
-				msg.Release()
-				return
-			}
-			// The echo payload carries the box's load signal (queue depth,
-			// flush latency); decode before Release invalidates it.
-			if q, f, err := wire.DecodeLoad(msg.Payload); err == nil {
-				m.dep.ObserveLoad(b.ID, q, f)
-			}
-			msg.Release()
-			select {
-			case replies <- msg.Seq:
-			default: // prober is behind; dropping an echo just costs a miss
-			}
+			m.handleEcho(b, replies, msg)
 		},
 	})
 	defer conn.Close()
@@ -155,6 +143,32 @@ func (m *Monitor) probe(ctx context.Context, b BoxInfo) {
 				m.onFail(b)
 			}
 		}
+	}
+}
+
+// handleEcho processes one frame from a probed box. Heartbeats carry no
+// epoch state, so no replay guard is needed: a replayed echo only
+// re-observes a load sample and re-delivers a sequence number heartbeat()
+// already treats as stale.
+//
+//netagg:proto-handler monitor
+func (m *Monitor) handleEcho(b BoxInfo, replies chan<- uint64, msg *wire.Msg) {
+	wire.CheckReceive(wire.RoleMonitor, msg)
+	switch msg.Type {
+	case wire.THeartbeat:
+		// The echo payload carries the box's load signal (queue depth,
+		// flush latency); decode before Release invalidates it.
+		if q, f, err := wire.DecodeLoad(msg.Payload); err == nil {
+			m.dep.ObserveLoad(b.ID, q, f)
+		}
+		msg.Release()
+		select {
+		case replies <- msg.Seq:
+		default: // prober is behind; dropping an echo just costs a miss
+		}
+	default:
+		msg.Release()
+		log.Printf("cluster: monitor dropping unhandled frame type %v from box %d", msg.Type, b.ID)
 	}
 }
 

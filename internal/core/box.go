@@ -234,7 +234,10 @@ func (b *Box) Close() {
 // (shim or upstream box). It runs on the transport server's reader
 // goroutine for that connection, so blocking here back-pressures that
 // sender only.
+//
+//netagg:proto-handler box
 func (b *Box) serveFrame(conn *transport.ServerConn, m *wire.Msg) {
+	wire.CheckReceive(wire.RoleBox, m)
 	switch m.Type {
 	case wire.THeartbeat:
 		// The echo goes back on the same connection carrying the box's
@@ -307,10 +310,13 @@ func (b *Box) handle(m *wire.Msg) error {
 		})
 		b.requests[key] = req
 	}
-	req.lastSeen = time.Now()
 
+	// The liveness refresh happens per arm, after each frame's replay
+	// guard: a transport-replay duplicate must not keep a request alive
+	// (or double-count anything) just by arriving.
 	switch m.Type {
 	case wire.THello:
+		req.lastSeen = time.Now()
 		route, err := wire.DecodeStrings(m.Payload)
 		if err != nil {
 			b.mu.Unlock()
@@ -330,6 +336,7 @@ func (b *Box) handle(m *wire.Msg) error {
 		return nil
 
 	case wire.TExpect:
+		req.lastSeen = time.Now()
 		count, err := wire.DecodeCount(m.Payload)
 		if err != nil {
 			b.mu.Unlock()
@@ -341,6 +348,7 @@ func (b *Box) handle(m *wire.Msg) error {
 		return nil
 
 	case wire.TEnd:
+		req.lastSeen = time.Now()
 		req.ends[m.Source] = true
 		b.maybeCloseInputsLocked(req)
 		b.mu.Unlock()
@@ -356,6 +364,7 @@ func (b *Box) handle(m *wire.Msg) error {
 			obsDupFrames.Inc()
 			return nil
 		}
+		req.lastSeen = time.Now()
 		req.nextSeq[m.Source] = m.Seq + 1
 		b.stats.BytesIn += int64(len(m.Payload))
 		req.frames++

@@ -124,13 +124,17 @@ func TestLocalTreeSinglePartPassesThrough(t *testing.T) {
 	wr := newWaitResult()
 	tree := NewLocalTree(s, "wc", agg.KVCombiner{Op: agg.OpSum}, 8, wr.done)
 	payload := agg.EncodeKVs([]agg.KV{{Key: "solo", Val: 7}})
+	// Adopt transfers ownership of payload's bytes to the tree, which
+	// releases them after delivery (netaggdebug poisons them then), so
+	// the expectation needs its own copy.
+	want := append([]byte(nil), payload...)
 	tree.Add(bufpool.Adopt(payload))
 	tree.CloseInputs()
 	result, err := wr.wait(t)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(result) != string(payload) {
+	if string(result) != string(want) {
 		t.Fatal("single part must pass through unchanged")
 	}
 	if tree.Combines() != 0 {

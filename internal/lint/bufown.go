@@ -141,6 +141,33 @@ func (Bufown) CheckPackage(files []*File, report func(pos token.Pos, msg string)
 		}
 		w.checkFunc()
 	}
+
+	// A //netagg:bufown-allow that suppressed nothing is stale: it claims
+	// an audited violation that no longer exists, so its recorded reason
+	// misdocuments the line. Only files the walk actually analyzed are
+	// scanned (bo.lines is populated per analyzed file).
+	checked := make([]*File, 0, len(bo.lines))
+	for f := range bo.lines {
+		checked = append(checked, f)
+	}
+	sort.Slice(checked, func(i, j int) bool { return checked[i].Path < checked[j].Path })
+	for _, f := range checked {
+		allow := bo.lines[f].allow
+		lines := make([]int, 0, len(allow))
+		for line := range allow {
+			lines = append(lines, line)
+		}
+		sort.Ints(lines)
+		seen := make(map[*bufownAllow]bool)
+		for _, line := range lines {
+			a := allow[line]
+			if seen[a] || a.used {
+				continue
+			}
+			seen[a] = true
+			report(a.pos, "//netagg:bufown-allow suppresses nothing: the finding it audited is gone, so the directive (and its reason) should go too")
+		}
+	}
 }
 
 // bufownPkg is the per-package analysis context.
@@ -160,9 +187,18 @@ type bufownLines struct {
 	// owns marks lines whose stores/sends/discards are declared
 	// ownership hand-offs.
 	owns map[int]bool
-	// allow marks lines whose bufown findings are suppressed with a
-	// recorded reason.
-	allow map[int]bool
+	// allow maps lines whose bufown findings are suppressed with a
+	// recorded reason to the suppressing directive (shared between the
+	// comment's own line and the next for standalone comments, so usage
+	// marks land on the one directive).
+	allow map[int]*bufownAllow
+}
+
+// bufownAllow is one //netagg:bufown-allow comment, tracked so
+// suppressions that no longer suppress anything are reported as stale.
+type bufownAllow struct {
+	pos  token.Pos
+	used bool
 }
 
 // lineDirectives scans (once per file) for trailing //netagg:owns and
@@ -173,26 +209,26 @@ func (bo *bufownPkg) lineDirectives(f *File) bufownLines {
 	if l, ok := bo.lines[f]; ok {
 		return l
 	}
-	l := bufownLines{owns: make(map[int]bool), allow: make(map[int]bool)}
+	l := bufownLines{owns: make(map[int]bool), allow: make(map[int]*bufownAllow)}
 	for _, cg := range f.AST.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-			var into map[int]bool
+			pos := f.Fset.Position(c.Pos())
 			switch {
 			case strings.HasPrefix(text, "netagg:owns"):
-				into = l.owns
+				l.owns[pos.Line] = true
+				if f.standalone(pos) {
+					l.owns[pos.Line+1] = true
+				}
 			case strings.HasPrefix(text, "netagg:bufown-allow"):
 				if len(strings.Fields(text)) < 2 {
 					continue // a suppression without a reason is ignored
 				}
-				into = l.allow
-			default:
-				continue
-			}
-			pos := f.Fset.Position(c.Pos())
-			into[pos.Line] = true
-			if f.standalone(pos) {
-				into[pos.Line+1] = true
+				a := &bufownAllow{pos: c.Pos()}
+				l.allow[pos.Line] = a
+				if f.standalone(pos) {
+					l.allow[pos.Line+1] = a
+				}
 			}
 		}
 	}
@@ -351,7 +387,8 @@ func (w *bufownWalk) line(p token.Pos) int { return w.f.Fset.Position(p).Line }
 
 // emit reports unless the line carries a //netagg:bufown-allow.
 func (w *bufownWalk) emit(pos token.Pos, msg string) {
-	if w.lines.allow[w.line(pos)] {
+	if a := w.lines.allow[w.line(pos)]; a != nil {
+		a.used = true
 		return
 	}
 	w.report(pos, msg)

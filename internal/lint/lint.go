@@ -69,8 +69,18 @@ type File struct {
 	// trailing.
 	Src []byte
 
-	// ignores maps line number -> analyzer names suppressed on that line.
-	ignores map[int][]string
+	// ignores maps line number -> ignore directives covering that line. A
+	// standalone directive appears under two lines (its own and the next)
+	// through the same pointer, so usage marks land on the one directive.
+	ignores map[int][]*ignoreDirective
+}
+
+// ignoreDirective is one //lint:ignore comment, tracked so directives
+// that suppress nothing can be reported instead of rotting in place.
+type ignoreDirective struct {
+	analyzer string
+	pos      token.Position // the comment's own position
+	used     bool
 }
 
 // Analyzer checks one file and reports findings via report.
@@ -121,6 +131,7 @@ func All() []Analyzer {
 		CtxFlow{},
 		Exhaustive{},
 		Bufown{},
+		Protocheck{},
 	}
 }
 
@@ -154,7 +165,7 @@ func ParseSource(fset *token.FileSet, displayPath string, src []byte) (*File, er
 
 // collectIgnores indexes //lint:ignore comments by line.
 func (f *File) collectIgnores() {
-	f.ignores = make(map[int][]string)
+	f.ignores = make(map[int][]*ignoreDirective)
 	for _, cg := range f.AST.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimPrefix(c.Text, "//")
@@ -170,6 +181,7 @@ func (f *File) collectIgnores() {
 				continue
 			}
 			pos := f.Fset.Position(c.Pos())
+			d := &ignoreDirective{analyzer: fields[0], pos: pos}
 			// A standalone comment (only whitespace before it on the
 			// line) suppresses the next code line; a trailing comment
 			// suppresses its own line.
@@ -178,7 +190,7 @@ func (f *File) collectIgnores() {
 				lines = append(lines, pos.Line+1)
 			}
 			for _, line := range lines {
-				f.ignores[line] = append(f.ignores[line], fields[0])
+				f.ignores[line] = append(f.ignores[line], d)
 			}
 		}
 	}
@@ -198,14 +210,17 @@ func (f *File) standalone(pos token.Position) bool {
 }
 
 // suppressed reports whether analyzer findings on the given line are
-// ignored.
+// ignored, marking every matching directive as used (a duplicated
+// directive is "used" too — it is redundant, not dead).
 func (f *File) suppressed(analyzer string, line int) bool {
-	for _, name := range f.ignores[line] {
-		if name == analyzer || name == "all" {
-			return true
+	hit := false
+	for _, d := range f.ignores[line] {
+		if d.analyzer == analyzer || d.analyzer == "all" {
+			d.used = true
+			hit = true
 		}
 	}
-	return false
+	return hit
 }
 
 // Run applies the analyzers to the files and returns surviving findings
@@ -284,10 +299,53 @@ func Run(files []*File, analyzers []Analyzer) []Finding {
 	return out
 }
 
+// UnusedIgnores reports //lint:ignore directives in the files that
+// suppressed nothing during a preceding Run over the same File values
+// (usage marks live on the parsed files, so the files passed here must
+// be the ones Run saw). Only directives naming one of the analyzers
+// that ran — or "all" — are reported: an ignore for an analyzer outside
+// this run's suite may be load-bearing in a fuller run. A stale ignore
+// is a defect, not a style nit: it claims an audited violation that no
+// longer exists, so the recorded reason misdocuments the line.
+func UnusedIgnores(files []*File, analyzers []Analyzer) []Finding {
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name()] = true
+	}
+	var out []Finding
+	for _, f := range files {
+		seen := make(map[*ignoreDirective]bool)
+		for _, ds := range f.ignores {
+			for _, d := range ds {
+				if seen[d] || d.used || (d.analyzer != "all" && !ran[d.analyzer]) {
+					continue
+				}
+				seen[d] = true
+				out = append(out, Finding{
+					Analyzer: "unusedignore",
+					File:     f.Path,
+					Line:     d.pos.Line,
+					Col:      d.pos.Column,
+					Message:  fmt.Sprintf("//lint:ignore %s suppresses nothing: the finding it audited is gone, so the directive (and its reason) should go too", d.analyzer),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	return out
+}
+
 // Allowlist is the set of audited pre-existing findings tolerated by the
 // gate. The file format is one Finding.Key per line — tab-separated
 // path, analyzer, message — with '#' comments and blank lines skipped.
 type Allowlist struct {
+	// keys maps each entry to whether it has matched a finding since load.
 	keys map[string]bool
 }
 
@@ -307,17 +365,45 @@ func LoadAllowlist(path string) (*Allowlist, error) {
 		if strings.TrimSpace(line) == "" || strings.HasPrefix(strings.TrimSpace(line), "#") {
 			continue
 		}
-		al.keys[line] = true
+		al.keys[line] = false
 	}
 	return al, nil
 }
 
-// Allowed reports whether the finding is on the allowlist.
+// Allowed reports whether the finding is on the allowlist, marking the
+// matching entry as used.
 func (al *Allowlist) Allowed(f Finding) bool {
 	if al == nil {
 		return false
 	}
-	return al.keys[f.Key()]
+	if _, ok := al.keys[f.Key()]; !ok {
+		return false
+	}
+	al.keys[f.Key()] = true
+	return true
+}
+
+// UnusedKeys returns allowlist entries that matched no finding in the
+// preceding Filter/Allowed calls, restricted to entries whose file was
+// actually linted (paths holds the display paths that were parsed): an
+// entry for a file outside this run's scope may still be load-bearing.
+func (al *Allowlist) UnusedKeys(paths map[string]bool) []string {
+	if al == nil {
+		return nil
+	}
+	var out []string
+	for key, used := range al.keys {
+		if used {
+			continue
+		}
+		file, _, _ := strings.Cut(key, "\t")
+		if !paths[file] {
+			continue
+		}
+		out = append(out, key)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Filter drops allowlisted findings.

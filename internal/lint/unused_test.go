@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// parseFixture parses one in-memory fixture for direct Run/UnusedIgnores
+// use (runOn hides the *File, which unused tracking needs back).
+func parseFixture(t *testing.T, displayPath, src string) *File {
+	t.Helper()
+	f, err := ParseSource(token.NewFileSet(), displayPath, []byte(src))
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	return f
+}
+
+// TestIgnoreSuppressesExactlyOneAndUnusedFires proves the //lint:ignore
+// life cycle: a directive over a real finding suppresses exactly that
+// one diagnostic and is not reported as unused; the same directive over
+// a clean line suppresses nothing and is.
+func TestIgnoreSuppressesExactlyOneAndUnusedFires(t *testing.T) {
+	used := parseFixture(t, "internal/shim/x.go", `package shim
+type client struct{}
+func (client) Send(v int) error { return nil }
+func fire(c client) {
+	//lint:ignore errcheck-wire best-effort, audited 2026-08
+	c.Send(1)
+	c.Send(2)
+}
+`)
+	findings := Run([]*File{used}, All())
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "c.Send is dropped") {
+		t.Fatalf("findings = %v, want exactly the unsuppressed c.Send(2)", findings)
+	}
+	if unused := UnusedIgnores([]*File{used}, All()); len(unused) != 0 {
+		t.Fatalf("used directive reported as unused: %v", unused)
+	}
+
+	stale := parseFixture(t, "internal/shim/x.go", `package shim
+type client struct{}
+func (client) Send(v int) error { return nil }
+func fire(c client) {
+	//lint:ignore errcheck-wire this call cannot fail (stale claim)
+	_ = c.Send(1)
+}
+`)
+	if findings := Run([]*File{stale}, All()); len(findings) != 0 {
+		t.Fatalf("clean fixture produced findings: %v", findings)
+	}
+	unused := UnusedIgnores([]*File{stale}, All())
+	if len(unused) != 1 {
+		t.Fatalf("unused = %v, want exactly one stale-directive report", unused)
+	}
+	if unused[0].Analyzer != "unusedignore" || unused[0].Line != 5 {
+		t.Errorf("unused report = %+v, want unusedignore at line 5", unused[0])
+	}
+	if !strings.Contains(unused[0].Message, "errcheck-wire") {
+		t.Errorf("message %q does not name the ignored analyzer", unused[0].Message)
+	}
+
+	// A directive naming an analyzer outside the run's suite is not
+	// reported: it may be load-bearing in a fuller run.
+	scoped := parseFixture(t, "internal/shim/x.go", `package shim
+func f() {
+	//lint:ignore bufown audited hand-off
+	_ = 1
+}
+`)
+	var subset []Analyzer
+	for _, a := range All() {
+		if a.Name() == "errcheck-wire" {
+			subset = append(subset, a)
+		}
+	}
+	Run([]*File{scoped}, subset)
+	if unused := UnusedIgnores([]*File{scoped}, subset); len(unused) != 0 {
+		t.Fatalf("out-of-suite directive reported: %v", unused)
+	}
+}
+
+// TestAllowlistSuppressesExactlyOneAndUnusedFires proves the allowlist
+// life cycle: an entry matching a real finding filters exactly that one
+// and is not unused; a stale entry for a linted file is reported; an
+// entry for a file outside the run's scope is left alone.
+func TestAllowlistSuppressesExactlyOneAndUnusedFires(t *testing.T) {
+	// Two findings with distinct messages: allowlist keys exclude line
+	// numbers, so same-message findings would share one entry.
+	f := parseFixture(t, "internal/shim/x.go", `package shim
+type client struct{}
+func (client) Send(v int) error { return nil }
+func fire(c, d client) {
+	c.Send(1)
+	d.Send(2)
+}
+`)
+	findings := Run([]*File{f}, All())
+	if len(findings) != 2 {
+		t.Fatalf("fixture produced %d findings, want 2", len(findings))
+	}
+	allowedKey := findings[0].Key() // Filter reuses the slice's backing array
+	body := "# audited\n" + allowedKey + "\n" +
+		"internal/shim/x.go\terrcheck-wire\tstale message that matches nothing\n" +
+		"internal/core/unparsed.go\terrcheck-wire\tout-of-scope entry\n"
+	path := filepath.Join(t.TempDir(), "allow")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	allow, err := LoadAllowlist(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left := allow.Filter(findings)
+	if len(left) != 1 || left[0].Key() == allowedKey {
+		t.Fatalf("filter left %v, want only the unallowed finding", left)
+	}
+	unused := allow.UnusedKeys(map[string]bool{"internal/shim/x.go": true})
+	if len(unused) != 1 || !strings.Contains(unused[0], "stale message") {
+		t.Fatalf("unused keys = %v, want only the stale in-scope entry", unused)
+	}
+}
+
+// TestBufownAllowSuppressesExactlyOneAndUnusedFires proves the
+// //netagg:bufown-allow life cycle: an allow over a real leak suppresses
+// exactly that diagnostic; an allow over clean code is reported stale.
+func TestBufownAllowSuppressesExactlyOneAndUnusedFires(t *testing.T) {
+	got := runBufown(t, bufownHeader+`
+func f(n int, err error) error {
+	b := bufpool.Get(n)
+	if err != nil {
+		//netagg:bufown-allow the caller parks the ref, audited 2026-08
+		return err
+	}
+	return nil
+}
+`)
+	if len(got) != 1 || got[0].Line != 10 {
+		t.Fatalf("got %v, want exactly the unallowed leak at the final return (line 10)", got)
+	}
+
+	got = runBufown(t, bufownHeader+`
+func f(n int) {
+	b := bufpool.Get(n)
+	//netagg:bufown-allow nothing leaks here any more
+	b.Release()
+}
+`)
+	if len(got) != 1 {
+		t.Fatalf("got %v, want exactly one stale-allow report", got)
+	}
+	if !strings.Contains(got[0].Message, "bufown-allow suppresses nothing") {
+		t.Errorf("message = %q, want stale bufown-allow report", got[0].Message)
+	}
+	if got[0].Line != 6 {
+		t.Errorf("stale allow reported at line %d, want 6 (the comment)", got[0].Line)
+	}
+}

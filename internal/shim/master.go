@@ -96,13 +96,20 @@ type Pending struct {
 	sourcesDone int
 	received    [][]byte
 	partsBy     map[srcKey][][]byte
+	// nextSeq is the next expected sequence number per source stream.
+	// The attempt guard drops cross-epoch replays, but a transport
+	// reconnect within one attempt rewrites the replay window on the
+	// same epoch: without this mark a replayed TData duplicates its part
+	// and a replayed TEnd/TResult double-counts sourcesDone. Same
+	// discipline as boxRequest.nextSeq on the box side.
+	nextSeq map[srcKey]uint64
 	// bufs tracks every pooled buffer reference taken for received and
 	// partsBy payloads; they move into the Result on completion and are
 	// released on re-arm or failure.
 	bufs  []*bufpool.Buf
 	timer *time.Timer
-	boxes       map[uint64]bool // boxes used by the current attempt's plan
-	done        bool
+	boxes map[uint64]bool // boxes used by the current attempt's plan
+	done  bool
 }
 
 type srcKey struct {
@@ -222,6 +229,7 @@ func (m *Master) Submit(app string, req uint64, workers []string, trees int) (*P
 		workers:     workers,
 		trees:       trees,
 		partsBy:     make(map[srcKey][][]byte),
+		nextSeq:     make(map[srcKey]uint64),
 		submittedAt: time.Now(),
 	}
 	p.C = p.c
@@ -277,6 +285,7 @@ func (m *Master) arm(p *Pending, attempt int) error {
 	}
 	p.bufs = nil
 	p.partsBy = make(map[srcKey][][]byte)
+	p.nextSeq = make(map[srcKey]uint64)
 	p.boxes = make(map[uint64]bool)
 	for _, t := range trees {
 		for id := range t.Expect {
@@ -480,7 +489,10 @@ func (m *Master) ResultBytes() int64 { return m.bytesIn.Load() }
 
 // handle processes one frame arriving at the result listener: TResult from
 // a box, TData/TEnd streams from workers with no on-path box, or TError.
+//
+//netagg:proto-handler master
 func (m *Master) handle(msg *wire.Msg) {
+	wire.CheckReceive(wire.RoleMaster, msg)
 	// Payloads that get buffered below take the frame's reference via
 	// TakeBuf, making this deferred Release a no-op for them; every other
 	// path (unknown request, stale attempt, TEnd/TError) recycles here.
@@ -501,6 +513,19 @@ func (m *Master) handle(msg *wire.Msg) {
 		p.mu.Unlock()
 		return
 	}
+	// Same-epoch replay guard: a worker's direct stream numbers its TData
+	// frames 0..n-1 and its TEnd n, and a box's TResult arrives as Seq 0,
+	// so any frame below the per-source mark is a transport-replay
+	// duplicate the attempt check cannot see.
+	k := srcKey{msg.Req, msg.Source}
+	if msg.Type == wire.TResult || msg.Type == wire.TData || msg.Type == wire.TEnd {
+		if msg.Seq < p.nextSeq[k] {
+			p.mu.Unlock()
+			obsDupAtMaster.Inc()
+			return
+		}
+		p.nextSeq[k] = msg.Seq + 1
+	}
 	complete := false
 	var final *Result // set when this frame finishes the request
 	switch msg.Type {
@@ -514,11 +539,9 @@ func (m *Master) handle(msg *wire.Msg) {
 		complete = p.sourcesDone >= p.needed
 	case wire.TData:
 		// A chunk from a worker with no on-path box.
-		k := srcKey{msg.Req, msg.Source}
 		p.partsBy[k] = append(p.partsBy[k], msg.Payload)
 		p.bufs = append(p.bufs, msg.TakeBuf())
 	case wire.TEnd:
-		k := srcKey{msg.Req, msg.Source}
 		p.received = append(p.received, p.partsBy[k]...)
 		delete(p.partsBy, k)
 		p.sourcesDone++

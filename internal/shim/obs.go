@@ -11,6 +11,10 @@ var (
 	// obsRedirectsApplied counts redirects worker shims actually
 	// replayed (duplicates and stale attempts are dropped).
 	obsRedirectsApplied = obs.C("shim.redirects_applied")
+	// obsDupAtMaster counts transport-replay duplicates the master shim
+	// dropped via the per-source sequence mark (same-epoch replays the
+	// attempt guard cannot see).
+	obsDupAtMaster = obs.C("shim.dup_frames_dropped")
 	// obsPartialBytes is the size distribution of the partial results
 	// workers hand to their shim (the input side of Fig 16's traffic
 	// reduction).

@@ -9,6 +9,7 @@ package shim
 import (
 	"context"
 	"fmt"
+	"log"
 	"sync"
 	"time"
 
@@ -223,8 +224,12 @@ func (w *Worker) send(b *bufferedSend, attempt int) error {
 			treeBytes += int64(len(part))
 			treeParts++
 		}
+		// TEnd carries the next sequence number after the data frames so
+		// the master's per-source replay guard covers it: a reconnect
+		// replays the whole window, and an unnumbered TEnd would
+		// double-count the source.
 		msgs = append(msgs, &wire.Msg{
-			Type: wire.TEnd, App: b.app, Req: wireReq, Source: uint64(b.workerIdx),
+			Type: wire.TEnd, App: b.app, Req: wireReq, Source: uint64(b.workerIdx), Seq: seq,
 		})
 		start := time.Now()
 		if err := w.pool.Get(target).SendAll(msgs); err != nil {
@@ -247,36 +252,47 @@ func treeOf(req uint64, partIdx, trees int) int {
 	return int(topology.FlowHash(0x7EE, req, uint64(partIdx)) % uint64(trees))
 }
 
-// control processes one redirect frame from a master shim. It runs on
+// control processes one control frame from a master shim. It runs on
 // the control server's reader goroutine for the sending master.
+//
+//netagg:proto-handler worker
 func (w *Worker) control(_ *transport.ServerConn, m *wire.Msg) {
+	wire.CheckReceive(wire.RoleWorker, m)
 	defer m.Release() // DecodeCount copies the attempt out of the payload
-	if m.Type != wire.TRedirect {
-		return
+	switch m.Type {
+	case wire.TRedirect:
+		w.applyRedirect(m)
+	default:
+		log.Printf("shim: worker %s dropping unhandled frame type %v for request %d",
+			w.cfg.Host.Name, m.Type, m.Req)
 	}
+}
+
+// applyRedirect replays a buffered request along a freshly planned route
+// for the redirect's attempt, unless the redirect is a duplicate or
+// stale (the straggler timer and the failure monitor may both request
+// the same attempt, and replaying it twice would double-count the data
+// at the boxes).
+func (w *Worker) applyRedirect(m *wire.Msg) {
 	attempt, err := wire.DecodeCount(m.Payload)
 	if err != nil {
 		return
 	}
 	w.mu.Lock()
 	b, ok := w.buffered[bufKey{m.App, m.Req}]
-	prevAttempt := 0
-	if ok && attempt <= b.lastAttempt {
-		ok = false // duplicate or stale redirect
+	if !ok || attempt <= b.lastAttempt {
+		w.mu.Unlock()
+		return
 	}
-	if ok {
-		prevAttempt = b.lastAttempt
-		b.lastAttempt = attempt
-	}
+	prevAttempt := b.lastAttempt
+	b.lastAttempt = attempt
 	w.mu.Unlock()
-	if ok {
-		obsRedirectsApplied.Inc()
-		w.trimStaleReplay(b, prevAttempt, attempt)
-		// Replan happens inside send: dead boxes are excluded from
-		// chains, and the new attempt id keeps the replayed streams
-		// distinct at every box.
-		_ = w.send(b, attempt)
-	}
+	obsRedirectsApplied.Inc()
+	w.trimStaleReplay(b, prevAttempt, attempt)
+	// Replan happens inside send: dead boxes are excluded from chains,
+	// and the new attempt id keeps the replayed streams distinct at
+	// every box.
+	_ = w.send(b, attempt)
 }
 
 // trimStaleReplay drops the transport replay windows of connections to

@@ -7,6 +7,23 @@ import (
 	"testing"
 )
 
+// encodeStream serialises msgs back-to-back into one stream, the way the
+// batched transport write path flushes them.
+func encodeStream(f *testing.F, msgs ...*Msg) []byte {
+	f.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, m := range msgs {
+		if err := w.Write(m); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
 // FuzzDecodeFrame drives Reader.Read with arbitrary stream bytes. The
 // decoder sits directly on the network, so it must reject any corrupt
 // frame with an error — never a panic, never an over-allocation (the
@@ -30,6 +47,22 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 0})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1})
 	f.Add([]byte{0, 0, 0, 2, 9, 0})
+	// The recovery/migration control frames (TExpect, TRedirect, TCancel)
+	// and a fanout frame carrying nested routes.
+	f.Add(encodeStream(f, &Msg{Type: TExpect, App: "search", Req: 7, Payload: EncodeCount(3)}))
+	f.Add(encodeStream(f, &Msg{Type: TRedirect, App: "search", Req: 7, Payload: EncodeCount(2)}))
+	f.Add(encodeStream(f, &Msg{Type: TCancel, App: "search", Req: 7}))
+	fanout := &FanoutPayload{Inner: []byte("part"), Routes: [][]string{{"127.0.0.1:1", "127.0.0.1:2"}, {"127.0.0.1:3"}}}
+	f.Add(encodeStream(f, &Msg{Type: TFanout, App: "search", Req: 7, Payload: fanout.Encode()}))
+	// A batched stream the shape SendAll's vectored write path produces:
+	// several frames of one request back-to-back in a single flush.
+	f.Add(encodeStream(f,
+		&Msg{Type: THello, App: "search", Req: 7, Source: 3, Payload: EncodeStrings([]string{"127.0.0.1:9"})},
+		&Msg{Type: TData, App: "search", Req: 7, Source: 3, Seq: 0, Payload: []byte("p0")},
+		&Msg{Type: TData, App: "search", Req: 7, Source: 3, Seq: 1, Payload: []byte("p1")},
+		&Msg{Type: TEnd, App: "search", Req: 7, Source: 3, Seq: 2},
+		&Msg{Type: TCancel, App: "search", Req: 7},
+	))
 
 	f.Fuzz(func(t *testing.T, stream []byte) {
 		r := NewReader(bytes.NewReader(stream))
@@ -60,6 +93,12 @@ func FuzzEncodeDecode(f *testing.F) {
 	f.Add(byte(THello), "", uint64(0), uint64(0), uint64(0), []byte{})
 	f.Add(byte(TError), "mapred", uint64(1<<63), uint64(42), uint64(9), []byte("boom"))
 	f.Add(byte(0), "a\x00b", uint64(1), uint64(2), uint64(3), []byte{0xff, 0x00})
+	// Control and fanout frames with their real payload encodings.
+	f.Add(byte(TExpect), "search", uint64(7), uint64(0), uint64(0), EncodeCount(3))
+	f.Add(byte(TRedirect), "search", uint64(7), uint64(0), uint64(0), EncodeCount(2))
+	f.Add(byte(TCancel), "mapred", uint64(7), uint64(0), uint64(0), []byte{})
+	fanout := &FanoutPayload{Inner: []byte("part"), Routes: [][]string{{"127.0.0.1:1"}, {"127.0.0.1:2", "127.0.0.1:3"}}}
+	f.Add(byte(TFanout), "search", uint64(7), uint64(0), uint64(0), fanout.Encode())
 
 	f.Fuzz(func(t *testing.T, typ byte, app string, req, source, seq uint64, payload []byte) {
 		in := &Msg{Type: Type(typ), App: app, Req: req, Source: source, Seq: seq, Payload: payload}

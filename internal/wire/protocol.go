@@ -1,0 +1,318 @@
+package wire
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file is the declarative wire-protocol specification: one table
+// (Protocol) mapping every frame type to the roles that may send and
+// receive it, whether the receiving handler must pass an epoch/replay
+// guard before mutating request state, and how payload-buffer ownership
+// transfers at the receiver. Three consumers keep the table honest:
+//
+//   - the protocheck analyzer (internal/lint) statically checks every
+//     //netagg:proto-handler dispatch switch against it,
+//   - CheckReceive (protocol_check_debug.go) enforces the receiver
+//     column on live frames under the netaggdebug build tag, and
+//   - cmd/protogen renders ProtocolMatrix into DESIGN.md and fails CI
+//     when the committed matrix drifts from this table.
+//
+// Adding a frame type therefore means adding a rule here first; the
+// drift gate and the analyzer turn a forgotten handler or an undeclared
+// sender into a build failure instead of a protocol-skew log line.
+
+// Role identifies a protocol participant: which kind of node a frame
+// handler runs on.
+type Role uint8
+
+const (
+	// RoleWorker is the worker-side shim (shim.Worker): it streams
+	// partial results towards boxes or the master and listens for
+	// recovery control frames.
+	RoleWorker Role = iota
+	// RoleBox is the agg-box data plane (core.Box): it combines partial
+	// results and forwards them down the aggregation tree.
+	RoleBox
+	// RoleMaster is the master-side shim's result listener
+	// (shim.Master): it collects aggregated results and drives
+	// straggler/failure recovery.
+	RoleMaster
+	// RoleMonitor is the failure detector's prober (cluster.Monitor):
+	// it exchanges heartbeats with boxes.
+	RoleMonitor
+)
+
+// String names the role as used in //netagg:proto-handler annotations.
+func (r Role) String() string {
+	switch r {
+	case RoleWorker:
+		return "worker"
+	case RoleBox:
+		return "box"
+	case RoleMaster:
+		return "master"
+	case RoleMonitor:
+		return "monitor"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// ParseRole resolves a //netagg:proto-handler role name to its Role.
+func ParseRole(s string) (Role, bool) {
+	switch s {
+	case "worker":
+		return RoleWorker, true
+	case "box":
+		return RoleBox, true
+	case "master":
+		return RoleMaster, true
+	case "monitor":
+		return RoleMonitor, true
+	}
+	return 0, false
+}
+
+// Ownership describes what a receiving handler does with a frame's
+// payload buffer (the Msg.Buf reference contract).
+type Ownership uint8
+
+const (
+	// OwnNone: the frame carries no payload the receiver keeps; the
+	// dispatch loop's Release is the only discharge.
+	OwnNone Ownership = iota
+	// OwnBorrows: the receiver reads the payload only for the duration
+	// of the handler call (decode-and-copy); taking the buffer
+	// reference would leak it past the borrow window.
+	OwnBorrows
+	// OwnTakes: the receiver takes the frame's buffer reference
+	// (Msg.TakeBuf or a //netagg:owns hand-off) and becomes responsible
+	// for releasing it.
+	OwnTakes
+)
+
+// String names the ownership mode as rendered in the protocol matrix.
+func (o Ownership) String() string {
+	switch o {
+	case OwnNone:
+		return "none"
+	case OwnBorrows:
+		return "borrows"
+	case OwnTakes:
+		return "takes"
+	default:
+		return fmt.Sprintf("ownership(%d)", uint8(o))
+	}
+}
+
+// Rule is one frame type's protocol contract.
+type Rule struct {
+	// Type is the frame type the rule governs.
+	Type Type
+	// Name is the Go constant name ("TData"), the spelling dispatch
+	// switches use and the analyzer matches case arms against.
+	Name string
+	// Senders lists the roles that may emit the frame.
+	Senders []Role
+	// Receivers lists the roles whose dispatch switches must handle the
+	// frame; a frame arriving anywhere else is a protocol violation.
+	Receivers []Role
+	// Guarded lists the receivers that must pass an epoch/replay guard
+	// (attempt check or per-source sequence check) before mutating
+	// request state on this frame: at-least-once transport replay and
+	// recovery resends make unguarded mutation a double-count.
+	Guarded []Role
+	// Owner maps each receiver to its payload-buffer ownership mode;
+	// receivers absent from the map default to OwnNone.
+	Owner map[Role]Ownership
+	// Note is the one-line rationale rendered in the protocol matrix.
+	Note string
+}
+
+// MaySend reports whether the role may emit this frame type.
+func (r Rule) MaySend(role Role) bool { return containsRole(r.Senders, role) }
+
+// MayReceive reports whether the role's dispatch switch may (and must)
+// handle this frame type.
+func (r Rule) MayReceive(role Role) bool { return containsRole(r.Receivers, role) }
+
+// GuardedAt reports whether the role must epoch/replay-guard its state
+// mutations for this frame type.
+func (r Rule) GuardedAt(role Role) bool { return containsRole(r.Guarded, role) }
+
+// OwnershipAt returns the role's payload ownership mode for this frame
+// type (OwnNone when unlisted).
+func (r Rule) OwnershipAt(role Role) Ownership { return r.Owner[role] }
+
+func containsRole(roles []Role, role Role) bool {
+	for _, r := range roles {
+		if r == role {
+			return true
+		}
+	}
+	return false
+}
+
+// Protocol returns the full protocol table in frame-type order. The
+// slice and its rules are freshly built on each call; callers may keep
+// or reorder them freely.
+func Protocol() []Rule {
+	return []Rule{
+		{
+			Type: THello, Name: "THello",
+			Senders:   []Role{RoleWorker, RoleBox},
+			Receivers: []Role{RoleBox},
+			Owner:     map[Role]Ownership{RoleBox: OwnBorrows},
+			Note:      "opens a stream; the payload is the remaining route, decoded and copied on arrival",
+		},
+		{
+			Type: TData, Name: "TData",
+			Senders:   []Role{RoleWorker, RoleBox, RoleMaster},
+			Receivers: []Role{RoleBox, RoleMaster},
+			Guarded:   []Role{RoleBox, RoleMaster},
+			Owner:     map[Role]Ownership{RoleBox: OwnTakes, RoleMaster: OwnTakes},
+			Note:      "partial-result chunk; per-source Seq dedups transport replay (the master also sends TData for §5 fanout distribution, received by the extension's own listener)",
+		},
+		{
+			Type: TEnd, Name: "TEnd",
+			Senders:   []Role{RoleWorker, RoleBox},
+			Receivers: []Role{RoleBox, RoleMaster},
+			Guarded:   []Role{RoleMaster},
+			Note:      "end of one source's stream; carries Seq so the master's replay guard covers it (the box's ends-set is idempotent by construction)",
+		},
+		{
+			Type: TExpect, Name: "TExpect",
+			Senders:   []Role{RoleMaster},
+			Receivers: []Role{RoleBox},
+			Owner:     map[Role]Ownership{RoleBox: OwnBorrows},
+			Note:      "announces the direct-source count for a request (varint payload); idempotent",
+		},
+		{
+			Type: TResult, Name: "TResult",
+			Senders:   []Role{RoleBox},
+			Receivers: []Role{RoleMaster},
+			Guarded:   []Role{RoleMaster},
+			Owner:     map[Role]Ownership{RoleMaster: OwnTakes},
+			Note:      "fully aggregated result from a chain root; the master's attempt+Seq checks drop stale and replayed deliveries",
+		},
+		{
+			Type: THeartbeat, Name: "THeartbeat",
+			Senders:   []Role{RoleMonitor, RoleBox},
+			Receivers: []Role{RoleBox, RoleMonitor},
+			Owner:     map[Role]Ownership{RoleMonitor: OwnBorrows},
+			Note:      "liveness probe (monitor→box) and its echo (box→monitor); the echo payload carries the box's load signal",
+		},
+		{
+			Type: TRedirect, Name: "TRedirect",
+			Senders:   []Role{RoleMaster},
+			Receivers: []Role{RoleWorker},
+			Guarded:   []Role{RoleWorker},
+			Owner:     map[Role]Ownership{RoleWorker: OwnBorrows},
+			Note:      "recovery resend order (varint attempt payload); the worker's lastAttempt check dedups the straggler-timer/monitor race",
+		},
+		{
+			Type: TAck, Name: "TAck",
+			Note: "reserved for result-delivery acknowledgement on failover; no sender or receiver implements it yet",
+		},
+		{
+			Type: TError, Name: "TError",
+			Senders:   []Role{RoleBox},
+			Receivers: []Role{RoleMaster},
+			Guarded:   []Role{RoleMaster},
+			Owner:     map[Role]Ownership{RoleMaster: OwnBorrows},
+			Note:      "fatal per-request aggregation error; the message is copied into the delivered Result",
+		},
+		{
+			Type: TCancel, Name: "TCancel",
+			Senders:   []Role{RoleMaster},
+			Receivers: []Role{RoleBox},
+			Note:      "discard a superseded epoch's partial state; idempotent (unknown requests are a no-op)",
+		},
+		{
+			Type: TFanout, Name: "TFanout",
+			Senders:   []Role{RoleMaster, RoleBox},
+			Receivers: []Role{RoleBox},
+			Owner:     map[Role]Ownership{RoleBox: OwnBorrows},
+			Note:      "one-to-many distribution envelope (§5 extension); the box re-encodes or forwards per next hop within the call",
+		},
+	}
+}
+
+// RuleFor returns the protocol rule for a frame type.
+func RuleFor(t Type) (Rule, bool) {
+	for _, r := range Protocol() {
+		if r.Type == t {
+			return r, true
+		}
+	}
+	return Rule{}, false
+}
+
+// MayReceive reports whether the role may receive the frame type. An
+// unknown frame type may not be received by anyone.
+func MayReceive(role Role, t Type) bool {
+	r, ok := RuleFor(t)
+	return ok && r.MayReceive(role)
+}
+
+// MaySend reports whether the role may emit the frame type.
+func MaySend(role Role, t Type) bool {
+	r, ok := RuleFor(t)
+	return ok && r.MaySend(role)
+}
+
+// receiverNames renders a rule's receiver list for diagnostics
+// ("(none)" for reserved frames).
+func receiverNames(t Type) string {
+	r, ok := RuleFor(t)
+	if !ok || len(r.Receivers) == 0 {
+		return "(none)"
+	}
+	names := make([]string, len(r.Receivers))
+	for i, role := range r.Receivers {
+		names[i] = role.String()
+	}
+	return strings.Join(names, ", ")
+}
+
+// ProtocolMatrix renders the protocol table as a GitHub-flavoured
+// markdown table. cmd/protogen embeds it in DESIGN.md between the
+// protogen markers and CI fails when the committed copy drifts.
+func ProtocolMatrix() string {
+	var b strings.Builder
+	b.WriteString("| frame | sent by | received by | epoch/replay guard | payload ownership | notes |\n")
+	b.WriteString("|---|---|---|---|---|---|\n")
+	for _, r := range Protocol() {
+		fmt.Fprintf(&b, "| `%s` (%s) | %s | %s | %s | %s | %s |\n",
+			r.Name, r.Type,
+			roleList(r.Senders), roleList(r.Receivers), roleList(r.Guarded),
+			ownerList(r), r.Note)
+	}
+	return b.String()
+}
+
+// roleList renders a role slice for the matrix ("—" when empty).
+func roleList(roles []Role) string {
+	if len(roles) == 0 {
+		return "—"
+	}
+	names := make([]string, len(roles))
+	for i, r := range roles {
+		names[i] = r.String()
+	}
+	return strings.Join(names, ", ")
+}
+
+// ownerList renders a rule's per-receiver ownership column in receiver
+// order, so the matrix is deterministic.
+func ownerList(r Rule) string {
+	if len(r.Receivers) == 0 {
+		return "—"
+	}
+	parts := make([]string, len(r.Receivers))
+	for i, role := range r.Receivers {
+		parts[i] = role.String() + " " + r.OwnershipAt(role).String()
+	}
+	return strings.Join(parts, ", ")
+}

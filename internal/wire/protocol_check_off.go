@@ -1,0 +1,9 @@
+//go:build !netaggdebug
+
+package wire
+
+// CheckReceive is the release-build no-op half of the netaggdebug
+// protocol assertion (see protocol_check_debug.go): the empty body is
+// inlined and erased, so the per-frame call in every dispatch loop
+// costs nothing outside debug runs.
+func CheckReceive(Role, *Msg) {}

@@ -1,0 +1,156 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+// allTypes maps every defined frame type constant to its Go spelling;
+// the protocol table must cover each one under exactly that name, since
+// protocheck matches dispatch-switch case identifiers against Rule.Name.
+var allTypes = map[Type]string{
+	THello:     "THello",
+	TData:      "TData",
+	TEnd:       "TEnd",
+	TExpect:    "TExpect",
+	TResult:    "TResult",
+	THeartbeat: "THeartbeat",
+	TRedirect:  "TRedirect",
+	TAck:       "TAck",
+	TError:     "TError",
+	TCancel:    "TCancel",
+	TFanout:    "TFanout",
+}
+
+func TestProtocolCoversAllFrameTypes(t *testing.T) {
+	rules := Protocol()
+	byType := make(map[Type]Rule, len(rules))
+	for _, r := range rules {
+		if _, dup := byType[r.Type]; dup {
+			t.Errorf("duplicate rule for frame type %s", r.Type)
+		}
+		byType[r.Type] = r
+	}
+	for ft, name := range allTypes {
+		r, ok := byType[ft]
+		if !ok {
+			t.Errorf("no protocol rule for frame type %s", ft)
+			continue
+		}
+		if r.Name != name {
+			t.Errorf("rule for %s has Name %q; want the constant name %q", ft, r.Name, name)
+		}
+	}
+	if len(rules) != len(allTypes) {
+		t.Errorf("protocol table has %d rules; want %d (one per frame type)", len(rules), len(allTypes))
+	}
+}
+
+func TestProtocolRuleInvariants(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, r := range Protocol() {
+		if r.Name == "" {
+			t.Errorf("rule for %s has empty Name", r.Type)
+		}
+		if seen[r.Name] {
+			t.Errorf("duplicate rule name %q", r.Name)
+		}
+		seen[r.Name] = true
+
+		// Guarded and Owner only make sense for roles that can receive
+		// the frame in the first place.
+		for _, g := range r.Guarded {
+			if !r.MayReceive(g) {
+				t.Errorf("%s: guarded role %s is not a receiver", r.Name, g)
+			}
+		}
+		for role := range r.Owner {
+			if !r.MayReceive(role) {
+				t.Errorf("%s: ownership declared for non-receiver role %s", r.Name, role)
+			}
+		}
+		// A frame someone receives must have at least one sender, and
+		// vice versa (TAck is reserved: both empty).
+		if (len(r.Senders) == 0) != (len(r.Receivers) == 0) {
+			t.Errorf("%s: senders=%v receivers=%v; both must be empty (reserved) or both populated",
+				r.Name, r.Senders, r.Receivers)
+		}
+	}
+}
+
+func TestParseRoleRoundTrip(t *testing.T) {
+	for _, role := range []Role{RoleWorker, RoleBox, RoleMaster, RoleMonitor} {
+		got, ok := ParseRole(role.String())
+		if !ok || got != role {
+			t.Errorf("ParseRole(%q) = %v, %v; want %v, true", role.String(), got, ok, role)
+		}
+	}
+	if _, ok := ParseRole("gateway"); ok {
+		t.Error("ParseRole accepted unknown role name")
+	}
+	if s := Role(42).String(); !strings.Contains(s, "42") {
+		t.Errorf("unknown role String() = %q; want it to surface the raw value", s)
+	}
+	if s := Ownership(42).String(); !strings.Contains(s, "42") {
+		t.Errorf("unknown ownership String() = %q; want it to surface the raw value", s)
+	}
+}
+
+func TestMaySendMayReceive(t *testing.T) {
+	cases := []struct {
+		role    Role
+		t       Type
+		send    bool
+		receive bool
+	}{
+		{RoleWorker, TData, true, false},
+		{RoleBox, TData, true, true},
+		{RoleMaster, TResult, false, true},
+		{RoleBox, TResult, true, false},
+		{RoleWorker, TRedirect, false, true},
+		{RoleMaster, TRedirect, true, false},
+		{RoleMonitor, THeartbeat, true, true},
+		{RoleWorker, TAck, false, false},
+		{RoleMaster, Type(200), false, false}, // unknown frame type
+	}
+	for _, c := range cases {
+		if got := MaySend(c.role, c.t); got != c.send {
+			t.Errorf("MaySend(%s, %s) = %v; want %v", c.role, c.t, got, c.send)
+		}
+		if got := MayReceive(c.role, c.t); got != c.receive {
+			t.Errorf("MayReceive(%s, %s) = %v; want %v", c.role, c.t, got, c.receive)
+		}
+	}
+}
+
+func TestProtocolMatrixDeterministicAndComplete(t *testing.T) {
+	m1 := ProtocolMatrix()
+	m2 := ProtocolMatrix()
+	if m1 != m2 {
+		t.Fatal("ProtocolMatrix is not deterministic across calls")
+	}
+	for _, r := range Protocol() {
+		if !strings.Contains(m1, "`"+r.Name+"`") {
+			t.Errorf("matrix is missing rule %s", r.Name)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(m1, "\n"), "\n")
+	if want := 2 + len(Protocol()); len(lines) != want {
+		t.Errorf("matrix has %d lines; want %d (header + separator + one per rule)", len(lines), want)
+	}
+	if strings.Contains(m1, "ownership(") || strings.Contains(m1, "role(") {
+		t.Error("matrix contains an unnamed role or ownership value")
+	}
+}
+
+func TestReceiverNames(t *testing.T) {
+	if got := receiverNames(TAck); got != "(none)" {
+		t.Errorf("receiverNames(TAck) = %q; want \"(none)\"", got)
+	}
+	if got := receiverNames(TData); got != "box, master" {
+		t.Errorf("receiverNames(TData) = %q; want \"box, master\"", got)
+	}
+	if got := receiverNames(Type(200)); got != "(none)" {
+		t.Errorf("receiverNames(unknown) = %q; want \"(none)\"", got)
+	}
+}

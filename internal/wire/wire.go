@@ -69,6 +69,8 @@ func (t Type) String() string {
 		return "error"
 	case TCancel:
 		return "cancel"
+	case TFanout:
+		return "fanout"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
